@@ -1,0 +1,39 @@
+// Extension bench: design-space exploration across the VRL-DRAM knobs —
+// counter width, partial restore target, retention guardband, subarrays —
+// reporting the metrics a deployment would trade off (core/sweep.hpp).
+//
+// The paper's design point (nbits=2, 95% target, no guardband, plain bank)
+// sits at the overhead knee; this table shows what each neighbouring choice
+// buys and costs.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/sweep.hpp"
+
+int main() {
+  using namespace vrl;
+
+  std::printf("Design-space sweep (workload: facesim, 8 x 64 ms)\n\n");
+
+  core::VrlConfig base;
+  base.banks = 2;
+  const auto results = core::RunSweep(base, core::DefaultGrid(),
+                                      trace::SuiteWorkload("facesim"), 8);
+
+  TextTable table({"point", "VRL", "VRL-Access", "area um^2", "% bank",
+                   "mean MPRSF", "clamped"});
+  for (const auto& r : results) {
+    table.AddRow({r.point.Label(), Fmt(r.vrl_normalized, 3),
+                  Fmt(r.vrl_access_normalized, 3),
+                  Fmt(r.logic_area_um2, 0),
+                  FmtPercent(r.area_fraction, 2), Fmt(r.mean_mprsf, 2),
+                  std::to_string(r.clamped_rows)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npoint key: n=nbits, t=partial restore target, g=guardband, "
+      "s=subarrays.  Overheads normalized to RAIDR at the same guardband.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks for the library's computational kernels:
+// the tridiagonal coupling solve (Eq. 8), the transient circuit engine, the
+// analytical refresh physics, MPRSF computation, refresh-policy scheduling
+// and trace generation.  Useful for tracking performance regressions of the
+// simulator itself (not a paper experiment).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "circuit/dram_circuits.hpp"
+#include "circuit/transient.hpp"
+#include "common/rng.hpp"
+#include "common/technology.hpp"
+#include "common/tridiagonal.hpp"
+#include "dram/refresh_policy.hpp"
+#include "model/refresh_model.hpp"
+#include "retention/mprsf.hpp"
+#include "retention/profile.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace vrl;
+
+void BM_TridiagonalCouplingSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> lself(n, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveCouplingSystem(0.09, 0.03, lself));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TridiagonalCouplingSolve)->Arg(32)->Arg(128)->Arg(1024);
+
+void BM_TransientRcStep(benchmark::State& state) {
+  circuit::Netlist netlist;
+  const auto top = netlist.Node("top");
+  netlist.AddResistor(top, circuit::kGround, 1e3);
+  netlist.AddCapacitor(top, circuit::kGround, 1e-12);
+  netlist.SetInitialCondition(top, 1.0);
+  circuit::TransientOptions options;
+  options.t_stop_s = 1e-9;
+  options.dt_s = 1e-12;
+  options.store_every = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::RunTransient(netlist, options, {"top"}));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // steps per run
+}
+BENCHMARK(BM_TransientRcStep);
+
+void BM_TransientChargeSharingArray(benchmark::State& state) {
+  TechnologyParams tech;
+  tech.columns = static_cast<std::size_t>(state.range(0));
+  auto array = circuit::BuildChargeSharingArray(tech, DataPattern::kAllOnes);
+  circuit::TransientOptions options;
+  options.t_stop_s = 2e-9;
+  options.dt_s = 20e-12;
+  options.store_every = 100;
+  const std::vector<std::string> probes{array.bitline_nodes[0]};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        circuit::RunTransient(array.netlist, options, probes));
+  }
+}
+BENCHMARK(BM_TransientChargeSharingArray)->Arg(32)->Arg(128);
+
+void BM_ApplyRefresh(benchmark::State& state) {
+  const model::RefreshModel refresh_model(TechnologyParams{});
+  const double tau = refresh_model.PartialRefreshTimings().tau_post_s;
+  double fraction = 0.8;
+  for (auto _ : state) {
+    const auto out = refresh_model.ApplyRefresh(fraction, tau);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ApplyRefresh);
+
+void BM_ComputeMprsf(benchmark::State& state) {
+  const model::RefreshModel refresh_model(TechnologyParams{});
+  const retention::MprsfCalculator calc(
+      refresh_model, refresh_model.PartialRefreshTimings().tau_post_s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.ComputeMprsf(1.5, 0.256, 3));
+  }
+}
+BENCHMARK(BM_ComputeMprsf);
+
+void BM_VrlPolicyCollectDue(benchmark::State& state) {
+  const retention::RetentionProfile profile(
+      std::vector<double>(8192, 1.0));
+  const auto binning =
+      retention::BinRows(profile, retention::StandardBinPeriods());
+  const auto plan = dram::MakeRefreshPlan(
+      binning, 2.5e-9, std::vector<std::size_t>(8192, 2));
+  dram::VrlPolicy policy(plan, 26, 15);
+  Cycles now = 0;
+  for (auto _ : state) {
+    now += 3120;  // one tREFI tick
+    benchmark::DoNotOptimize(policy.CollectDue(now));
+  }
+}
+BENCHMARK(BM_VrlPolicyCollectDue);
+
+void BM_GenerateTrace(benchmark::State& state) {
+  const trace::AddressGeometry geometry;
+  const auto params = trace::SuiteWorkload("streamcluster");
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace::GenerateTrace(params, geometry, 1'000'000, rng));
+  }
+}
+BENCHMARK(BM_GenerateTrace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

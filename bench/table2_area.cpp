@@ -1,0 +1,45 @@
+// Reproduces Table 2: "Area overhead of VRL-DRAM at 90nm".
+//
+// Paper reference (8192x32 bank):
+//   nbits=2: 105 um^2 (0.97%), nbits=3: 152 um^2 (1.4%),
+//   nbits=4: 200 um^2 (1.85%).
+
+#include <cstdio>
+#include <iostream>
+
+#include "area/area_model.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace vrl;
+
+  const area::AreaModel model;
+  constexpr std::size_t kRows = 8192;
+  constexpr std::size_t kColumns = 32;
+
+  std::printf("Table 2 — area overhead of VRL-DRAM at 90 nm (%zux%zu bank, "
+              "bank area %.0f um^2)\n\n",
+              kRows, kColumns, model.BankAreaUm2(kRows, kColumns));
+
+  TextTable table({"nbits", "logic area (um^2)", "% bank area",
+                   "paper (um^2 / %)"});
+  const char* paper[] = {"105 / 0.97%", "152 / 1.4%", "200 / 1.85%"};
+  for (std::size_t nbits = 2; nbits <= 4; ++nbits) {
+    table.AddRow({std::to_string(nbits),
+                  Fmt(model.LogicAreaUm2(nbits), 0),
+                  FmtPercent(model.OverheadFraction(nbits, kRows, kColumns), 2),
+                  paper[nbits - 2]});
+  }
+  table.Print(std::cout);
+
+  // Extrapolation beyond the paper's table.
+  std::printf("\nextrapolation:\n");
+  TextTable extra({"nbits", "logic area (um^2)", "% bank area"});
+  for (std::size_t nbits = 1; nbits <= 8; ++nbits) {
+    extra.AddRow({std::to_string(nbits), Fmt(model.LogicAreaUm2(nbits), 0),
+                  FmtPercent(model.OverheadFraction(nbits, kRows, kColumns),
+                             2)});
+  }
+  extra.Print(std::cout);
+  return 0;
+}

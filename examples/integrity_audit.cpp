@@ -1,0 +1,129 @@
+// Integrity audit: replay a refresh policy against the physics and verify
+// no row ever loses data — at profiling conditions and across a temperature
+// sweep, with optional worst-case VRT.
+//
+//   ./integrity_audit [--config FILE] [--policy raidr|vrl|vrl-access]
+//                     [--windows N] [--max-celsius T] [--vrt]
+//
+// Exit code 0 when the policy is loss-free at the profiling temperature,
+// 1 otherwise — usable as a regression gate for configuration changes.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/config_io.hpp"
+#include "core/integrity.hpp"
+#include "core/vrl_system.hpp"
+#include "retention/temperature.hpp"
+#include "retention/vrt.hpp"
+
+namespace {
+
+using namespace vrl;
+
+core::PolicyKind ParsePolicy(const std::string& name) {
+  if (name == "raidr") return core::PolicyKind::kRaidr;
+  if (name == "vrl") return core::PolicyKind::kVrl;
+  if (name == "vrl-access") return core::PolicyKind::kVrlAccess;
+  if (name == "jedec") return core::PolicyKind::kJedec;
+  throw ConfigError("unknown policy '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::VrlConfig config;
+  config.banks = 1;
+  std::string policy_name = "vrl";
+  std::size_t windows = 8;
+  double max_celsius = 65.0;
+  bool with_vrt = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--vrt") {
+      with_vrt = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return 2;
+    }
+    const std::string value = argv[++i];
+    try {
+      if (flag == "--config") {
+        config = core::LoadVrlConfigFile(value);
+        config.banks = 1;  // the audit replays one bank's schedule
+      } else if (flag == "--policy") {
+        policy_name = value;
+      } else if (flag == "--windows") {
+        windows = std::stoul(value);
+      } else if (flag == "--max-celsius") {
+        max_celsius = std::stod(value);
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+        return 2;
+      }
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 2;
+    }
+  }
+
+  try {
+    const core::VrlSystem system(config);
+    const auto policy = ParsePolicy(policy_name);
+    const retention::TemperatureModel temperature;
+
+    std::printf("Integrity audit: %s, %zu x 64 ms, guardband %.2f, "
+                "spares %zu%s\n",
+                core::PolicyName(policy).c_str(), windows,
+                config.retention_guardband, config.spare_rows,
+                with_vrt ? ", worst-case VRT" : "");
+    if (system.guardband_clamped_rows() > 0) {
+      std::printf("warning: %zu rows not protected by the guardband "
+                  "(consider spare_rows)\n",
+                  system.guardband_clamped_rows());
+    }
+
+    retention::VrtParams vrt;
+    std::printf("\n");
+    TextTable table({"temperature", "refreshes", "partials", "failures",
+                     "min margin"});
+    bool base_ok = true;
+    for (double celsius = temperature.profiling_celsius;
+         celsius <= max_celsius + 1e-9; celsius += 5.0) {
+      const double scale = temperature.RetentionScale(celsius);
+      core::IntegrityReport report;
+      if (with_vrt) {
+        Rng rng(config.seed ^ 0xF00DULL);
+        const auto vrt_rows =
+            retention::SampleVrtRows(vrt, system.profile().rows(), rng);
+        const auto runtime = retention::WorstCaseRuntimeProfile(
+            system.profile(), vrt_rows, vrt);
+        report = core::IntegrityChecker(system, runtime, scale)
+                     .Check(policy, windows);
+      } else {
+        report = core::IntegrityChecker(system, scale).Check(policy, windows);
+      }
+      if (celsius == temperature.profiling_celsius) {
+        base_ok = !report.DataLost();
+      }
+      table.AddRow({Fmt(celsius, 0) + " C",
+                    std::to_string(report.refreshes_checked),
+                    std::to_string(report.partial_refreshes),
+                    std::to_string(report.failures),
+                    Fmt(report.min_margin, 4)});
+    }
+    table.Print(std::cout);
+
+    std::printf("\nverdict at profiling conditions: %s\n",
+                base_ok ? "LOSS-FREE" : "DATA LOSS");
+    return base_ok ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

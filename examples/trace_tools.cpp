@@ -1,0 +1,94 @@
+// Trace tooling: generate synthetic workload traces to files and inspect
+// existing traces.
+//
+//   ./trace_tools generate <workload> <milliseconds> <output.trace>
+//   ./trace_tools stats    <input.trace>
+//   ./trace_tools list
+//
+// Trace files use the text format: "<cycle> <R|W> <hex address>".
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/technology.hpp"
+#include "trace/io.hpp"
+#include "trace/stats.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace vrl;
+
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s generate <workload> <milliseconds> <output.trace>\n"
+               "  %s stats <input.trace>\n"
+               "  %s list\n",
+               prog, prog, prog);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage(argv[0]);
+  }
+  const std::string command = argv[1];
+  const trace::AddressGeometry geometry;  // 8 banks x 8192 x 32
+  const TechnologyParams tech;
+
+  try {
+    if (command == "list") {
+      TextTable table({"workload", "mean gap (cyc)", "footprint", "seq",
+                       "writes"});
+      for (const auto& w : trace::EvaluationSuite()) {
+        table.AddRow({w.name, Fmt(w.mean_gap_cycles, 0),
+                      FmtPercent(w.footprint_fraction, 0),
+                      FmtPercent(w.sequential_prob, 0),
+                      FmtPercent(w.write_fraction, 0)});
+      }
+      table.Print(std::cout);
+      return 0;
+    }
+
+    if (command == "generate" && argc == 5) {
+      const auto workload = trace::SuiteWorkload(argv[2]);
+      const double ms = std::stod(argv[3]);
+      const auto duration =
+          SecondsToCyclesCeil(ms * 1e-3, tech.clock_period_s);
+      Rng rng(7);
+      const auto records =
+          trace::GenerateTrace(workload, geometry, duration, rng);
+      trace::WriteTextFile(argv[4], records);
+      std::printf("wrote %zu records (%.1f ms of %s) to %s\n", records.size(),
+                  ms, workload.name.c_str(), argv[4]);
+      return 0;
+    }
+
+    if (command == "stats" && argc == 3) {
+      const auto records = trace::ReadTextFile(argv[2]);
+      const auto stats = trace::ComputeStats(records, geometry);
+      std::printf("trace          : %s\n", argv[2]);
+      std::printf("requests       : %zu (%.1f%% writes)\n", stats.requests,
+                  stats.WriteFraction() * 100.0);
+      std::printf("span           : %llu cycles (%.2f ms)\n",
+                  static_cast<unsigned long long>(stats.span_cycles),
+                  CyclesToSeconds(stats.span_cycles, tech.clock_period_s) *
+                      1e3);
+      std::printf("intensity      : %.2f requests/kcycle\n",
+                  stats.requests_per_kilocycle);
+      std::printf("rows touched   : %zu of %zu (%.1f%%)\n", stats.unique_rows,
+                  stats.total_rows, stats.RowCoverage() * 100.0);
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return Usage(argv[0]);
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Plot the per-row retention profile CSV from examples/retention_profiler.
+
+Usage:
+    ./build/examples/retention_profiler            # writes /tmp/vrl_profile.csv
+    python3 scripts/plot_profile.py /tmp/vrl_profile.csv [out.png]
+
+Left panel: the row-retention histogram over the paper's Fig. 3a window.
+Right panel: MPRSF histogram (the table VRL-DRAM programs per row).
+"""
+
+import csv
+import sys
+from collections import Counter
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    path = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else path.rsplit(".", 1)[0] + ".png"
+
+    retention_ms = []
+    mprsf = []
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            retention_ms.append(float(row["retention_ms"]))
+            mprsf.append(int(row["mprsf"]))
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        counts = Counter(mprsf)
+        print(f"{len(retention_ms)} rows; min retention "
+              f"{min(retention_ms):.1f} ms; MPRSF histogram: {dict(counts)}")
+        return 0
+
+    fig, (left, right) = plt.subplots(1, 2, figsize=(10, 4))
+    left.hist([t for t in retention_ms if t <= 4681], bins=21)
+    left.set_xlabel("row retention (ms)")
+    left.set_ylabel("rows")
+    left.set_title("retention distribution (Fig. 3a window)")
+
+    counts = Counter(mprsf)
+    keys = sorted(counts)
+    right.bar([str(k) for k in keys], [counts[k] for k in keys])
+    right.set_xlabel("MPRSF")
+    right.set_ylabel("rows")
+    right.set_title("per-row MPRSF")
+
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Plot a waveform CSV produced by examples/circuit_waveform.
+
+Usage:
+    ./build/examples/circuit_waveform refresh /tmp/refresh.csv
+    python3 scripts/plot_waveform.py /tmp/refresh.csv [out.png]
+
+Reproduces the visual style of the paper's Fig. 5 / Fig. 1a insets: one
+trace per probed node over time in nanoseconds.
+"""
+
+import csv
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    path = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else path.rsplit(".", 1)[0] + ".png"
+
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        rows = [[float(x) for x in row] for row in reader]
+
+    times = [r[0] for r in rows]
+    series = {name: [r[i] for r in rows] for i, name in enumerate(header) if i}
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; printing summary instead")
+        for name, values in series.items():
+            print(f"{name}: start={values[0]:.3f}V end={values[-1]:.3f}V")
+        return 0
+
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for name, values in series.items():
+        ax.plot(times, values, label=name)
+    ax.set_xlabel("time (ns)")
+    ax.set_ylabel("voltage (V)")
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+#include "area/area_model.hpp"
+
+namespace vrl::area {
+
+AreaModel::AreaModel(const AreaParams& params) : params_(params) {
+  params_.Validate();
+}
+
+double AreaModel::LogicAreaUm2(std::size_t nbits) const {
+  if (nbits == 0) {
+    throw ConfigError("AreaModel: nbits must be at least 1");
+  }
+  const double per_bit_gates =
+      params_.gates_per_bit_comparator + params_.gates_per_bit_incrementer +
+      params_.gates_per_bit_mux + params_.gates_per_bit_registers;
+  const double gates =
+      params_.gates_control_fsm + per_bit_gates * static_cast<double>(nbits);
+  return gates * params_.nand2_area_um2;
+}
+
+double AreaModel::BankAreaUm2(std::size_t rows, std::size_t columns) const {
+  if (rows == 0 || columns == 0) {
+    throw ConfigError("AreaModel: bank geometry must be non-zero");
+  }
+  const double f_um = params_.feature_nm * 1e-3;
+  const double cell_um2 = params_.cell_area_f2 * f_um * f_um;
+  return static_cast<double>(rows) * static_cast<double>(columns) * cell_um2 *
+         params_.mat_normalization;
+}
+
+double AreaModel::OverheadFraction(std::size_t nbits, std::size_t rows,
+                                   std::size_t columns) const {
+  return LogicAreaUm2(nbits) / BankAreaUm2(rows, columns);
+}
+
+}  // namespace vrl::area

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "common/technology.hpp"
+
+/// \file area_model.hpp
+/// 90 nm area model for the VRL-DRAM controller logic (Table 2).
+///
+/// The per-bank logic is a shared datapath operating on the row's two
+/// nbits-wide counters (mprsf, rcount): an nbits comparator, an nbits
+/// incrementer, a reset mux, and pipeline registers, plus a small control
+/// FSM.  Gate counts are translated to area via a 90 nm NAND2-equivalent
+/// footprint.  The DRAM bank reference area uses a 6F² folded cell array
+/// normalized to the mat core (calibrated so the defaults reproduce the
+/// paper's 0.97% / 1.4% / 1.85% for nbits = 2 / 3 / 4).
+
+namespace vrl::area {
+
+struct AreaParams {
+  double feature_nm = 90.0;         ///< Technology feature size F.
+  double nand2_area_um2 = 2.2;      ///< NAND2-equivalent gate area at 90 nm.
+  double cell_area_f2 = 6.0;        ///< DRAM cell area in F² (folded 6F²).
+  double mat_normalization = 0.85;  ///< Share of the mat attributed to cells.
+
+  // Gate counts (NAND2 equivalents) of the shared VRL datapath.
+  double gates_per_bit_comparator = 5.0;
+  double gates_per_bit_incrementer = 6.0;
+  double gates_per_bit_mux = 3.0;
+  double gates_per_bit_registers = 7.6;  ///< Two pipeline flops per bit.
+  double gates_control_fsm = 4.5;        ///< nbits-independent control.
+
+  void Validate() const {
+    if (feature_nm <= 0 || nand2_area_um2 <= 0 || cell_area_f2 <= 0 ||
+        mat_normalization <= 0 || mat_normalization > 1.0) {
+      throw ConfigError("AreaParams: non-physical parameter");
+    }
+  }
+};
+
+class AreaModel {
+ public:
+  AreaModel() : AreaModel(AreaParams{}) {}
+  explicit AreaModel(const AreaParams& params);
+
+  /// Area of the VRL controller logic for an nbits-wide counter [µm²].
+  double LogicAreaUm2(std::size_t nbits) const;
+
+  /// Reference DRAM bank area for the given geometry [µm²].
+  double BankAreaUm2(std::size_t rows, std::size_t columns) const;
+
+  /// Table 2's percentage: logic area over bank area.
+  double OverheadFraction(std::size_t nbits, std::size_t rows,
+                          std::size_t columns) const;
+
+  const AreaParams& params() const { return params_; }
+
+ private:
+  AreaParams params_;
+};
+
+}  // namespace vrl::area

@@ -1,0 +1,70 @@
+#include "circuit/banded.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vrl::circuit {
+
+BandedMatrix::BandedMatrix(std::size_t n, std::size_t halfband)
+    : n_(n), halfband_(halfband), data_(n * (2 * halfband + 1), 0.0) {}
+
+bool BandedMatrix::InBand(std::size_t r, std::size_t c) const {
+  const std::size_t lo = r > halfband_ ? r - halfband_ : 0;
+  const std::size_t hi = std::min(n_ - 1, r + halfband_);
+  return c >= lo && c <= hi;
+}
+
+double& BandedMatrix::At(std::size_t r, std::size_t c) {
+  if (!InBand(r, c)) {
+    throw NumericalError("BandedMatrix::At: access outside band");
+  }
+  return data_[Offset(r, c)];
+}
+
+double BandedMatrix::At(std::size_t r, std::size_t c) const {
+  if (!InBand(r, c)) {
+    return 0.0;
+  }
+  return data_[Offset(r, c)];
+}
+
+void BandedMatrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void BandedMatrix::SolveInPlace(std::vector<double>& b) {
+  if (b.size() != n_) {
+    throw NumericalError("BandedMatrix::SolveInPlace: dimension mismatch");
+  }
+  // LU elimination restricted to the band.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double pivot = data_[Offset(k, k)];
+    if (std::abs(pivot) < 1e-300) {
+      throw NumericalError("BandedMatrix::SolveInPlace: zero pivot");
+    }
+    const std::size_t row_end = std::min(n_ - 1, k + halfband_);
+    const std::size_t col_end = row_end;
+    for (std::size_t r = k + 1; r <= row_end; ++r) {
+      const double factor = data_[Offset(r, k)] / pivot;
+      if (factor == 0.0) {
+        continue;
+      }
+      data_[Offset(r, k)] = 0.0;
+      for (std::size_t c = k + 1; c <= col_end; ++c) {
+        data_[Offset(r, c)] -= factor * data_[Offset(k, c)];
+      }
+      b[r] -= factor * b[k];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n_; i-- > 0;) {
+    double sum = b[i];
+    const std::size_t col_end = std::min(n_ - 1, i + halfband_);
+    for (std::size_t c = i + 1; c <= col_end; ++c) {
+      sum -= data_[Offset(i, c)] * b[c];
+    }
+    b[i] = sum / data_[Offset(i, i)];
+  }
+}
+
+}  // namespace vrl::circuit

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file banded.hpp
+/// Banded matrix storage + LU solve (no pivoting).
+///
+/// The charge-sharing bitline array couples node i only to nodes within a
+/// small index distance (its own cell, and the two neighbouring bitlines via
+/// Cbb), so with a natural node ordering its MNA matrix is banded.  Solving
+/// the band directly turns each Newton iteration from O(n^3) into O(n*b^2),
+/// which is what makes the 16384x128 configurations of Table 1 tractable.
+///
+/// No pivoting: callers must only use this for diagonally dominant systems
+/// (the transient engine checks structure, and capacitor companion
+/// conductances C/dt dominate the diagonal at the timestep sizes we use).
+
+namespace vrl::circuit {
+
+/// Square banded matrix with half-bandwidth `halfband` (entries with
+/// |r - c| > halfband are structurally zero).
+class BandedMatrix {
+ public:
+  BandedMatrix(std::size_t n, std::size_t halfband);
+
+  /// Access within the band. \throws vrl::NumericalError outside the band.
+  double& At(std::size_t r, std::size_t c);
+  double At(std::size_t r, std::size_t c) const;
+
+  bool InBand(std::size_t r, std::size_t c) const;
+
+  std::size_t size() const { return n_; }
+  std::size_t halfband() const { return halfband_; }
+
+  void SetZero();
+
+  /// Solves A x = b in place (A overwritten by LU, b by the solution),
+  /// without pivoting.
+  ///
+  /// \throws vrl::NumericalError on a near-zero pivot.
+  void SolveInPlace(std::vector<double>& b);
+
+ private:
+  std::size_t Offset(std::size_t r, std::size_t c) const {
+    // Row-major band storage: row r holds columns [r-halfband, r+halfband]
+    // at data_[r * width + (c - r + halfband)].
+    return r * (2 * halfband_ + 1) + (c + halfband_ - r);
+  }
+
+  std::size_t n_ = 0;
+  std::size_t halfband_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace vrl::circuit

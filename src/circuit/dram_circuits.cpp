@@ -1,0 +1,203 @@
+#include "circuit/dram_circuits.hpp"
+
+#include <string>
+
+namespace vrl::circuit {
+namespace {
+
+/// Gate edge rate used for all control signals [s].
+constexpr double kEdgeTime = 20e-12;
+
+std::string Indexed(const char* stem, std::size_t i) {
+  return std::string(stem) + std::to_string(i);
+}
+
+}  // namespace
+
+double WordlineHighVoltage(const TechnologyParams& tech) {
+  // Boosted wordline: just enough overdrive to pass a full Vdd level.  The
+  // margin is deliberately small (real DRAM wordline boost is sized for
+  // leakage, not speed): as the cell approaches Vdd the access transistor's
+  // overdrive collapses, which produces the slow restore tail of the
+  // paper's Observation 1.
+  return tech.vdd + tech.vt_n + 0.15;
+}
+
+double AccessBeta(const TechnologyParams& tech) {
+  // Triode ON resistance ~ 1 / (beta * overdrive); pick beta so the access
+  // device matches the lumped ron_access used by the analytical model at a
+  // representative operating point (source near Veq, boosted gate).
+  const double overdrive = WordlineHighVoltage(tech) - tech.Veq() - tech.vt_n;
+  return 1.0 / (tech.ron_access * overdrive);
+}
+
+EqualizationCircuit BuildEqualizationCircuit(const TechnologyParams& tech,
+                                             double t_eq_assert_s) {
+  tech.Validate();
+  EqualizationCircuit out;
+  out.t_eq_assert_s = t_eq_assert_s;
+  Netlist& n = out.netlist;
+
+  const NodeId bl = n.Node(out.bl);
+  const NodeId blb = n.Node(out.blb);
+  const NodeId bl_eq = n.Node("bl_eq");
+  const NodeId blb_eq = n.Node("blb_eq");
+  const NodeId veq = n.Node("veq");
+  const NodeId eq = n.Node("eq");
+
+  // Equalization reference rail.
+  n.AddVdc(veq, kGround, tech.Veq());
+  // EQ control: low, then asserted to Vdd.
+  n.AddVpwl(eq, kGround, StepWaveform(0.0, tech.vdd, t_eq_assert_s, kEdgeTime));
+
+  const MosParams eq_params{tech.vt_n, tech.BetaN(tech.wl_eq), tech.lambda};
+  n.AddMosfet(MosType::kNmos, bl_eq, eq, veq, eq_params);   // M2
+  n.AddMosfet(MosType::kNmos, blb_eq, eq, veq, eq_params);  // M3
+
+  // Distributed bitline modelled as lumped Rbl + Cbl per side (Fig. 2a).
+  n.AddResistor(bl_eq, bl, tech.Rbl() + 1.0);
+  n.AddResistor(blb_eq, blb, tech.Rbl() + 1.0);
+  n.AddCapacitor(bl, kGround, tech.Cbl());
+  n.AddCapacitor(blb, kGround, tech.Cbl());
+
+  // A row was just closed: true bitline at Vdd, complement at Vss.
+  n.SetInitialCondition(bl, tech.vdd);
+  n.SetInitialCondition(bl_eq, tech.vdd);
+  n.SetInitialCondition(blb, tech.vss);
+  n.SetInitialCondition(blb_eq, tech.vss);
+
+  return out;
+}
+
+ChargeSharingArray BuildChargeSharingArray(const TechnologyParams& tech,
+                                           DataPattern pattern,
+                                           double initial_charge_fraction,
+                                           double t_wordline_s,
+                                           double wordline_rise_s) {
+  tech.Validate();
+  ChargeSharingArray out;
+  out.t_wordline_s = t_wordline_s;
+  Netlist& n = out.netlist;
+
+  const double vpp = WordlineHighVoltage(tech);
+  const NodeId wl = n.Node("wl");
+  n.AddVpwl(wl, kGround,
+            StepWaveform(0.0, vpp, t_wordline_s, wordline_rise_s));
+
+  const MosParams access{tech.vt_n, AccessBeta(tech), tech.lambda};
+  const std::size_t columns = tech.columns;
+  out.bitline_nodes.reserve(columns);
+  out.cell_nodes.reserve(columns);
+  out.cell_values.reserve(columns);
+
+  std::vector<NodeId> bitlines(columns);
+  for (std::size_t i = 0; i < columns; ++i) {
+    const std::string cell_name = Indexed("cell", i);
+    const std::string junction_name = Indexed("blc", i);
+    const std::string bl_name = Indexed("bl", i);
+    const NodeId cell = n.Node(cell_name);
+    const NodeId junction = n.Node(junction_name);
+    const NodeId bl = n.Node(bl_name);
+    bitlines[i] = bl;
+
+    n.AddCapacitor(cell, kGround, tech.cs);
+    n.AddMosfet(MosType::kNmos, cell, wl, junction, access);
+    n.AddResistor(junction, bl, tech.Rbl() + 1.0);
+    n.AddCapacitor(bl, kGround, tech.Cbl());
+
+    // Bitline-to-wordline parasitic (Fig. 2c).
+    if (tech.Cbw() > 0.0) {
+      n.AddCapacitor(bl, wl, tech.Cbw());
+    }
+
+    const bool value = CellValue(pattern, i);
+    const double v_cell =
+        value ? tech.vss + initial_charge_fraction * (tech.vdd - tech.vss)
+              : tech.vss;
+    n.SetInitialCondition(cell, v_cell);
+    n.SetInitialCondition(junction, tech.Veq());
+    n.SetInitialCondition(bl, tech.Veq());
+
+    out.bitline_nodes.push_back(bl_name);
+    out.cell_nodes.push_back(cell_name);
+    out.cell_values.push_back(value);
+  }
+
+  // Bitline-to-bitline parasitic coupling (Fig. 2c).
+  if (tech.Cbb() > 0.0) {
+    for (std::size_t i = 0; i + 1 < columns; ++i) {
+      n.AddCapacitor(bitlines[i], bitlines[i + 1], tech.Cbb());
+    }
+  }
+
+  return out;
+}
+
+RefreshPathCircuit BuildRefreshPathCircuit(const TechnologyParams& tech,
+                                           bool cell_value,
+                                           double initial_charge_fraction,
+                                           double t_wordline_s,
+                                           double t_sense_s,
+                                           double sa_offset_v) {
+  tech.Validate();
+  RefreshPathCircuit out;
+  out.t_wordline_s = t_wordline_s;
+  out.t_sense_s = t_sense_s;
+  out.cell_value = cell_value;
+  Netlist& n = out.netlist;
+
+  const NodeId cell = n.Node(out.cell);
+  const NodeId junction = n.Node("blc");
+  const NodeId bl = n.Node(out.bl);
+  const NodeId blb = n.Node(out.blb);
+  const NodeId wl = n.Node("wl");
+  const NodeId san = n.Node("san");
+  const NodeId sap = n.Node("sap");
+
+  const double vpp = WordlineHighVoltage(tech);
+  const double veq = tech.Veq();
+
+  n.AddVpwl(wl, kGround, StepWaveform(0.0, vpp, t_wordline_s, kEdgeTime));
+  // Sense-amplifier common rails: precharged to Veq, driven apart at enable
+  // over a controlled ramp (stands in for the tail devices M13 of Fig. 2d).
+  constexpr double kSenseRamp = 200e-12;
+  n.AddVpwl(san, kGround, StepWaveform(veq, tech.vss, t_sense_s, kSenseRamp));
+  n.AddVpwl(sap, kGround, StepWaveform(veq, tech.vdd, t_sense_s, kSenseRamp));
+
+  // Cell + access transistor + bitline RC.
+  const MosParams access{tech.vt_n, AccessBeta(tech), tech.lambda};
+  n.AddCapacitor(cell, kGround, tech.cs);
+  n.AddMosfet(MosType::kNmos, cell, wl, junction, access);
+  n.AddResistor(junction, bl, tech.Rbl() + 1.0);
+  n.AddCapacitor(bl, kGround, tech.Cbl());
+  n.AddCapacitor(blb, kGround, tech.Cbl());
+
+  // Latch-type sense amplifier (Fig. 2d): cross-coupled pairs on the
+  // bitline pair, sources on the driven SAN/SAP rails.
+  const MosParams sense_p{tech.vt_p, tech.BetaP(tech.wl_sense), tech.lambda};
+  // Input-referred latch offset: a Vt mismatch on M7 (gated by the true
+  // bitline).  A positive offset weakens the pull-down of blb, biasing the
+  // latch toward resolving bl low — i.e. toward reading '0'.
+  const MosParams sense_n{tech.vt_n, tech.BetaN(tech.wl_sense), tech.lambda};
+  MosParams sense_n_offset = sense_n;
+  sense_n_offset.vt = tech.vt_n + sa_offset_v;
+  if (sense_n_offset.vt <= 0.0) {
+    throw ConfigError("BuildRefreshPathCircuit: offset drives Vt negative");
+  }
+  n.AddMosfet(MosType::kNmos, bl, blb, san, sense_n);          // M5
+  n.AddMosfet(MosType::kNmos, blb, bl, san, sense_n_offset);   // M7
+  n.AddMosfet(MosType::kPmos, bl, blb, sap, sense_p);   // M11 (pull-up)
+  n.AddMosfet(MosType::kPmos, blb, bl, sap, sense_p);   // M12 (pull-up)
+
+  const double v_cell =
+      cell_value ? tech.vss + initial_charge_fraction * (tech.vdd - tech.vss)
+                 : tech.vss;
+  n.SetInitialCondition(cell, v_cell);
+  n.SetInitialCondition(junction, veq);
+  n.SetInitialCondition(bl, veq);
+  n.SetInitialCondition(blb, veq);
+
+  return out;
+}
+
+}  // namespace vrl::circuit

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "common/data_pattern.hpp"
+#include "common/technology.hpp"
+
+/// \file dram_circuits.hpp
+/// Netlist builders for the three circuits of the paper's Fig. 2, used as
+/// the SPICE-substitute golden reference for the analytical model.
+///
+/// All builders take a TechnologyParams so circuit and analytical model are
+/// driven by the same numbers.  All sources are ground-referenced (the
+/// transient engine requires it).
+
+namespace vrl::circuit {
+
+using vrl::CellValue;
+using vrl::DataPattern;
+using vrl::PatternName;
+
+// ---------------------------------------------------------------------------
+// Fig. 2a: equalization circuit
+// ---------------------------------------------------------------------------
+
+/// Node names exposed by BuildEqualizationCircuit.
+struct EqualizationCircuit {
+  Netlist netlist;
+  std::string bl = "bl";        ///< True bitline (starts at Vdd).
+  std::string blb = "blb";      ///< Complement bitline (starts at Vss).
+  double t_eq_assert_s = 0.0;   ///< Time at which EQ is asserted.
+};
+
+/// Builds Fig. 2a: bitline pair with lumped Cbl/Rbl, equalization NMOS pair
+/// M2/M3 driving Veq, EQ asserted at `t_eq_assert_s` with a 20 ps edge.
+EqualizationCircuit BuildEqualizationCircuit(const TechnologyParams& tech,
+                                             double t_eq_assert_s = 20e-12);
+
+// ---------------------------------------------------------------------------
+// Fig. 2b/2c: charge-sharing bitline array with parasitics
+// ---------------------------------------------------------------------------
+
+struct ChargeSharingArray {
+  Netlist netlist;
+  std::vector<std::string> bitline_nodes;  ///< "bl0", "bl1", ...
+  std::vector<std::string> cell_nodes;     ///< "cell0", "cell1", ...
+  std::vector<bool> cell_values;           ///< logical data per cell
+  double t_wordline_s = 0.0;               ///< Wordline rise start time.
+};
+
+/// Builds an N-bitline charge-sharing array (Fig. 2b) with the parasitic
+/// coupling of Fig. 2c (bitline-to-bitline Cbb, bitline-to-wordline Cbw).
+///
+/// Each bitline starts equalized at Veq; each cell starts at
+/// `initial_charge_fraction` of full level for its stored value (1.0 =
+/// freshly refreshed).  The wordline (driven to the boosted Vpp) rises at
+/// `t_wordline_s` over `wordline_rise_s` seconds — pass
+/// tech.wl_delay_per_column_s * tech.columns to model the RC propagation of
+/// a long wordline (Table 1's column dependence).  N is tech.columns.
+ChargeSharingArray BuildChargeSharingArray(const TechnologyParams& tech,
+                                           DataPattern pattern,
+                                           double initial_charge_fraction = 1.0,
+                                           double t_wordline_s = 20e-12,
+                                           double wordline_rise_s = 20e-12);
+
+// ---------------------------------------------------------------------------
+// Fig. 2d: latch-type sense amplifier + full refresh path
+// ---------------------------------------------------------------------------
+
+struct RefreshPathCircuit {
+  Netlist netlist;
+  std::string cell = "cell";  ///< Storage node of the refreshed cell.
+  std::string bl = "bl";      ///< Bitline attached to the cell.
+  std::string blb = "blb";    ///< Reference (complement) bitline.
+  double t_wordline_s = 0.0;  ///< Wordline rise.
+  double t_sense_s = 0.0;     ///< Sense-amplifier enable.
+  bool cell_value = true;     ///< Data stored in the cell.
+};
+
+/// Builds the single-cell refresh path: equalized bitline pair, one DRAM
+/// cell behind its access transistor, and the latch-type sense amplifier of
+/// Fig. 2d (cross-coupled pair with NMOS/PMOS tail enables).
+///
+/// Sequence: bitlines start at Veq (equalization already done); wordline
+/// rises at `t_wordline_s`; SA enables at `t_sense_s`.  Probing `cell` gives
+/// the charge-restoration trajectory of Fig. 1a.
+///
+/// `sa_offset_v` models the latch's input-referred offset as a threshold
+/// mismatch on the bitline-side NMOS (a positive offset biases the latch
+/// toward reading '0', so the cell must develop at least ~that much signal
+/// to be read correctly — the physical origin of the analytical model's
+/// `v_sense_min`).
+RefreshPathCircuit BuildRefreshPathCircuit(const TechnologyParams& tech,
+                                           bool cell_value,
+                                           double initial_charge_fraction,
+                                           double t_wordline_s,
+                                           double t_sense_s,
+                                           double sa_offset_v = 0.0);
+
+/// Boosted wordline high level Vpp used by the builders.
+double WordlineHighVoltage(const TechnologyParams& tech);
+
+/// Effective access-transistor beta chosen so its triode ON resistance at
+/// Vpp matches tech.ron_access (keeps circuit and analytical model aligned).
+double AccessBeta(const TechnologyParams& tech);
+
+}  // namespace vrl::circuit

@@ -1,0 +1,85 @@
+#include "circuit/mosfet.hpp"
+
+namespace vrl::circuit {
+namespace {
+
+/// Leakage conductance keeping the Jacobian nonsingular in cutoff.
+constexpr double kGmin = 1e-12;
+
+/// Evaluates an NMOS in normalized orientation (vds >= 0).
+MosEval EvalNormalizedNmos(const MosParams& p, double vgs, double vds) {
+  MosEval out;
+  const double vov = vgs - p.vt;  // overdrive
+  if (vov <= 0.0) {
+    // Cutoff: tiny leakage for numerical robustness.
+    out.ids = kGmin * vds;
+    out.gm = 0.0;
+    out.gds = kGmin;
+    return out;
+  }
+  if (vds >= vov) {
+    // Saturation.
+    const double clm = 1.0 + p.lambda * vds;
+    out.ids = 0.5 * p.beta * vov * vov * clm;
+    out.gm = p.beta * vov * clm;
+    out.gds = 0.5 * p.beta * vov * vov * p.lambda + kGmin;
+  } else {
+    // Linear (triode).  The (1 + lambda*vds) factor is applied here too so
+    // the current is continuous across the triode/saturation boundary.
+    const double clm = 1.0 + p.lambda * vds;
+    const double base = p.beta * (vov * vds - 0.5 * vds * vds);
+    out.ids = base * clm;
+    out.gm = p.beta * vds * clm;
+    out.gds = p.beta * (vov - vds) * clm + base * p.lambda + kGmin;
+  }
+  return out;
+}
+
+}  // namespace
+
+MosEval EvaluateMosfet(const Mosfet& device, double v_drain, double v_gate,
+                       double v_source) {
+  // Map PMOS onto the NMOS equations by sign inversion, and handle the
+  // symmetric drain/source exchange so the normalized model always sees
+  // vds >= 0.
+  double vd = v_drain;
+  double vg = v_gate;
+  double vs = v_source;
+  const bool is_pmos = device.type == MosType::kPmos;
+  if (is_pmos) {
+    vd = -vd;
+    vg = -vg;
+    vs = -vs;
+  }
+
+  const bool swapped = vd < vs;
+  if (swapped) {
+    std::swap(vd, vs);
+  }
+
+  MosEval eval = EvalNormalizedNmos(device.params, vg - vs, vd - vs);
+
+  if (swapped) {
+    // Current flows the other way in the caller's orientation.  With the
+    // terminals exchanged, the "gate-source" the device saw is the caller's
+    // gate-drain, so gm contributes to gds from the caller's perspective:
+    //   ids_caller(vgs, vds) = -ids_norm(vgs - vds, -vds)
+    //   d/d vgs -> -gm_norm
+    //   d/d vds ->  gm_norm + gds_norm
+    MosEval out;
+    out.ids = -eval.ids;
+    out.gm = -eval.gm;
+    out.gds = eval.gm + eval.gds;
+    eval = out;
+  }
+
+  if (is_pmos) {
+    // ids was computed for mirrored voltages; mirroring current back flips
+    // the sign while leaving the conductances (derivatives of a doubly
+    // negated function) unchanged.
+    eval.ids = -eval.ids;
+  }
+  return eval;
+}
+
+}  // namespace vrl::circuit

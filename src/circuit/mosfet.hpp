@@ -1,0 +1,32 @@
+#pragma once
+
+#include "circuit/netlist.hpp"
+
+/// \file mosfet.hpp
+/// Level-1 (Shichman–Hodges) MOSFET evaluation for Newton linearization.
+///
+/// Given terminal voltages, EvaluateMosfet returns the channel current and
+/// the small-signal conductances needed to stamp the linearized companion
+/// model into the MNA matrix:
+///
+///   i_ds ~= ids + gm*(vgs - vgs0) + gds*(vds - vds0)
+///
+/// Drain/source are exchanged internally when vds < 0 (the physical device
+/// is symmetric); the returned quantities are always expressed in the
+/// caller's original drain->source orientation.
+
+namespace vrl::circuit {
+
+/// Operating-point evaluation result, in the caller's drain->source sense.
+struct MosEval {
+  double ids = 0.0;  ///< Channel current drain->source [A].
+  double gm = 0.0;   ///< d(ids)/d(vgs) [S].
+  double gds = 0.0;  ///< d(ids)/d(vds) [S].
+};
+
+/// Evaluates a level-1 MOSFET at the given terminal voltages (volts measured
+/// against an arbitrary common reference).
+MosEval EvaluateMosfet(const Mosfet& device, double v_drain, double v_gate,
+                       double v_source);
+
+}  // namespace vrl::circuit

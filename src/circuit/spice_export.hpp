@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+/// \file spice_export.hpp
+/// Exports a Netlist as a SPICE deck (.sp), so any circuit built for the
+/// in-repo transient engine can be cross-validated against a real SPICE
+/// simulator — the artifact the paper compared its model to.
+///
+/// Emitted elements: R/C devices, PWL voltage sources, level-1 MOSFETs with
+/// per-parameter-set .model cards, .ic lines for the initial conditions and
+/// a .tran statement.  Node names are passed through (ground is "0").
+
+namespace vrl::circuit {
+
+struct SpiceExportOptions {
+  std::string title = "vrl-dram netlist";
+  double t_stop_s = 10e-9;
+  double t_step_s = 10e-12;
+  /// Reference channel length for translating beta into W/L [m].
+  double channel_length_m = 90e-9;
+  /// Process transconductance used for the .model KP [A/V^2]; the device
+  /// width is then W = beta / KP * L.
+  double kp_n = 300e-6;
+  double kp_p = 75e-6;
+};
+
+/// Writes the deck to `os`.
+void WriteSpiceDeck(const Netlist& netlist, const SpiceExportOptions& options,
+                    std::ostream& os);
+
+}  // namespace vrl::circuit

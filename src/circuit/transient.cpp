@@ -1,0 +1,350 @@
+#include "circuit/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "circuit/banded.hpp"
+#include "circuit/linear.hpp"
+#include "circuit/mosfet.hpp"
+#include "common/error.hpp"
+
+namespace vrl::circuit {
+namespace {
+
+/// Shunt conductance from every unknown node to ground; keeps floating
+/// subcircuits (e.g. an isolated storage node behind a cut-off access
+/// transistor) well-posed.
+constexpr double kGroundLeak = 1e-12;
+
+/// Use the banded no-pivot solver only for systems that are both large and
+/// narrow; small systems go through dense LU with partial pivoting.
+constexpr std::size_t kBandedMinUnknowns = 64;
+constexpr std::size_t kBandedMaxHalfband = 12;
+
+constexpr std::size_t kNoUnknown = std::numeric_limits<std::size_t>::max();
+
+class TransientEngine {
+ public:
+  TransientEngine(const Netlist& netlist, const TransientOptions& options,
+                  bool dc_mode = false)
+      : netlist_(netlist),
+        options_(options),
+        dc_mode_(dc_mode),
+        node_count_(netlist.node_count()) {
+    if (options.dt_s <= 0.0 || options.t_stop_s <= 0.0) {
+      throw ConfigError("TransientOptions: dt and t_stop must be positive");
+    }
+    if (options.store_every == 0) {
+      throw ConfigError("TransientOptions: store_every must be >= 1");
+    }
+    netlist.Validate();
+
+    // Source absorption: every source must be ground-referenced so its
+    // positive node can be pinned to a known voltage, eliminating both the
+    // node and the branch current from the unknown vector.
+    pinned_source_.assign(node_count_, kNoUnknown);
+    const auto& sources = netlist.sources();
+    for (std::size_t si = 0; si < sources.size(); ++si) {
+      const auto& src = sources[si];
+      if (src.neg != kGround) {
+        throw ConfigError(
+            "RunTransient: only ground-referenced voltage sources are "
+            "supported");
+      }
+      if (src.pos == kGround) {
+        throw ConfigError("RunTransient: source shorts ground to itself");
+      }
+      if (pinned_source_[src.pos] != kNoUnknown) {
+        throw ConfigError("RunTransient: node '" +
+                          netlist.NodeName(src.pos) +
+                          "' is driven by two sources");
+      }
+      pinned_source_[src.pos] = si;
+    }
+
+    unknown_of_node_.assign(node_count_, kNoUnknown);
+    for (NodeId node = 1; node < node_count_; ++node) {
+      if (pinned_source_[node] == kNoUnknown) {
+        unknown_of_node_[node] = unknown_count_++;
+      }
+    }
+
+    voltages_.assign(node_count_, 0.0);
+    for (const auto& [node, volts] : netlist.initial_conditions()) {
+      voltages_[node] = volts;
+    }
+    cap_currents_.assign(netlist.capacitors().size(), 0.0);
+
+    ChooseSolver();
+  }
+
+  /// DC mode: one Newton solve with capacitors open, sources at `time_s`.
+  std::vector<double> SolveOperatingPoint(double time_s) {
+    PinSources(time_s);
+    const std::vector<double> prev = voltages_;
+    SolveStep(time_s, prev);
+    return voltages_;
+  }
+
+  Waveform Run(const std::vector<std::string>& probe_nodes) {
+    Waveform wave;
+    std::vector<NodeId> probes;
+    probes.reserve(probe_nodes.size());
+    for (const auto& name : probe_nodes) {
+      probes.push_back(netlist_.NodeOrThrow(name));
+      wave.AddSignal(name);
+    }
+
+    const auto record = [&](double t) {
+      std::vector<double> row;
+      row.reserve(probes.size());
+      for (const NodeId node : probes) {
+        row.push_back(voltages_[node]);
+      }
+      wave.Append(t, row);
+    };
+
+    PinSources(0.0);
+    record(0.0);
+
+    const auto steps =
+        static_cast<std::size_t>(std::ceil(options_.t_stop_s / options_.dt_s));
+    std::vector<double> prev_voltages = voltages_;
+
+    for (std::size_t step = 1; step <= steps; ++step) {
+      const double t = static_cast<double>(step) * options_.dt_s;
+      PinSources(t);
+      SolveStep(t, prev_voltages);
+      UpdateCapacitorCurrents(prev_voltages);
+      prev_voltages = voltages_;
+      if (step % options_.store_every == 0 || step == steps) {
+        record(t);
+      }
+    }
+    return wave;
+  }
+
+ private:
+  void ChooseSolver() {
+    // Half-bandwidth over all device-induced couplings among unknowns.
+    std::size_t halfband = 0;
+    const auto track = [&](NodeId a, NodeId b) {
+      const std::size_t ia = unknown_of_node_[a];
+      const std::size_t ib = unknown_of_node_[b];
+      if (ia == kNoUnknown || ib == kNoUnknown) {
+        return;
+      }
+      const std::size_t dist = ia > ib ? ia - ib : ib - ia;
+      halfband = std::max(halfband, dist);
+    };
+    for (const auto& r : netlist_.resistors()) {
+      track(r.a, r.b);
+    }
+    for (const auto& c : netlist_.capacitors()) {
+      track(c.a, c.b);
+    }
+    for (const auto& m : netlist_.mosfets()) {
+      track(m.drain, m.source);
+      track(m.drain, m.gate);
+      track(m.source, m.gate);
+    }
+    use_banded_ = unknown_count_ >= kBandedMinUnknowns &&
+                  halfband <= kBandedMaxHalfband;
+    if (use_banded_) {
+      banded_ = BandedMatrix(unknown_count_, halfband);
+    } else {
+      dense_ = DenseMatrix(unknown_count_, unknown_count_);
+    }
+    rhs_.assign(unknown_count_, 0.0);
+  }
+
+  void PinSources(double t) {
+    const auto& sources = netlist_.sources();
+    for (NodeId node = 1; node < node_count_; ++node) {
+      const std::size_t si = pinned_source_[node];
+      if (si != kNoUnknown) {
+        voltages_[node] = sources[si].ValueAt(t);
+      }
+    }
+  }
+
+  // -- Stamping helpers -------------------------------------------------------
+
+  void MatrixAdd(std::size_t r, std::size_t c, double value) {
+    if (use_banded_) {
+      banded_.At(r, c) += value;
+    } else {
+      dense_.At(r, c) += value;
+    }
+  }
+
+  /// Adds coefficient `g` at (row, col) of the KCL system, folding pinned /
+  /// ground columns into the right-hand side.
+  void AddEntry(NodeId row, NodeId col, double g) {
+    const std::size_t ir = unknown_of_node_[row];
+    if (row == kGround || ir == kNoUnknown) {
+      return;  // no KCL row for ground or pinned nodes
+    }
+    if (col == kGround) {
+      return;  // v = 0 contributes nothing
+    }
+    const std::size_t ic = unknown_of_node_[col];
+    if (ic == kNoUnknown) {
+      rhs_[ir] -= g * voltages_[col];  // pinned: move to RHS
+    } else {
+      MatrixAdd(ir, ic, g);
+    }
+  }
+
+  /// Adds `amps` of current flowing into `node` to the RHS.
+  void AddCurrentInto(NodeId node, double amps) {
+    if (node == kGround) {
+      return;
+    }
+    const std::size_t idx = unknown_of_node_[node];
+    if (idx != kNoUnknown) {
+      rhs_[idx] += amps;
+    }
+  }
+
+  void StampConductance(NodeId a, NodeId b, double g) {
+    AddEntry(a, a, g);
+    AddEntry(a, b, -g);
+    AddEntry(b, b, g);
+    AddEntry(b, a, -g);
+  }
+
+  void SolveStep(double t, const std::vector<double>& prev) {
+    const bool trap = options_.method == Integration::kTrapezoidal;
+    const double dt = options_.dt_s;
+    const auto& caps = netlist_.capacitors();
+
+    for (int iteration = 0; iteration < options_.max_newton_iterations;
+         ++iteration) {
+      if (use_banded_) {
+        banded_.SetZero();
+      } else {
+        dense_.SetZero();
+      }
+      std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+      for (std::size_t u = 0; u < unknown_count_; ++u) {
+        MatrixAdd(u, u, kGroundLeak);
+      }
+
+      for (const auto& r : netlist_.resistors()) {
+        StampConductance(r.a, r.b, 1.0 / r.ohms);
+      }
+
+      for (std::size_t ci = 0; !dc_mode_ && ci < caps.size(); ++ci) {
+        const auto& c = caps[ci];
+        const double v_prev = prev[c.a] - prev[c.b];
+        const double geq = (trap ? 2.0 : 1.0) * c.farads / dt;
+        const double ieq =
+            geq * v_prev + (trap ? cap_currents_[ci] : 0.0);
+        StampConductance(c.a, c.b, geq);
+        AddCurrentInto(c.a, ieq);
+        AddCurrentInto(c.b, -ieq);
+      }
+
+      for (const auto& m : netlist_.mosfets()) {
+        const double vd = voltages_[m.drain];
+        const double vg = voltages_[m.gate];
+        const double vs = voltages_[m.source];
+        const MosEval eval = EvaluateMosfet(m, vd, vg, vs);
+        // Linearized about the current iterate:
+        //   i_ds = ieq + gm*(vg - vs) + gds*(vd - vs)
+        const double ieq =
+            eval.ids - eval.gm * (vg - vs) - eval.gds * (vd - vs);
+        // KCL at drain: i_ds leaves the drain node.
+        AddEntry(m.drain, m.gate, eval.gm);
+        AddEntry(m.drain, m.drain, eval.gds);
+        AddEntry(m.drain, m.source, -(eval.gm + eval.gds));
+        AddCurrentInto(m.drain, -ieq);
+        // KCL at source: i_ds enters the source node.
+        AddEntry(m.source, m.gate, -eval.gm);
+        AddEntry(m.source, m.drain, -eval.gds);
+        AddEntry(m.source, m.source, eval.gm + eval.gds);
+        AddCurrentInto(m.source, ieq);
+      }
+
+      std::vector<double> solution = rhs_;
+      if (use_banded_) {
+        banded_.SolveInPlace(solution);
+      } else {
+        SolveInPlace(dense_, solution);
+      }
+
+      // Damped Newton update on the unknown node voltages.
+      double max_delta = 0.0;
+      for (NodeId node = 1; node < node_count_; ++node) {
+        const std::size_t idx = unknown_of_node_[node];
+        if (idx == kNoUnknown) {
+          continue;
+        }
+        double delta = solution[idx] - voltages_[node];
+        max_delta = std::max(max_delta, std::abs(delta));
+        delta = std::clamp(delta, -options_.newton_damping,
+                           options_.newton_damping);
+        voltages_[node] += delta;
+      }
+
+      if (max_delta < options_.v_abstol) {
+        return;
+      }
+    }
+    throw NumericalError("RunTransient: Newton failed to converge at t=" +
+                         std::to_string(t));
+  }
+
+  void UpdateCapacitorCurrents(const std::vector<double>& prev) {
+    if (options_.method != Integration::kTrapezoidal) {
+      return;
+    }
+    const auto& caps = netlist_.capacitors();
+    for (std::size_t ci = 0; ci < caps.size(); ++ci) {
+      const auto& c = caps[ci];
+      const double geq = 2.0 * c.farads / options_.dt_s;
+      const double v_now = voltages_[c.a] - voltages_[c.b];
+      const double v_prev = prev[c.a] - prev[c.b];
+      cap_currents_[ci] = geq * (v_now - v_prev) - cap_currents_[ci];
+    }
+  }
+
+  const Netlist& netlist_;
+  const TransientOptions& options_;
+  bool dc_mode_;
+  std::size_t node_count_;
+  std::size_t unknown_count_ = 0;
+  std::vector<std::size_t> pinned_source_;   // node -> source idx or kNoUnknown
+  std::vector<std::size_t> unknown_of_node_; // node -> unknown idx or kNoUnknown
+  bool use_banded_ = false;
+  DenseMatrix dense_;
+  BandedMatrix banded_{0, 0};
+  std::vector<double> rhs_;
+  std::vector<double> voltages_;
+  std::vector<double> cap_currents_;
+};
+
+}  // namespace
+
+Waveform RunTransient(const Netlist& netlist, const TransientOptions& options,
+                      const std::vector<std::string>& probe_nodes) {
+  TransientEngine engine(netlist, options);
+  return engine.Run(probe_nodes);
+}
+
+std::vector<double> SolveDc(const Netlist& netlist, const DcOptions& options) {
+  TransientOptions engine_options;
+  engine_options.t_stop_s = 1.0;  // unused in DC mode beyond validation
+  engine_options.dt_s = 1.0;
+  engine_options.max_newton_iterations = options.max_newton_iterations;
+  engine_options.v_abstol = options.v_abstol;
+  engine_options.newton_damping = options.newton_damping;
+  TransientEngine engine(netlist, engine_options, /*dc_mode=*/true);
+  return engine.SolveOperatingPoint(options.time_s);
+}
+
+}  // namespace vrl::circuit

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/waveform.hpp"
+
+/// \file transient.hpp
+/// Transient analysis of a Netlist: modified nodal analysis with
+/// Newton–Raphson at each timestep and backward-Euler or trapezoidal
+/// integration of capacitors.
+///
+/// This is the repo's SPICE substitute (see DESIGN.md §2): deliberately a
+/// fixed-timestep, dense-matrix engine — accurate enough to serve as the
+/// golden reference for the analytical model, and intentionally much slower
+/// than it, mirroring the paper's Table 1 runtime comparison.
+
+namespace vrl::circuit {
+
+enum class Integration {
+  kBackwardEuler,  ///< L-stable, first order; robust default.
+  kTrapezoidal,    ///< Second order; sharper on RC settling curves.
+};
+
+struct TransientOptions {
+  double t_stop_s = 1e-9;      ///< Simulation end time [s].
+  double dt_s = 1e-12;         ///< Fixed timestep [s].
+  Integration method = Integration::kTrapezoidal;
+  int max_newton_iterations = 60;
+  double v_abstol = 1e-7;      ///< Newton voltage convergence [V].
+  double newton_damping = 0.4; ///< Max |dV| per Newton update [V].
+  std::size_t store_every = 1; ///< Keep every k-th sample (>=1).
+};
+
+/// Runs a transient analysis and records the voltages of `probe_nodes`
+/// (node names) over time.
+///
+/// Initial state: node voltages from Netlist::SetInitialCondition (0 V if
+/// unset), i.e. SPICE's "UIC" mode.  Sources snap to their waveform value
+/// from the first step onward.
+///
+/// \throws vrl::NumericalError if Newton fails to converge at any step.
+/// \throws vrl::ConfigError for bad options or unknown probe names.
+Waveform RunTransient(const Netlist& netlist, const TransientOptions& options,
+                      const std::vector<std::string>& probe_nodes);
+
+struct DcOptions {
+  /// Sources are evaluated at this instant of their waveforms.
+  double time_s = 0.0;
+  int max_newton_iterations = 200;
+  double v_abstol = 1e-9;
+  double newton_damping = 0.2;
+};
+
+/// Solves the DC operating point: capacitors open, sources at their
+/// `time_s` value.  Initial Newton guess comes from the netlist's initial
+/// conditions.  Returns one voltage per node (index = NodeId).
+///
+/// \throws vrl::NumericalError if Newton fails to converge.
+std::vector<double> SolveDc(const Netlist& netlist, const DcOptions& options);
+
+}  // namespace vrl::circuit

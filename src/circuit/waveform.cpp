@@ -1,0 +1,91 @@
+#include "circuit/waveform.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vrl::circuit {
+
+std::size_t Waveform::AddSignal(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const std::size_t idx = signal_names_.size();
+  signal_names_.push_back(name);
+  index_.emplace(name, idx);
+  samples_.emplace_back();
+  return idx;
+}
+
+void Waveform::Append(double time_s, const std::vector<double>& values) {
+  if (values.size() != samples_.size()) {
+    throw ConfigError("Waveform::Append: value count mismatch");
+  }
+  times_.push_back(time_s);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    samples_[i].push_back(values[i]);
+  }
+}
+
+std::size_t Waveform::IndexOrThrow(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw ConfigError("Waveform: unknown signal '" + name + "'");
+  }
+  return it->second;
+}
+
+const std::vector<double>& Waveform::Samples(const std::string& name) const {
+  return samples_[IndexOrThrow(name)];
+}
+
+double Waveform::ValueAt(const std::string& name, double time_s) const {
+  const auto& ys = samples_[IndexOrThrow(name)];
+  if (ys.empty()) {
+    throw ConfigError("Waveform: no samples recorded");
+  }
+  if (time_s <= times_.front()) {
+    return ys.front();
+  }
+  if (time_s >= times_.back()) {
+    return ys.back();
+  }
+  const auto it = std::upper_bound(times_.begin(), times_.end(), time_s);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  if (span <= 0.0) {
+    return ys[hi];
+  }
+  const double frac = (time_s - times_[lo]) / span;
+  return ys[lo] + frac * (ys[hi] - ys[lo]);
+}
+
+double Waveform::CrossingTime(const std::string& name, double level,
+                              bool rising) const {
+  const auto& ys = samples_[IndexOrThrow(name)];
+  for (std::size_t i = 1; i < ys.size(); ++i) {
+    const bool crossed = rising ? (ys[i - 1] < level && ys[i] >= level)
+                                : (ys[i - 1] > level && ys[i] <= level);
+    if (crossed) {
+      const double dy = ys[i] - ys[i - 1];
+      if (dy == 0.0) {
+        return times_[i];
+      }
+      const double frac = (level - ys[i - 1]) / dy;
+      return times_[i - 1] + frac * (times_[i] - times_[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+double Waveform::FinalValue(const std::string& name) const {
+  const auto& ys = samples_[IndexOrThrow(name)];
+  if (ys.empty()) {
+    throw ConfigError("Waveform: no samples recorded");
+  }
+  return ys.back();
+}
+
+}  // namespace vrl::circuit

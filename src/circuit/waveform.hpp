@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// \file waveform.hpp
+/// Time-series results of a transient simulation.
+
+namespace vrl::circuit {
+
+/// Sampled voltages of a set of probed signals over a common time axis.
+class Waveform {
+ public:
+  /// Registers a signal; returns its column index.
+  std::size_t AddSignal(const std::string& name);
+
+  /// Appends one sample row.  `values` must have one entry per signal,
+  /// in registration order.
+  void Append(double time_s, const std::vector<double>& values);
+
+  const std::vector<double>& times() const { return times_; }
+
+  /// Samples of one signal. \throws vrl::ConfigError for unknown names.
+  const std::vector<double>& Samples(const std::string& name) const;
+
+  /// Linear-interpolated value of a signal at an arbitrary time (clamped).
+  double ValueAt(const std::string& name, double time_s) const;
+
+  /// First time at which the signal crosses `level` in the given direction
+  /// (rising: from below to >= level).  Returns a negative value when the
+  /// signal never crosses.
+  double CrossingTime(const std::string& name, double level,
+                      bool rising) const;
+
+  /// Final sampled value of a signal.
+  double FinalValue(const std::string& name) const;
+
+  std::size_t sample_count() const { return times_.size(); }
+  std::size_t signal_count() const { return signal_names_.size(); }
+  const std::vector<std::string>& signal_names() const {
+    return signal_names_;
+  }
+
+ private:
+  std::size_t IndexOrThrow(const std::string& name) const;
+
+  std::vector<std::string> signal_names_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> samples_;  // per signal
+};
+
+}  // namespace vrl::circuit

@@ -1,0 +1,38 @@
+#include "common/data_pattern.hpp"
+
+#include "common/rng.hpp"
+
+namespace vrl {
+
+bool CellValue(DataPattern pattern, std::size_t index) {
+  switch (pattern) {
+    case DataPattern::kAllZeros:
+      return false;
+    case DataPattern::kAllOnes:
+      return true;
+    case DataPattern::kAlternating:
+      return (index % 2) == 1;
+    case DataPattern::kRandom: {
+      // Deterministic per-index value, independent of call order.
+      Rng rng(0xD0A755EFULL + index);
+      return rng.Bernoulli(0.5);
+    }
+  }
+  return false;
+}
+
+std::string PatternName(DataPattern pattern) {
+  switch (pattern) {
+    case DataPattern::kAllZeros:
+      return "all0";
+    case DataPattern::kAllOnes:
+      return "all1";
+    case DataPattern::kAlternating:
+      return "alt";
+    case DataPattern::kRandom:
+      return "rand";
+  }
+  return "?";
+}
+
+}  // namespace vrl

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+/// \file data_pattern.hpp
+/// Data patterns stored along a DRAM wordline.
+///
+/// The paper's τ_partial calibration (§3.1) sweeps four patterns to capture
+/// data-pattern dependence: all 0s, all 1s, alternating, and random.  The
+/// pattern matters because neighbouring bitlines couple through Cbb —
+/// opposite-data neighbours reduce each other's sense margin.
+
+namespace vrl {
+
+enum class DataPattern {
+  kAllZeros,
+  kAllOnes,
+  kAlternating,  ///< 0/1/0/1 ...
+  kRandom,       ///< pseudo-random, deterministic per index
+};
+
+/// The paper's four calibration patterns, in a fixed iteration order.
+inline constexpr std::array<DataPattern, 4> kAllDataPatterns = {
+    DataPattern::kAllZeros, DataPattern::kAllOnes, DataPattern::kAlternating,
+    DataPattern::kRandom};
+
+/// Logical value stored in cell `index` under `pattern`.
+bool CellValue(DataPattern pattern, std::size_t index);
+
+/// Human-readable pattern name ("all0", "all1", "alt", "rand").
+std::string PatternName(DataPattern pattern);
+
+}  // namespace vrl

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vrl {
+
+/// Base class for all errors raised by the VRL-DRAM library.
+///
+/// Every throwing code path in the library throws (a subclass of) this type,
+/// so callers can catch `vrl::Error` at an API boundary without depending on
+/// internal details.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a user-supplied configuration value is out of range or
+/// internally inconsistent (e.g. a zero-row bank, tRFC > tREFI).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a numerical routine fails to converge (Newton iteration in the
+/// circuit engine, root bracketing in the model) or receives a singular
+/// system.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on malformed trace input.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace vrl

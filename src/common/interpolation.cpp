@@ -1,0 +1,65 @@
+#include "common/interpolation.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace vrl {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  if (xs_.empty() || xs_.size() != ys_.size()) {
+    throw NumericalError("PiecewiseLinear: empty or mismatched samples");
+  }
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    if (!(xs_[i] > xs_[i - 1])) {
+      throw NumericalError("PiecewiseLinear: xs must be strictly increasing");
+    }
+  }
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  if (xs_.empty()) {
+    throw NumericalError("PiecewiseLinear: evaluating empty curve");
+  }
+  if (x <= xs_.front()) {
+    return ys_.front();
+  }
+  if (x >= xs_.back()) {
+    return ys_.back();
+  }
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+double PiecewiseLinear::InverseLookup(double y) const {
+  if (xs_.empty()) {
+    throw NumericalError("PiecewiseLinear: inverse lookup on empty curve");
+  }
+  for (std::size_t i = 1; i < ys_.size(); ++i) {
+    if (ys_[i] < ys_[i - 1]) {
+      throw NumericalError(
+          "PiecewiseLinear: inverse lookup requires nondecreasing ys");
+    }
+  }
+  if (y <= ys_.front()) {
+    return xs_.front();
+  }
+  if (y >= ys_.back()) {
+    return xs_.back();
+  }
+  const auto it = std::lower_bound(ys_.begin(), ys_.end(), y);
+  const std::size_t hi = static_cast<std::size_t>(it - ys_.begin());
+  const std::size_t lo = hi - 1;
+  if (ys_[hi] == ys_[lo]) {
+    return xs_[lo];
+  }
+  const double t = (y - ys_[lo]) / (ys_[hi] - ys_[lo]);
+  return xs_[lo] + t * (xs_[hi] - xs_[lo]);
+}
+
+}  // namespace vrl

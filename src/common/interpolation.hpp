@@ -1,0 +1,87 @@
+#pragma once
+
+#include <vector>
+
+/// \file interpolation.hpp
+/// Monotone piecewise-linear curves and scalar root finding.
+///
+/// The analytical model produces charge-vs-time curves that the rest of the
+/// library queries in both directions (charge at a given time; time to reach
+/// a given charge).  PiecewiseLinear stores a sampled monotone-x curve and
+/// answers both queries with binary search + linear interpolation.
+
+namespace vrl {
+
+/// A piecewise-linear function through sample points with strictly
+/// increasing x.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// \throws vrl::NumericalError if xs/ys sizes differ, are empty, or xs is
+  /// not strictly increasing.
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  /// Evaluates at x; clamps to the end values outside the sampled range.
+  double operator()(double x) const;
+
+  /// For a curve with monotonically nondecreasing y: the smallest x with
+  /// f(x) >= y.  Clamps to the range ends.
+  ///
+  /// \throws vrl::NumericalError if the curve's ys are not nondecreasing.
+  double InverseLookup(double y) const;
+
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+  bool empty() const { return xs_.empty(); }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Finds a root of `f` in [lo, hi] by bisection.  Requires f(lo) and f(hi)
+/// to have opposite signs (or one of them to be zero).
+///
+/// \throws vrl::NumericalError if the root is not bracketed.
+template <typename F>
+double BisectRoot(double lo, double hi, double tolerance, F&& f);
+
+}  // namespace vrl
+
+// ---- template implementation ------------------------------------------------
+
+#include "common/error.hpp"
+
+namespace vrl {
+
+template <typename F>
+double BisectRoot(double lo, double hi, double tolerance, F&& f) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) {
+    return lo;
+  }
+  if (fhi == 0.0) {
+    return hi;
+  }
+  if ((flo > 0.0) == (fhi > 0.0)) {
+    throw NumericalError("BisectRoot: root not bracketed");
+  }
+  for (int i = 0; i < 200 && (hi - lo) > tolerance; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) {
+      return mid;
+    }
+    if ((fmid > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace vrl

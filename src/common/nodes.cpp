@@ -1,0 +1,63 @@
+#include "common/nodes.hpp"
+
+#include "common/error.hpp"
+
+namespace vrl {
+
+TechnologyNode Node90nm() {
+  // The defaults of TechnologyParams are the calibrated 90 nm setup.
+  return {"90nm", TechnologyParams{}};
+}
+
+TechnologyNode Node65nm() {
+  TechnologyParams p;  // start from 90 nm and scale
+  p.vdd = 1.1;
+  p.vt_n = 0.36;
+  p.vt_p = 0.36;
+  p.kp_n = 420e-6;   // thinner oxide -> higher u*Cox
+  p.kp_p = 105e-6;
+  p.lambda = 0.07;   // worse channel-length modulation at shorter L
+  p.cbl_per_row = 0.017e-15;  // smaller cell pitch -> less wire per row
+  p.cbl_fixed = 34e-15;
+  p.rbl_per_row = 0.16;       // narrower bitline wire
+  p.ron_access = 22e3;        // stronger device, similar W/L budget
+  p.ron_sense = 0.85e3;
+  p.wl_delay_per_column_s = 22e-12;
+  p.v_residue = 0.028;
+  p.gm_eff = 1.5e-3;
+  return {"65nm", p};
+}
+
+TechnologyNode Node45nm() {
+  TechnologyParams p;
+  p.vdd = 1.0;
+  p.vt_n = 0.32;
+  p.vt_p = 0.32;
+  p.kp_n = 560e-6;
+  p.kp_p = 140e-6;
+  p.lambda = 0.09;
+  p.cbl_per_row = 0.014e-15;
+  p.cbl_fixed = 30e-15;
+  p.rbl_per_row = 0.22;
+  p.ron_access = 20e3;
+  p.ron_sense = 0.7e3;
+  p.wl_delay_per_column_s = 20e-12;
+  p.v_residue = 0.025;
+  p.gm_eff = 1.8e-3;
+  return {"45nm", p};
+}
+
+std::vector<TechnologyNode> AllNodes() {
+  return {Node90nm(), Node65nm(), Node45nm()};
+}
+
+TechnologyNode NodeByName(const std::string& name) {
+  for (auto& node : AllNodes()) {
+    if (node.name == name) {
+      return node;
+    }
+  }
+  throw ConfigError("NodeByName: unknown technology node '" + name + "'");
+}
+
+}  // namespace vrl

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/technology.hpp"
+
+/// \file nodes.hpp
+/// Technology-node presets beyond the paper's 90 nm baseline.
+///
+/// §4 of the paper: "Our framework can be extended with small effort to
+/// other technology nodes."  These presets apply first-order constant-field
+/// scaling to the 90 nm reference: supply and threshold voltages follow the
+/// published values of each node, transconductance improves with gate
+/// capacitance per area, wire resistance per row grows as cross-sections
+/// shrink, and the storage capacitor is held roughly constant (DRAM cells
+/// are engineered to ~20-25 fF regardless of node, which is why sensing
+/// margins shrink as bitlines stay long).
+
+namespace vrl {
+
+/// A named technology node.
+struct TechnologyNode {
+  std::string name;
+  TechnologyParams params;
+};
+
+/// The 90 nm baseline used throughout the paper.
+TechnologyNode Node90nm();
+
+/// 65 nm: Vdd 1.1 V, faster devices, ~25% more wire resistance.
+TechnologyNode Node65nm();
+
+/// 45 nm: Vdd 1.0 V, again faster devices and more wire resistance;
+/// bitline capacitance per row shrinks with the cell pitch.
+TechnologyNode Node45nm();
+
+/// All presets, coarsest first.
+std::vector<TechnologyNode> AllNodes();
+
+/// Lookup by name ("90nm", "65nm", "45nm").
+/// \throws vrl::ConfigError if unknown.
+TechnologyNode NodeByName(const std::string& name);
+
+}  // namespace vrl

@@ -1,0 +1,101 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace vrl {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw ConfigError("TextTable::AddRow: expected " +
+                      std::to_string(headers_.size()) + " cells, got " +
+                      std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TextTable::PrintCsv(std::ostream& os) const {
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << CsvEscape(row[c]);
+      if (c + 1 < row.size()) {
+        os << ',';
+      }
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string Fmt(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string FmtPercent(double fraction, int decimals) {
+  return Fmt(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace vrl

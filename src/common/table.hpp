@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// ASCII table and CSV emission for benchmark harnesses.
+///
+/// Every bench binary in this repo regenerates one of the paper's tables or
+/// figures; TextTable renders the rows the paper reports in aligned columns
+/// and can also dump CSV so the series can be re-plotted.
+
+namespace vrl {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; the row must have exactly one cell per header.
+  /// \throws vrl::ConfigError on arity mismatch.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  void Print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, quotes doubled).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places, trimming to a
+/// compact fixed representation (e.g. Fmt(0.9671, 2) == "0.97").
+std::string Fmt(double value, int decimals);
+
+/// Formats a percentage: FmtPercent(0.3412, 1) == "34.1%".
+std::string FmtPercent(double fraction, int decimals);
+
+}  // namespace vrl

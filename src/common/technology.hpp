@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/error.hpp"
+
+/// \file technology.hpp
+/// 90 nm DRAM technology parameters shared by the circuit engine and the
+/// analytical model.
+///
+/// Defaults follow the paper's setup (Sicard, "Introducing 90 nm Technology
+/// in Microwind3") with DRAM-typical storage/bitline capacitances.  The same
+/// struct parameterizes both the transient circuit simulation (the SPICE
+/// substitute) and the closed-form analytical model, so accuracy comparisons
+/// between the two are apples-to-apples.
+
+namespace vrl {
+
+/// Process + array parameters for one DRAM bank configuration.
+struct TechnologyParams {
+  // -- Supply ---------------------------------------------------------------
+  double vdd = 1.2;   ///< Supply voltage [V].
+  double vss = 0.0;   ///< Ground [V].
+
+  // -- Transistor thresholds / gains ---------------------------------------
+  double vt_n = 0.40;        ///< NMOS threshold [V].
+  double vt_p = 0.40;        ///< PMOS threshold magnitude [V].
+  double kp_n = 300e-6;      ///< NMOS process transconductance u_n*Cox [A/V^2].
+  double kp_p = 75e-6;       ///< PMOS process transconductance [A/V^2].
+  double lambda = 0.05;      ///< Channel-length modulation [1/V].
+
+  // W/L ratios per device role (dimensionless).
+  double wl_eq = 20.0;     ///< Equalization transistors M2/M3 (Fig. 2a).
+  double wl_sense = 8.0;   ///< Sense-amplifier latch transistors (Fig. 2d).
+
+  // -- Array capacitances / resistances --------------------------------------
+  double cs = 24e-15;            ///< Cell storage capacitor Cs [F].
+  double cbl_per_row = 0.02e-15; ///< Bitline capacitance per attached row [F].
+  double cbl_fixed = 40e-15;     ///< Bitline fixed (sense-amp + strap) cap [F].
+  double rbl_per_row = 0.12;     ///< Bitline wire resistance per row [Ohm].
+  double ron_access = 25e3;      ///< Access transistor ON resistance [Ohm].
+  double ron_sense = 1e3;        ///< Sense-amp rail driver ON resistance [Ohm].
+  double cbb_ratio = 0.04;       ///< Bitline-to-bitline coupling, fraction of Cbl.
+  double cbw_ratio = 0.02;       ///< Bitline-to-wordline coupling, fraction of Cbl.
+  double wl_delay_per_column_s = 25e-12;  ///< Wordline RC propagation per column [s].
+
+  // -- Sensing --------------------------------------------------------------
+  double v_residue = 0.03;   ///< Residual voltage margin in SA phase 3 [V].
+  double gm_eff = 1.2e-3;    ///< Effective transconductance of the latch [S].
+  double v_sense_min = 5e-3; ///< Minimum bitline difference the SA resolves [V].
+
+  // -- Array geometry ---------------------------------------------------------
+  std::size_t rows = 8192;   ///< Rows per bank (cells per bitline).
+  std::size_t columns = 32;  ///< Bitlines per row in the modelled slice.
+
+  // -- Controller clock / fixed command overhead ------------------------------
+  double clock_period_s = 2.5e-9;  ///< One "memory cycle" (DDR3-800) [s].
+  double tau_fixed_s = 10e-9;      ///< τ_fixed of Eq. 13 (wordline assert /
+                                   ///< deassert and command overhead) [s].
+
+  /// Equalized bitline target Veq = Vdd/2.
+  double Veq() const { return 0.5 * (vdd + vss); }
+
+  /// Total bitline capacitance for the configured row count [F].
+  double Cbl() const {
+    return cbl_fixed + cbl_per_row * static_cast<double>(rows);
+  }
+
+  /// Total distributed bitline resistance [Ohm].
+  double Rbl() const { return rbl_per_row * static_cast<double>(rows); }
+
+  /// Bitline-to-bitline parasitic coupling capacitance [F].
+  double Cbb() const { return cbb_ratio * Cbl(); }
+
+  /// Bitline-to-wordline parasitic coupling capacitance [F].
+  double Cbw() const { return cbw_ratio * Cbl(); }
+
+  /// NMOS device beta for a role: kp_n * (W/L).
+  double BetaN(double wl) const { return kp_n * wl; }
+
+  /// PMOS device beta for a role.
+  double BetaP(double wl) const { return kp_p * wl; }
+
+  /// \throws vrl::ConfigError if any parameter is non-physical.
+  void Validate() const {
+    if (vdd <= vss) throw ConfigError("TechnologyParams: vdd must exceed vss");
+    if (vt_n <= 0 || vt_p <= 0) {
+      throw ConfigError("TechnologyParams: thresholds must be positive");
+    }
+    if (vt_n >= Veq()) {
+      throw ConfigError("TechnologyParams: vt_n must be below Vdd/2");
+    }
+    if (cs <= 0 || cbl_per_row < 0 || cbl_fixed < 0) {
+      throw ConfigError("TechnologyParams: capacitances must be positive");
+    }
+    if (rows == 0 || columns == 0) {
+      throw ConfigError("TechnologyParams: bank geometry must be non-zero");
+    }
+    if (clock_period_s <= 0) {
+      throw ConfigError("TechnologyParams: clock period must be positive");
+    }
+  }
+
+  /// Returns a copy with a different bank geometry (Table 1 sweeps this).
+  TechnologyParams WithGeometry(std::size_t new_rows,
+                                std::size_t new_columns) const {
+    TechnologyParams p = *this;
+    p.rows = new_rows;
+    p.columns = new_columns;
+    return p;
+  }
+
+  /// Human-readable "ROWSxCOLS" label used in Table 1.
+  std::string GeometryLabel() const {
+    return std::to_string(rows) + "x" + std::to_string(columns);
+  }
+};
+
+}  // namespace vrl

@@ -1,0 +1,68 @@
+#include "common/tridiagonal.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace vrl {
+
+std::vector<double> SolveTridiagonal(const TridiagonalSystem& system) {
+  const std::size_t n = system.diag.size();
+  if (n == 0) {
+    return {};
+  }
+  if (system.rhs.size() != n || system.lower.size() + 1 != n ||
+      system.upper.size() + 1 != n) {
+    throw NumericalError("SolveTridiagonal: inconsistent system dimensions");
+  }
+
+  std::vector<double> c_prime(n, 0.0);
+  std::vector<double> d_prime(n, 0.0);
+
+  double pivot = system.diag[0];
+  if (std::abs(pivot) < 1e-300) {
+    throw NumericalError("SolveTridiagonal: zero pivot at row 0");
+  }
+  if (n > 1) {
+    c_prime[0] = system.upper[0] / pivot;
+  }
+  d_prime[0] = system.rhs[0] / pivot;
+
+  for (std::size_t i = 1; i < n; ++i) {
+    pivot = system.diag[i] - system.lower[i - 1] * c_prime[i - 1];
+    if (std::abs(pivot) < 1e-300) {
+      throw NumericalError("SolveTridiagonal: zero pivot during elimination");
+    }
+    if (i + 1 < n) {
+      c_prime[i] = system.upper[i] / pivot;
+    }
+    d_prime[i] = (system.rhs[i] - system.lower[i - 1] * d_prime[i - 1]) / pivot;
+  }
+
+  std::vector<double> x(n);
+  x[n - 1] = d_prime[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x[i] = d_prime[i] - c_prime[i] * x[i + 1];
+  }
+  return x;
+}
+
+std::vector<double> SolveCouplingSystem(double k1, double k2,
+                                        const std::vector<double>& lself) {
+  const std::size_t n = lself.size();
+  if (n == 0) {
+    return {};
+  }
+  TridiagonalSystem system;
+  system.diag.assign(n, 1.0);
+  system.lower.assign(n > 0 ? n - 1 : 0, -k2);
+  system.upper.assign(n > 0 ? n - 1 : 0, -k2);
+  system.rhs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    system.rhs[i] = k1 * lself[i];
+  }
+  return SolveTridiagonal(system);
+}
+
+}  // namespace vrl

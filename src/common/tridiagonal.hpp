@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file tridiagonal.hpp
+/// Thomas-algorithm solver for tridiagonal linear systems.
+///
+/// The paper's pre-sensing model (Eq. 8) couples each bitline's sense voltage
+/// to its two neighbours through the bitline-to-bitline parasitic Cbb,
+/// producing the system  K * Vsense = K1 * Lself  where K is tridiagonal with
+/// unit diagonal and -K2 off-diagonals.  For N bitlines this solves in O(N)
+/// instead of the O(N^3) dense inverse written in the paper.
+
+namespace vrl {
+
+/// A tridiagonal system  A x = d  with
+///   A[i][i]   = diag[i]
+///   A[i][i-1] = lower[i-1]
+///   A[i][i+1] = upper[i]
+/// lower and upper have size n-1; diag and rhs have size n.
+struct TridiagonalSystem {
+  std::vector<double> lower;
+  std::vector<double> diag;
+  std::vector<double> upper;
+  std::vector<double> rhs;
+};
+
+/// Solves the system with the Thomas algorithm.
+///
+/// \throws vrl::NumericalError if the sizes are inconsistent or a pivot
+/// underflows (the system is singular or not diagonally dominant enough).
+std::vector<double> SolveTridiagonal(const TridiagonalSystem& system);
+
+/// Convenience for the paper's Eq. 8: solves (I - K2*offdiag) v = k1 * lself,
+/// i.e. a symmetric constant-coefficient tridiagonal system with unit
+/// diagonal and -k2 on both off-diagonals.
+std::vector<double> SolveCouplingSystem(double k1, double k2,
+                                        const std::vector<double>& lself);
+
+}  // namespace vrl

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/vrl_system.hpp"
+
+/// \file config_io.hpp
+/// Text configuration for VrlConfig.
+///
+/// Format: one `key = value` pair per line; '#' starts a comment; blank
+/// lines are ignored.  Unknown keys are rejected (typos should fail loudly,
+/// not silently fall back to defaults).
+///
+/// Supported keys:
+///   banks, nbits, seed, spare_rows, subarrays  (unsigned integers)
+///   retention_guardband                     (double >= 1)
+///   scheduler                               (fcfs | fr-fcfs)
+///   page_policy                             (open | closed)
+///   node                                    (90nm | 65nm | 45nm)
+///   rows, columns                           (bank geometry)
+///   partial_target, full_target             (model spec fractions)
+///   compounding                             (restore-truncation factor)
+///
+/// `node` replaces the whole technology block and therefore must appear
+/// before rows/columns if both are given.
+
+namespace vrl::core {
+
+/// Parses a configuration stream on top of the defaults.
+/// \throws vrl::ParseError on malformed lines or unknown keys,
+///         vrl::ConfigError if the resulting config fails validation.
+VrlConfig ParseVrlConfig(std::istream& is);
+
+/// Convenience file wrapper. \throws vrl::ParseError if unreadable.
+VrlConfig LoadVrlConfigFile(const std::string& path);
+
+/// Writes the given config in the same format (round-trips through
+/// ParseVrlConfig for the supported keys).
+void WriteVrlConfig(const VrlConfig& config, std::ostream& os);
+
+}  // namespace vrl::core

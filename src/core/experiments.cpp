@@ -1,0 +1,76 @@
+#include "core/experiments.hpp"
+
+#include "common/error.hpp"
+
+namespace vrl::core {
+
+WorkloadResult RunWorkload(const VrlSystem& system,
+                           const trace::SyntheticWorkloadParams& workload,
+                           std::size_t windows,
+                           const power::EnergyParams& energy) {
+  if (windows == 0) {
+    throw ConfigError("RunWorkload: need at least one refresh window");
+  }
+  const Cycles horizon = system.HorizonForWindows(windows);
+  Rng rng(system.config().seed ^ 0xABCD'1234ULL);
+  const auto records =
+      trace::GenerateTrace(workload, system.Geometry(), horizon, rng);
+  const trace::AddressMapper mapper(system.Geometry());
+  const auto requests = trace::MapToRequests(records, mapper);
+
+  const power::PowerModel power_model(energy,
+                                      system.config().tech.clock_period_s);
+
+  WorkloadResult result;
+  result.workload = workload.name;
+
+  const auto raidr =
+      system.Simulate(PolicyKind::kRaidr, requests, horizon);
+  result.raidr_overhead = raidr.RefreshOverheadPerBank();
+  result.raidr_refresh_power_mw =
+      power_model.Compute(raidr).refresh_power_mw;
+
+  const auto vrl = system.Simulate(PolicyKind::kVrl, requests, horizon);
+  result.vrl_overhead = vrl.RefreshOverheadPerBank();
+  result.vrl_refresh_power_mw = power_model.Compute(vrl).refresh_power_mw;
+
+  const auto vrl_access =
+      system.Simulate(PolicyKind::kVrlAccess, requests, horizon);
+  result.vrl_access_overhead = vrl_access.RefreshOverheadPerBank();
+  result.vrl_access_refresh_power_mw =
+      power_model.Compute(vrl_access).refresh_power_mw;
+
+  return result;
+}
+
+std::vector<WorkloadResult> RunEvaluationSuite(
+    const VrlSystem& system, std::size_t windows,
+    const power::EnergyParams& energy) {
+  std::vector<WorkloadResult> results;
+  for (const auto& workload : trace::EvaluationSuite()) {
+    results.push_back(RunWorkload(system, workload, windows, energy));
+  }
+  return results;
+}
+
+SuiteAverages Average(const std::vector<WorkloadResult>& results) {
+  SuiteAverages avg;
+  if (results.empty()) {
+    return avg;
+  }
+  for (const auto& r : results) {
+    avg.vrl += r.VrlNormalized();
+    avg.vrl_access += r.VrlAccessNormalized();
+    avg.vrl_power += r.vrl_refresh_power_mw / r.raidr_refresh_power_mw;
+    avg.vrl_access_power +=
+        r.vrl_access_refresh_power_mw / r.raidr_refresh_power_mw;
+  }
+  const auto n = static_cast<double>(results.size());
+  avg.vrl /= n;
+  avg.vrl_access /= n;
+  avg.vrl_power /= n;
+  avg.vrl_access_power /= n;
+  return avg;
+}
+
+}  // namespace vrl::core

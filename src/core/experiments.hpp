@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/vrl_system.hpp"
+#include "power/power_model.hpp"
+#include "trace/synthetic.hpp"
+
+/// \file experiments.hpp
+/// Shared drivers for the paper's trace-based experiments (Fig. 4 and the
+/// refresh-power result), used by the benches and examples so the numbers
+/// they report come from one code path.
+
+namespace vrl::core {
+
+/// Result of running one workload under the three Fig. 4 policies.
+struct WorkloadResult {
+  std::string workload;
+  double raidr_overhead = 0.0;       ///< Refresh cycles per bank.
+  double vrl_overhead = 0.0;
+  double vrl_access_overhead = 0.0;
+
+  double raidr_refresh_power_mw = 0.0;
+  double vrl_refresh_power_mw = 0.0;
+  double vrl_access_refresh_power_mw = 0.0;
+
+  double VrlNormalized() const { return vrl_overhead / raidr_overhead; }
+  double VrlAccessNormalized() const {
+    return vrl_access_overhead / raidr_overhead;
+  }
+};
+
+/// Runs one workload under RAIDR, VRL and VRL-Access for `windows` base
+/// refresh windows and reports overheads plus refresh power.
+WorkloadResult RunWorkload(const VrlSystem& system,
+                           const trace::SyntheticWorkloadParams& workload,
+                           std::size_t windows,
+                           const power::EnergyParams& energy);
+
+/// Runs the full evaluation suite (Fig. 4): every PARSEC workload plus
+/// bgsave.
+std::vector<WorkloadResult> RunEvaluationSuite(const VrlSystem& system,
+                                               std::size_t windows,
+                                               const power::EnergyParams& energy);
+
+/// Geometric-mean-free average of the normalized overheads across results
+/// (the paper reports arithmetic averages of normalized overhead).
+struct SuiteAverages {
+  double vrl = 0.0;
+  double vrl_access = 0.0;
+  double vrl_power = 0.0;         ///< Avg normalized refresh power of VRL.
+  double vrl_access_power = 0.0;
+};
+SuiteAverages Average(const std::vector<WorkloadResult>& results);
+
+}  // namespace vrl::core

@@ -1,0 +1,125 @@
+#include "core/integrity.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "retention/leakage.hpp"
+
+namespace vrl::core {
+
+IntegrityChecker::IntegrityChecker(const VrlSystem& system,
+                                   double retention_scale)
+    : system_(system), retention_scale_(retention_scale) {
+  if (retention_scale_ <= 0.0) {
+    throw ConfigError("IntegrityChecker: retention scale must be positive");
+  }
+}
+
+IntegrityChecker::IntegrityChecker(const VrlSystem& system,
+                                   retention::RetentionProfile runtime_profile,
+                                   double retention_scale)
+    : system_(system),
+      retention_scale_(retention_scale),
+      runtime_profile_(std::move(runtime_profile)) {
+  if (retention_scale_ <= 0.0) {
+    throw ConfigError("IntegrityChecker: retention scale must be positive");
+  }
+  if (runtime_profile_->rows() != system_.profile().rows()) {
+    throw ConfigError(
+        "IntegrityChecker: runtime profile row count mismatch");
+  }
+}
+
+double IntegrityChecker::RuntimeRetention(std::size_t row) const {
+  const auto& profile =
+      runtime_profile_.has_value() ? *runtime_profile_ : system_.profile();
+  return profile.RowRetention(row) * retention_scale_;
+}
+
+IntegrityReport IntegrityChecker::Check(PolicyKind kind,
+                                        std::size_t windows) const {
+  const auto factory = system_.MakePolicyFactory(kind);
+  const auto policy = factory();
+  return Replay(*policy, windows);
+}
+
+IntegrityReport IntegrityChecker::CheckWithMprsf(
+    const std::vector<std::size_t>& mprsf, std::size_t windows) const {
+  const auto plan = dram::MakeRefreshPlan(
+      system_.binning(), system_.config().tech.clock_period_s, mprsf);
+  dram::VrlPolicy policy(plan, system_.TauFullCycles(),
+                         system_.TauPartialCycles());
+  return Replay(policy, windows);
+}
+
+IntegrityReport IntegrityChecker::Replay(dram::RefreshPolicy& policy,
+                                         std::size_t windows) const {
+  if (windows == 0) {
+    throw ConfigError("IntegrityChecker: need at least one window");
+  }
+  const auto& model = system_.refresh_model();
+  const auto& profile = system_.profile();
+  const double clock = system_.config().tech.clock_period_s;
+  const retention::LeakageModel leakage(model.spec().full_target,
+                                        model.MinReadableFraction());
+
+  const std::size_t rows = profile.rows();
+  if (policy.rows() != rows) {
+    throw ConfigError("IntegrityChecker: policy row count mismatch");
+  }
+
+  // Per-row physical state.
+  std::vector<double> fraction(rows, model.spec().full_target);
+  std::vector<double> last_event_s(rows, 0.0);
+  std::vector<std::size_t> consecutive_partials(rows, 0);
+
+  IntegrityReport report;
+  const double readable = model.MinReadableFraction();
+  const Cycles horizon = system_.HorizonForWindows(windows);
+  const Cycles t_refi = system_.config().timing.t_refi;
+
+  for (Cycles tick = 0; tick <= horizon; tick += t_refi) {
+    const double now_s = CyclesToSeconds(tick, clock);
+    for (const auto& op : policy.CollectDue(tick)) {
+      const std::size_t row = op.row;
+      const double retention = RuntimeRetention(row);
+      fraction[row] = leakage.FractionAfter(
+          fraction[row], now_s - last_event_s[row], retention);
+      last_event_s[row] = now_s;
+
+      report.min_margin =
+          std::min(report.min_margin, fraction[row] - readable);
+
+      const double budget_s =
+          op.is_full ? system_.FullTimings().tau_post_s
+                     : system_.PartialTimings().tau_post_s;
+      const double cap =
+          op.is_full ? 1.0
+                     : model.PartialRestoreCap(consecutive_partials[row] + 1);
+      const auto outcome = model.ApplyRefresh(fraction[row], budget_s, cap);
+
+      ++report.refreshes_checked;
+      if (!op.is_full) {
+        ++report.partial_refreshes;
+      }
+      if (!outcome.sense_ok) {
+        if (report.failures == 0) {
+          report.first_failed_row = row;
+          report.first_failure_time_s = now_s;
+        }
+        ++report.failures;
+        // The data is gone; model the (wrong) restore as a fresh full level
+        // so the replay can continue counting further failures distinctly.
+        fraction[row] = model.spec().full_target;
+        consecutive_partials[row] = 0;
+        continue;
+      }
+      fraction[row] = outcome.fraction_after;
+      consecutive_partials[row] =
+          op.is_full ? 0 : consecutive_partials[row] + 1;
+    }
+  }
+  return report;
+}
+
+}  // namespace vrl::core

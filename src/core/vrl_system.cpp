@@ -1,0 +1,191 @@
+#include "core/vrl_system.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vrl::core {
+
+std::string PolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kJedec:
+      return "JEDEC";
+    case PolicyKind::kRaidr:
+      return "RAIDR";
+    case PolicyKind::kVrl:
+      return "VRL";
+    case PolicyKind::kVrlAccess:
+      return "VRL-Access";
+  }
+  return "?";
+}
+
+void VrlConfig::Validate() const {
+  tech.Validate();
+  timing.Validate();
+  if (banks == 0) {
+    throw ConfigError("VrlConfig: need at least one bank");
+  }
+  if (nbits == 0 || nbits > 8) {
+    throw ConfigError("VrlConfig: nbits must be in [1, 8]");
+  }
+  if (retention_guardband < 1.0) {
+    throw ConfigError("VrlConfig: retention guardband must be >= 1");
+  }
+}
+
+VrlSystem::VrlSystem(const VrlConfig& config) : config_(config) {
+  config_.Validate();
+  // Profile the bank (the paper assumes profiling data is available; see
+  // retention/profile.hpp).
+  Rng rng(config_.seed);
+  const retention::RetentionDistribution dist(config_.retention);
+  InitializeFromProfile(retention::RetentionProfile::Generate(
+      dist, config_.tech.rows, config_.tech.columns, rng));
+}
+
+VrlSystem::VrlSystem(const VrlConfig& config,
+                     retention::RetentionProfile profile)
+    : config_(config) {
+  config_.Validate();
+  if (profile.rows() != config_.tech.rows) {
+    throw ConfigError(
+        "VrlSystem: external profile row count does not match the bank");
+  }
+  InitializeFromProfile(std::move(profile));
+}
+
+void VrlSystem::InitializeFromProfile(retention::RetentionProfile profile) {
+  model_ = std::make_unique<model::RefreshModel>(config_.tech, config_.spec);
+  tau_full_ = model_->FullRefreshTimings();
+  tau_partial_ = model_->PartialRefreshTimings();
+  profile_ =
+      std::make_unique<retention::RetentionProfile>(std::move(profile));
+
+  // Spare sampling continues the profiling RNG stream deterministically.
+  Rng rng(config_.seed ^ 0x51A7E5ULL);
+  const retention::RetentionDistribution dist(config_.retention);
+
+  const auto periods = retention::StandardBinPeriods();
+
+  // Spare-row remapping: rows the guardband cannot protect (derated
+  // retention below the base period) are moved to the strongest spares.
+  if (config_.spare_rows > 0) {
+    std::vector<double> spares(config_.spare_rows);
+    for (auto& spare : spares) {
+      spare = dist.SampleRowRetention(rng, config_.tech.columns);
+    }
+    std::sort(spares.begin(), spares.end());  // ascending; strongest last
+
+    // Weakest data rows first.
+    std::vector<std::size_t> order(profile_->rows());
+    for (std::size_t r = 0; r < order.size(); ++r) {
+      order[r] = r;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return profile_->RowRetention(a) < profile_->RowRetention(b);
+    });
+
+    std::vector<double> remapped = profile_->row_retention();
+    for (const std::size_t row : order) {
+      const double derated =
+          remapped[row] / config_.retention_guardband;
+      if (derated >= periods.front() || spares.empty()) {
+        continue;
+      }
+      const double spare = spares.back();
+      // A spare only helps if it clears the guardband itself and improves
+      // on the row it replaces; once the strongest remaining spare fails
+      // that, all remaining spares do.
+      if (spare <= remapped[row] ||
+          spare / config_.retention_guardband < periods.front()) {
+        break;
+      }
+      spares.pop_back();
+      remapped[row] = spare;
+      ++remapped_rows_;
+    }
+    profile_ = std::make_unique<retention::RetentionProfile>(
+        std::move(remapped));
+  }
+
+  // Planning view of the profile: derated by the retention guardband,
+  // clamped at the base refresh period (see VrlConfig::retention_guardband).
+  std::vector<double> planned(profile_->rows());
+  for (std::size_t r = 0; r < planned.size(); ++r) {
+    const double derated =
+        profile_->RowRetention(r) / config_.retention_guardband;
+    if (derated < periods.front()) {
+      ++clamped_rows_;
+    }
+    planned[r] = std::max(derated, periods.front());
+  }
+  const retention::RetentionProfile planning_profile(std::move(planned));
+
+  binning_ = retention::BinRows(planning_profile, periods);
+
+  // MPRSF per row via the analytical model, capped by the counter width.
+  const retention::MprsfCalculator calc(*model_, tau_partial_.tau_post_s);
+  row_mprsf_ =
+      calc.ComputeRowMprsf(planning_profile, binning_, config_.MprsfCap());
+}
+
+trace::AddressGeometry VrlSystem::Geometry() const {
+  trace::AddressGeometry g;
+  g.banks = config_.banks;
+  g.rows = config_.tech.rows;
+  g.columns = config_.tech.columns;
+  return g;
+}
+
+dram::PolicyFactory VrlSystem::MakePolicyFactory(PolicyKind kind) const {
+  const Cycles trfc_full = TauFullCycles();
+  const Cycles trfc_partial = TauPartialCycles();
+  const double clock = config_.tech.clock_period_s;
+  const std::size_t rows = config_.tech.rows;
+  const Cycles window = config_.timing.t_refw;
+
+  switch (kind) {
+    case PolicyKind::kJedec:
+      return [rows, window, trfc_full]() {
+        return std::make_unique<dram::JedecPolicy>(rows, window, trfc_full);
+      };
+    case PolicyKind::kRaidr: {
+      auto plan = dram::MakeRefreshPlan(binning_, clock);
+      return [plan, trfc_full]() {
+        return std::make_unique<dram::RaidrPolicy>(plan, trfc_full);
+      };
+    }
+    case PolicyKind::kVrl: {
+      auto plan = dram::MakeRefreshPlan(binning_, clock, row_mprsf_);
+      return [plan, trfc_full, trfc_partial]() {
+        return std::make_unique<dram::VrlPolicy>(plan, trfc_full,
+                                                 trfc_partial);
+      };
+    }
+    case PolicyKind::kVrlAccess: {
+      auto plan = dram::MakeRefreshPlan(binning_, clock, row_mprsf_);
+      return [plan, trfc_full, trfc_partial]() {
+        return std::make_unique<dram::VrlAccessPolicy>(plan, trfc_full,
+                                                       trfc_partial);
+      };
+    }
+  }
+  throw ConfigError("VrlSystem: unknown policy kind");
+}
+
+dram::SimulationStats VrlSystem::Simulate(
+    PolicyKind kind, const std::vector<dram::Request>& requests,
+    Cycles horizon) const {
+  dram::MemoryController controller(config_.banks, config_.tech.rows,
+                                    config_.timing, MakePolicyFactory(kind),
+                                    config_.scheduler, config_.page_policy,
+                                    config_.subarrays);
+  return controller.Run(requests, horizon);
+}
+
+Cycles VrlSystem::HorizonForWindows(std::size_t windows) const {
+  return config_.timing.t_refw * static_cast<Cycles>(windows);
+}
+
+}  // namespace vrl::core

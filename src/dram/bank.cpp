@@ -1,0 +1,128 @@
+#include "dram/bank.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vrl::dram {
+
+Bank::Bank(std::size_t rows, const TimingParams& timing,
+           RowBufferPolicy policy, std::size_t subarrays)
+    : rows_(rows), timing_(timing), policy_(policy) {
+  if (rows == 0) {
+    throw ConfigError("Bank: need at least one row");
+  }
+  if (subarrays == 0 || subarrays > rows) {
+    throw ConfigError("Bank: subarrays must be in [1, rows]");
+  }
+  timing_.Validate();
+  rows_per_subarray_ = (rows + subarrays - 1) / subarrays;
+  subarrays_.resize(subarrays);
+}
+
+Cycles Bank::busy_until() const {
+  Cycles earliest = subarrays_.front().busy_until;
+  for (const Subarray& sa : subarrays_) {
+    earliest = std::min(earliest, sa.busy_until);
+  }
+  return earliest;
+}
+
+bool Bank::IsRowOpen(std::size_t row) const {
+  if (row >= rows_) {
+    return false;
+  }
+  const Subarray& sa = subarrays_[SubarrayOf(row)];
+  return sa.open_row.has_value() && *sa.open_row == row;
+}
+
+Cycles Bank::EarliestPrecharge(const Subarray& sa, Cycles at) const {
+  // tRAS: the row must stay open long enough; tWR: write data must be
+  // written back before the row closes.
+  Cycles earliest = at;
+  if (sa.open_row.has_value()) {
+    earliest = std::max(earliest, sa.activated_at + timing_.t_ras);
+  }
+  return std::max(earliest, sa.write_recovery_until);
+}
+
+Cycles Bank::ServiceRequest(const Request& request) {
+  if (request.row >= rows_) {
+    throw ConfigError("Bank: request row out of range");
+  }
+  Subarray& sa = subarrays_[SubarrayOf(request.row)];
+  const Cycles start = std::max(request.arrival, sa.busy_until);
+  Cycles ready = start;
+
+  if (!sa.open_row.has_value()) {
+    // Row empty: ACTIVATE only.
+    sa.activated_at = start;
+    ready += timing_.t_rcd;
+    sa.open_row = request.row;
+    ++stats_.activations;
+    ++stats_.row_misses;
+  } else if (*sa.open_row != request.row) {
+    // Conflict: PRECHARGE (honoring tRAS/tWR) + ACTIVATE.
+    const Cycles pre_start = EarliestPrecharge(sa, start);
+    sa.activated_at = pre_start + timing_.t_rp;
+    ready = sa.activated_at + timing_.t_rcd;
+    sa.open_row = request.row;
+    ++stats_.activations;
+    ++stats_.row_misses;
+  } else {
+    ++stats_.row_hits;
+  }
+
+  // Column access; the data burst serializes on the shared bus.
+  const Cycles burst_start =
+      std::max(ready + timing_.t_cas, bus_busy_until_);
+  const Cycles completion = burst_start + timing_.t_bus;
+  bus_busy_until_ = completion;
+
+  if (request.type == RequestType::kWrite) {
+    ++stats_.writes;
+    sa.write_recovery_until = completion + timing_.t_wr;
+  } else {
+    ++stats_.reads;
+  }
+  stats_.access_busy_cycles += completion - start;
+  stats_.total_request_latency += completion - request.arrival;
+  stats_.last_completion = std::max(stats_.last_completion, completion);
+  sa.busy_until = completion;
+
+  if (policy_ == RowBufferPolicy::kClosedPage) {
+    // Auto-precharge: the row closes after the access; the next command to
+    // this subarray must wait for the precharge to finish.
+    const Cycles pre_start = EarliestPrecharge(sa, completion);
+    sa.busy_until = pre_start + timing_.t_rp;
+    sa.open_row.reset();
+  }
+  return completion;
+}
+
+Cycles Bank::ExecuteRefresh(const RefreshOp& op, Cycles now) {
+  if (op.row >= rows_) {
+    throw ConfigError("Bank: refresh row out of range");
+  }
+  if (op.trfc == 0) {
+    throw ConfigError("Bank: refresh with zero tRFC");
+  }
+  Subarray& sa = subarrays_[SubarrayOf(op.row)];
+  Cycles start = std::max(now, sa.busy_until);
+  // Refresh requires the subarray precharged; close any open row first.
+  if (sa.open_row.has_value()) {
+    start = EarliestPrecharge(sa, start) + timing_.t_rp;
+    sa.open_row.reset();
+  }
+  const Cycles completion = start + op.trfc;
+  if (op.is_full) {
+    ++stats_.full_refreshes;
+  } else {
+    ++stats_.partial_refreshes;
+  }
+  stats_.refresh_busy_cycles += op.trfc;
+  sa.busy_until = completion;
+  return completion;
+}
+
+}  // namespace vrl::dram

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/refresh_policy.hpp"
+#include "dram/request.hpp"
+#include "dram/timing.hpp"
+
+/// \file bank.hpp
+/// One DRAM bank: row-buffer state machine plus busy-time bookkeeping.
+///
+/// The bank services column accesses against an open row; a different row
+/// costs PRECHARGE + ACTIVATE first, and the precharge itself must honor
+/// tRAS (minimum row-open time) and tWR (write recovery).  A refresh
+/// operation closes the open row and occupies the bank for the operation's
+/// tRFC — full or partial.
+///
+/// With `subarrays > 1` the bank models subarray-level parallelism (SALP /
+/// MASA, Kim et al. ISCA 2012, cited in the paper): each subarray has its
+/// own row buffer and busy timeline, so a refresh only blocks the subarray
+/// that contains the refreshed row while accesses to other subarrays
+/// proceed — the refresh-access parallelization of Chang et al. (HPCA
+/// 2014).  The data bus is still shared: bursts serialize across
+/// subarrays.
+
+namespace vrl::dram {
+
+/// Row-buffer management policy.
+enum class RowBufferPolicy {
+  kOpenPage,    ///< Keep the row open after an access (default).
+  kClosedPage,  ///< Auto-precharge after every access: conflicts become
+                ///< row-empty activations, at the cost of losing row hits.
+};
+
+/// Per-bank statistics, in cycles and event counts.
+struct BankStats {
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t row_hits = 0;
+  std::size_t row_misses = 0;      ///< Includes row-empty activations.
+  std::size_t activations = 0;
+
+  std::size_t full_refreshes = 0;
+  std::size_t partial_refreshes = 0;
+  Cycles refresh_busy_cycles = 0;  ///< Total cycles spent refreshing.
+  Cycles access_busy_cycles = 0;   ///< Total cycles servicing accesses.
+
+  Cycles total_request_latency = 0;  ///< Sum of (completion - arrival).
+  Cycles last_completion = 0;
+
+  std::size_t refreshes() const { return full_refreshes + partial_refreshes; }
+};
+
+class Bank {
+ public:
+  Bank(std::size_t rows, const TimingParams& timing,
+       RowBufferPolicy policy = RowBufferPolicy::kOpenPage,
+       std::size_t subarrays = 1);
+
+  /// Services one request starting no earlier than its arrival and no
+  /// earlier than its subarray's busy horizon.  Returns the completion
+  /// cycle.
+  Cycles ServiceRequest(const Request& request);
+
+  /// Executes one refresh operation at or after `now`; returns completion.
+  /// Only the refreshed row's subarray is blocked.
+  Cycles ExecuteRefresh(const RefreshOp& op, Cycles now);
+
+  /// First cycle at which *any* subarray is free (the controller's
+  /// decision-instant hint; individual requests still wait for their own
+  /// subarray inside ServiceRequest).
+  Cycles busy_until() const;
+
+  /// True if `row` is open in its subarray's row buffer (row-hit check for
+  /// FR-FCFS scheduling).
+  bool IsRowOpen(std::size_t row) const;
+
+  /// The open row of single-subarray banks (legacy accessor used by tests;
+  /// returns the first subarray's row buffer).
+  std::optional<std::size_t> open_row() const {
+    return subarrays_.front().open_row;
+  }
+
+  const BankStats& stats() const { return stats_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t subarray_count() const { return subarrays_.size(); }
+
+  /// Subarray index of a row.
+  std::size_t SubarrayOf(std::size_t row) const {
+    return row / rows_per_subarray_;
+  }
+
+ private:
+  struct Subarray {
+    Cycles busy_until = 0;
+    Cycles activated_at = 0;          ///< ACT time of the open row.
+    Cycles write_recovery_until = 0;  ///< Last write completion + tWR.
+    std::optional<std::size_t> open_row;
+  };
+
+  /// Earliest cycle a PRECHARGE of `sa` may start, honoring tRAS and tWR.
+  Cycles EarliestPrecharge(const Subarray& sa, Cycles at) const;
+
+  std::size_t rows_;
+  TimingParams timing_;
+  RowBufferPolicy policy_;
+  std::size_t rows_per_subarray_;
+  std::vector<Subarray> subarrays_;
+  Cycles bus_busy_until_ = 0;  ///< Shared data-bus horizon.
+  BankStats stats_;
+};
+
+}  // namespace vrl::dram

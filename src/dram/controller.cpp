@@ -1,0 +1,198 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vrl::dram {
+
+std::size_t SimulationStats::TotalReads() const {
+  std::size_t n = 0;
+  for (const auto& b : per_bank) {
+    n += b.reads;
+  }
+  return n;
+}
+
+std::size_t SimulationStats::TotalWrites() const {
+  std::size_t n = 0;
+  for (const auto& b : per_bank) {
+    n += b.writes;
+  }
+  return n;
+}
+
+std::size_t SimulationStats::TotalFullRefreshes() const {
+  std::size_t n = 0;
+  for (const auto& b : per_bank) {
+    n += b.full_refreshes;
+  }
+  return n;
+}
+
+std::size_t SimulationStats::TotalPartialRefreshes() const {
+  std::size_t n = 0;
+  for (const auto& b : per_bank) {
+    n += b.partial_refreshes;
+  }
+  return n;
+}
+
+Cycles SimulationStats::TotalRefreshBusyCycles() const {
+  Cycles n = 0;
+  for (const auto& b : per_bank) {
+    n += b.refresh_busy_cycles;
+  }
+  return n;
+}
+
+std::size_t SimulationStats::TotalActivations() const {
+  std::size_t n = 0;
+  for (const auto& b : per_bank) {
+    n += b.activations;
+  }
+  return n;
+}
+
+std::size_t SimulationStats::TotalRowHits() const {
+  std::size_t n = 0;
+  for (const auto& b : per_bank) {
+    n += b.row_hits;
+  }
+  return n;
+}
+
+std::size_t SimulationStats::TotalRowMisses() const {
+  std::size_t n = 0;
+  for (const auto& b : per_bank) {
+    n += b.row_misses;
+  }
+  return n;
+}
+
+double SimulationStats::RefreshOverheadPerBank() const {
+  if (per_bank.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(TotalRefreshBusyCycles()) /
+         static_cast<double>(per_bank.size());
+}
+
+double SimulationStats::AverageRequestLatency() const {
+  Cycles total = 0;
+  std::size_t count = 0;
+  for (const auto& b : per_bank) {
+    total += b.total_request_latency;
+    count += b.reads + b.writes;
+  }
+  return count == 0 ? 0.0
+                    : static_cast<double>(total) / static_cast<double>(count);
+}
+
+MemoryController::MemoryController(std::size_t banks, std::size_t rows,
+                                   const TimingParams& timing,
+                                   const PolicyFactory& factory,
+                                   SchedulerKind scheduler,
+                                   RowBufferPolicy page_policy,
+                                   std::size_t subarrays)
+    : timing_(timing), scheduler_(scheduler) {
+  if (banks == 0) {
+    throw ConfigError("MemoryController: need at least one bank");
+  }
+  timing_.Validate();
+  banks_.reserve(banks);
+  policies_.reserve(banks);
+  for (std::size_t b = 0; b < banks; ++b) {
+    banks_.emplace_back(rows, timing_, page_policy, subarrays);
+    auto policy = factory();
+    if (!policy) {
+      throw ConfigError("MemoryController: policy factory returned null");
+    }
+    if (policy->rows() != rows) {
+      throw ConfigError("MemoryController: policy row count mismatch");
+    }
+    policies_.push_back(std::move(policy));
+  }
+}
+
+SimulationStats MemoryController::Run(const std::vector<Request>& requests,
+                                      Cycles horizon) {
+  if (!std::is_sorted(requests.begin(), requests.end(),
+                      [](const Request& a, const Request& b) {
+                        return a.arrival < b.arrival;
+                      })) {
+    throw ConfigError("MemoryController::Run: requests must be arrival-sorted");
+  }
+
+  // Split requests per bank, preserving order.
+  std::vector<std::vector<Request>> queues(banks_.size());
+  for (const Request& r : requests) {
+    if (r.bank >= banks_.size()) {
+      throw ConfigError("MemoryController::Run: request bank out of range");
+    }
+    queues[r.bank].push_back(r);
+  }
+
+  Cycles end = horizon;
+
+  // Each bank runs an independent timeline: interleave its request stream
+  // with the global tREFI ticks.
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    Bank& bank = banks_[b];
+    RefreshPolicy& policy = *policies_[b];
+    const auto& queue = queues[b];
+    std::size_t qi = 0;
+    std::vector<Request> pending;  // arrived but not yet serviced
+
+    // Services every request arriving before `limit`, letting the scheduler
+    // reorder among the ones pending at each decision instant.
+    const auto service_until = [&](Cycles limit) {
+      while (true) {
+        // Decision instant: when the bank frees up, or — with nothing
+        // pending — when the next request arrives.
+        Cycles t_decide = bank.busy_until();
+        if (pending.empty()) {
+          if (qi >= queue.size() || queue[qi].arrival >= limit) {
+            return;
+          }
+          t_decide = std::max(t_decide, queue[qi].arrival);
+        }
+        // Everything arrived by then competes for the slot.
+        while (qi < queue.size() && queue[qi].arrival <= t_decide &&
+               queue[qi].arrival < limit) {
+          pending.push_back(queue[qi]);
+          ++qi;
+        }
+        const std::size_t pick = SelectNextRequest(scheduler_, pending, bank);
+        bank.ServiceRequest(pending[pick]);
+        policy.OnRowAccess(pending[pick].row);
+        pending.erase(pending.begin() +
+                      static_cast<std::ptrdiff_t>(pick));
+      }
+    };
+
+    for (Cycles tick = 0; tick <= horizon; tick += timing_.t_refi) {
+      // Service requests that arrived before this refresh tick.
+      service_until(tick);
+      // Execute the refresh operations due at this tick.  Each op waits
+      // for its own subarray inside the bank; ops to distinct subarrays
+      // overlap (SALP), ops to the same one serialize.
+      for (const RefreshOp& op : policy.CollectDue(tick)) {
+        bank.ExecuteRefresh(op, tick);
+      }
+    }
+    // Drain any requests arriving up to the horizon after the last tick.
+    service_until(horizon + 1);
+    end = std::max(end, bank.stats().last_completion);
+  }
+
+  SimulationStats stats;
+  stats.simulated_cycles = end;
+  stats.per_bank.reserve(banks_.size());
+  for (const Bank& bank : banks_) {
+    stats.per_bank.push_back(bank.stats());
+  }
+  return stats;
+}
+
+}  // namespace vrl::dram

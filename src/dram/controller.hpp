@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/bank.hpp"
+#include "dram/refresh_policy.hpp"
+#include "dram/request.hpp"
+#include "dram/scheduler.hpp"
+#include "dram/timing.hpp"
+
+/// \file controller.hpp
+/// The memory controller: per-bank request streams interleaved with tREFI
+/// refresh ticks, each tick executing whatever refresh operations the bank's
+/// policy declares due (the paper's §3.2 implementation point — VRL-DRAM
+/// lives entirely in the controller).
+
+namespace vrl::dram {
+
+/// Aggregate results of one simulation.
+struct SimulationStats {
+  std::vector<BankStats> per_bank;
+  Cycles simulated_cycles = 0;
+
+  // -- Aggregates over banks ---------------------------------------------------
+  std::size_t TotalReads() const;
+  std::size_t TotalWrites() const;
+  std::size_t TotalFullRefreshes() const;
+  std::size_t TotalPartialRefreshes() const;
+  Cycles TotalRefreshBusyCycles() const;
+  std::size_t TotalActivations() const;
+  std::size_t TotalRowHits() const;
+  std::size_t TotalRowMisses() const;
+
+  /// Refresh overhead of the paper's Fig. 4: cycles spent refreshing,
+  /// averaged per bank.
+  double RefreshOverheadPerBank() const;
+
+  /// Mean request latency in cycles (0 when no requests were served).
+  double AverageRequestLatency() const;
+};
+
+/// Factory producing one refresh policy per bank (each bank needs its own
+/// deadline/counter state).
+using PolicyFactory = std::function<std::unique_ptr<RefreshPolicy>(void)>;
+
+class MemoryController {
+ public:
+  /// \param banks       number of banks
+  /// \param rows        rows per bank
+  /// \param timing      command timing
+  /// \param factory     creates the refresh policy instance for each bank
+  /// \param scheduler   request scheduling discipline
+  /// \param page_policy row-buffer management of every bank
+  /// \param subarrays   subarrays per bank (SALP; 1 = conventional bank)
+  MemoryController(std::size_t banks, std::size_t rows,
+                   const TimingParams& timing, const PolicyFactory& factory,
+                   SchedulerKind scheduler = SchedulerKind::kFcfs,
+                   RowBufferPolicy page_policy = RowBufferPolicy::kOpenPage,
+                   std::size_t subarrays = 1);
+
+  /// Runs the simulation: services `requests` (must be sorted by arrival)
+  /// and executes refresh ticks until `horizon` cycles have elapsed (and at
+  /// least until the last request completes).
+  SimulationStats Run(const std::vector<Request>& requests, Cycles horizon);
+
+  std::size_t banks() const { return banks_.size(); }
+
+ private:
+  TimingParams timing_;
+  SchedulerKind scheduler_;
+  std::vector<Bank> banks_;
+  std::vector<std::unique_ptr<RefreshPolicy>> policies_;
+};
+
+}  // namespace vrl::dram

@@ -1,0 +1,164 @@
+#include "dram/refresh_policy.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace vrl::dram {
+namespace {
+
+/// Staggers initial per-row deadlines across the first period so refreshes
+/// spread over tREFI ticks instead of bursting at t = 0 (this mirrors how a
+/// controller walks rows round-robin within a refresh window).
+DeadlineQueue StaggeredDeadlines(const std::vector<Cycles>& periods) {
+  std::vector<std::pair<Cycles, std::size_t>> initial;
+  const std::size_t n = periods.size();
+  initial.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    // Row r's first deadline lands at (r/n)-th of its own period.
+    initial.emplace_back(
+        periods[r] * static_cast<Cycles>(r) / static_cast<Cycles>(n), r);
+  }
+  return DeadlineQueue(std::greater<>{}, std::move(initial));
+}
+
+}  // namespace
+
+RowRefreshPlan MakeRefreshPlan(const retention::BinningResult& binning,
+                               double clock_period_s,
+                               const std::vector<std::size_t>& mprsf) {
+  if (clock_period_s <= 0.0) {
+    throw ConfigError("MakeRefreshPlan: clock period must be positive");
+  }
+  const std::size_t rows = binning.row_bin.size();
+  if (!mprsf.empty() && mprsf.size() != rows) {
+    throw ConfigError("MakeRefreshPlan: mprsf size does not match rows");
+  }
+  RowRefreshPlan plan;
+  plan.period_cycles.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    plan.period_cycles[r] =
+        SecondsToCyclesCeil(binning.RowPeriod(r), clock_period_s);
+  }
+  if (!mprsf.empty()) {
+    plan.mprsf.resize(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (mprsf[r] > 255) {
+        throw ConfigError("MakeRefreshPlan: mprsf exceeds counter range");
+      }
+      plan.mprsf[r] = static_cast<std::uint8_t>(mprsf[r]);
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// JedecPolicy
+// ---------------------------------------------------------------------------
+
+JedecPolicy::JedecPolicy(std::size_t rows, Cycles window_cycles,
+                         Cycles trfc_full)
+    : rows_(rows), window_(window_cycles), trfc_full_(trfc_full) {
+  if (rows == 0 || window_cycles == 0 || trfc_full == 0) {
+    throw ConfigError("JedecPolicy: rows, window and tRFC must be non-zero");
+  }
+  due_ = StaggeredDeadlines(std::vector<Cycles>(rows, window_));
+}
+
+std::vector<RefreshOp> JedecPolicy::CollectDue(Cycles now) {
+  std::vector<RefreshOp> ops;
+  while (!due_.empty() && due_.top().first <= now && !AtCap(ops.size())) {
+    const auto [when, row] = due_.top();
+    due_.pop();
+    ops.push_back({row, trfc_full_, true});
+    due_.emplace(when + window_, row);
+  }
+  return ops;
+}
+
+// ---------------------------------------------------------------------------
+// RaidrPolicy
+// ---------------------------------------------------------------------------
+
+RaidrPolicy::RaidrPolicy(RowRefreshPlan plan, Cycles trfc_full)
+    : plan_(std::move(plan)), trfc_full_(trfc_full) {
+  if (plan_.period_cycles.empty() || trfc_full == 0) {
+    throw ConfigError("RaidrPolicy: empty plan or zero tRFC");
+  }
+  due_ = StaggeredDeadlines(plan_.period_cycles);
+}
+
+std::vector<RefreshOp> RaidrPolicy::CollectDue(Cycles now) {
+  std::vector<RefreshOp> ops;
+  while (!due_.empty() && due_.top().first <= now && !AtCap(ops.size())) {
+    const auto [when, row] = due_.top();
+    due_.pop();
+    ops.push_back({row, trfc_full_, true});
+    due_.emplace(when + plan_.period_cycles[row], row);
+  }
+  return ops;
+}
+
+// ---------------------------------------------------------------------------
+// VrlPolicy (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+VrlPolicy::VrlPolicy(RowRefreshPlan plan, Cycles trfc_full,
+                     Cycles trfc_partial)
+    : plan_(std::move(plan)),
+      trfc_full_(trfc_full),
+      trfc_partial_(trfc_partial) {
+  if (plan_.period_cycles.empty()) {
+    throw ConfigError("VrlPolicy: empty plan");
+  }
+  if (plan_.mprsf.size() != plan_.period_cycles.size()) {
+    throw ConfigError("VrlPolicy: plan must carry one MPRSF per row");
+  }
+  if (trfc_partial_ == 0 || trfc_partial_ >= trfc_full_) {
+    throw ConfigError("VrlPolicy: need 0 < tau_partial < tau_full");
+  }
+  due_ = StaggeredDeadlines(plan_.period_cycles);
+  // Stagger the initial counter phases across rows so a finite simulation
+  // window samples the steady-state full/partial mix instead of the
+  // all-partial transient right after power-up (every row starts fully
+  // charged, so early partials are safe regardless of phase).
+  rcount_.resize(plan_.period_cycles.size());
+  for (std::size_t r = 0; r < rcount_.size(); ++r) {
+    rcount_[r] = static_cast<std::uint8_t>(
+        r % (static_cast<std::size_t>(plan_.mprsf[r]) + 1));
+  }
+}
+
+std::vector<RefreshOp> VrlPolicy::CollectDue(Cycles now) {
+  std::vector<RefreshOp> ops;
+  while (!due_.empty() && due_.top().first <= now && !AtCap(ops.size())) {
+    const auto [when, row] = due_.top();
+    due_.pop();
+    // Algorithm 1: full refresh when the counter reaches the row's MPRSF,
+    // partial refresh (and count) otherwise.
+    if (rcount_[row] == plan_.mprsf[row]) {
+      ops.push_back({row, trfc_full_, true});
+      rcount_[row] = 0;
+    } else {
+      ops.push_back({row, trfc_partial_, false});
+      ++rcount_[row];
+    }
+    due_.emplace(when + plan_.period_cycles[row], row);
+  }
+  return ops;
+}
+
+// ---------------------------------------------------------------------------
+// VrlAccessPolicy
+// ---------------------------------------------------------------------------
+
+void VrlAccessPolicy::OnRowAccess(std::size_t row) {
+  if (row >= rcount_.size()) {
+    throw ConfigError("VrlAccessPolicy: access to unknown row");
+  }
+  // A row activation fully restores the charge of the row, so the next
+  // refreshes may again be partial: reset the counter (§3.2).
+  rcount_[row] = 0;
+}
+
+}  // namespace vrl::dram

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "retention/profile.hpp"
+
+/// \file refresh_policy.hpp
+/// Refresh scheduling policies for one DRAM bank.
+///
+/// The memory controller consults the policy at every tREFI tick; the policy
+/// returns the refresh operations due for rows of this bank, each carrying
+/// its own tRFC (variable refresh latency is the paper's mechanism).
+///
+/// Implemented policies:
+///  * JedecPolicy     — every row refreshed each 64 ms window, full latency
+///                      (the conventional baseline).
+///  * RaidrPolicy     — RAIDR (Liu et al., ISCA 2012): retention-binned
+///                      multi-rate refresh, full latency only.
+///  * VrlPolicy       — the paper's Algorithm 1: per-row MPRSF counters; a
+///                      full refresh every (mprsf+1)-th period, low-latency
+///                      partial refreshes otherwise.
+///  * VrlAccessPolicy — VRL-Access: a read/write activation fully restores
+///                      the row, so it also resets the row's partial-refresh
+///                      counter.
+
+namespace vrl::dram {
+
+/// One refresh operation to execute on a bank.
+struct RefreshOp {
+  std::size_t row = 0;
+  Cycles trfc = 0;
+  bool is_full = true;
+};
+
+class RefreshPolicy {
+ public:
+  virtual ~RefreshPolicy() = default;
+
+  /// Rows due for refresh at (or before) cycle `now`.  Advances internal
+  /// deadlines; each call must use a non-decreasing `now`.
+  virtual std::vector<RefreshOp> CollectDue(Cycles now) = 0;
+
+  /// Notification that a row was activated by a read/write access.
+  virtual void OnRowAccess(std::size_t row) { (void)row; }
+
+  virtual std::string Name() const = 0;
+
+  virtual std::size_t rows() const = 0;
+
+  /// Caps the refresh operations emitted per CollectDue call, modelling
+  /// the DDR-standard allowance to postpone refresh commands: rows left
+  /// over stay due and are emitted first on the next tick.  0 = unlimited.
+  /// Postponement trades burst length against extra decay time — validate
+  /// aggressive caps with core::IntegrityChecker.
+  void set_max_ops_per_tick(std::size_t cap) { max_ops_per_tick_ = cap; }
+  std::size_t max_ops_per_tick() const { return max_ops_per_tick_; }
+
+ protected:
+  bool AtCap(std::size_t emitted) const {
+    return max_ops_per_tick_ != 0 && emitted >= max_ops_per_tick_;
+  }
+
+ private:
+  std::size_t max_ops_per_tick_ = 0;
+};
+
+/// Per-row refresh period table shared by the retention-aware policies.
+struct RowRefreshPlan {
+  /// Refresh period of each row, in cycles.
+  std::vector<Cycles> period_cycles;
+  /// MPRSF of each row (used by VRL variants; empty for RAIDR).
+  std::vector<std::uint8_t> mprsf;
+};
+
+/// Builds a RowRefreshPlan from a binned retention profile.  `mprsf` may be
+/// empty (RAIDR) or one entry per row, already capped to the counter width.
+RowRefreshPlan MakeRefreshPlan(const retention::BinningResult& binning,
+                               double clock_period_s,
+                               const std::vector<std::size_t>& mprsf = {});
+
+/// Conventional JEDEC baseline: all rows at the base window, full latency.
+/// Min-heap of (next-due cycle, row) pairs shared by the policies; pops all
+/// rows due at a tick in O(due * log rows) instead of scanning every row.
+using DeadlineQueue =
+    std::priority_queue<std::pair<Cycles, std::size_t>,
+                        std::vector<std::pair<Cycles, std::size_t>>,
+                        std::greater<>>;
+
+class JedecPolicy : public RefreshPolicy {
+ public:
+  JedecPolicy(std::size_t rows, Cycles window_cycles, Cycles trfc_full);
+
+  std::vector<RefreshOp> CollectDue(Cycles now) override;
+  std::string Name() const override { return "JEDEC"; }
+  std::size_t rows() const override { return rows_; }
+
+ private:
+  std::size_t rows_;
+  Cycles window_;
+  Cycles trfc_full_;
+  DeadlineQueue due_;
+};
+
+/// RAIDR: per-row binned periods, always full refresh.
+class RaidrPolicy : public RefreshPolicy {
+ public:
+  RaidrPolicy(RowRefreshPlan plan, Cycles trfc_full);
+
+  std::vector<RefreshOp> CollectDue(Cycles now) override;
+  std::string Name() const override { return "RAIDR"; }
+  std::size_t rows() const override { return plan_.period_cycles.size(); }
+
+ private:
+  RowRefreshPlan plan_;
+  Cycles trfc_full_;
+  DeadlineQueue due_;
+};
+
+/// VRL-DRAM Algorithm 1.
+class VrlPolicy : public RefreshPolicy {
+ public:
+  /// \param plan        per-row periods + MPRSF values (already nbits-capped)
+  /// \param trfc_full   τ_full in cycles
+  /// \param trfc_partial τ_partial in cycles
+  VrlPolicy(RowRefreshPlan plan, Cycles trfc_full, Cycles trfc_partial);
+
+  std::vector<RefreshOp> CollectDue(Cycles now) override;
+  std::string Name() const override { return "VRL"; }
+  std::size_t rows() const override { return plan_.period_cycles.size(); }
+
+  /// Current partial-refresh counter of a row (tests/inspection).
+  std::uint8_t RefreshCount(std::size_t row) const { return rcount_[row]; }
+
+ protected:
+  RowRefreshPlan plan_;
+  Cycles trfc_full_;
+  Cycles trfc_partial_;
+  DeadlineQueue due_;
+  std::vector<std::uint8_t> rcount_;
+};
+
+/// VRL-Access: Algorithm 1 plus counter reset on row activation.
+class VrlAccessPolicy : public VrlPolicy {
+ public:
+  using VrlPolicy::VrlPolicy;
+
+  void OnRowAccess(std::size_t row) override;
+  std::string Name() const override { return "VRL-Access"; }
+};
+
+}  // namespace vrl::dram

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+/// \file request.hpp
+/// Memory access requests fed into the bank simulator.
+
+namespace vrl::dram {
+
+enum class RequestType { kRead, kWrite };
+
+struct Request {
+  Cycles arrival = 0;        ///< Cycle the request reaches the controller.
+  std::size_t bank = 0;
+  std::size_t row = 0;
+  std::size_t column = 0;
+  RequestType type = RequestType::kRead;
+};
+
+}  // namespace vrl::dram

@@ -1,0 +1,53 @@
+#include "dram/scheduler.hpp"
+
+#include "common/error.hpp"
+#include "dram/bank.hpp"
+
+namespace vrl::dram {
+
+std::string SchedulerName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return "FCFS";
+    case SchedulerKind::kFrFcfs:
+      return "FR-FCFS";
+  }
+  return "?";
+}
+
+std::size_t SelectNextRequest(SchedulerKind kind,
+                              const std::vector<Request>& pending,
+                              std::optional<std::size_t> open_row) {
+  if (pending.empty()) {
+    throw ConfigError("SelectNextRequest: no pending requests");
+  }
+  if (kind == SchedulerKind::kFcfs || !open_row.has_value()) {
+    return 0;  // oldest
+  }
+  // FR-FCFS: oldest row hit, else oldest overall.
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].row == *open_row) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+std::size_t SelectNextRequest(SchedulerKind kind,
+                              const std::vector<Request>& pending,
+                              const Bank& bank) {
+  if (pending.empty()) {
+    throw ConfigError("SelectNextRequest: no pending requests");
+  }
+  if (kind == SchedulerKind::kFcfs) {
+    return 0;
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (bank.IsRowOpen(pending[i].row)) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+}  // namespace vrl::dram

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dram/request.hpp"
+
+/// \file scheduler.hpp
+/// Request scheduling disciplines for the memory controller.
+///
+///  * FCFS    — strict arrival order (simple, predictable).
+///  * FR-FCFS — first-ready, first-come-first-served (Rixner et al., ISCA
+///    2000): among the requests that have arrived, prefer ones hitting the
+///    currently open row (they are "ready" — no precharge/activate needed),
+///    oldest first within each class.  This is the standard high-throughput
+///    open-page discipline and raises the row-buffer hit rate, which also
+///    matters to VRL-Access (each activation resets a partial-refresh
+///    counter; hits do not re-activate).
+
+namespace vrl::dram {
+
+enum class SchedulerKind { kFcfs, kFrFcfs };
+
+/// Human-readable scheduler name.
+std::string SchedulerName(SchedulerKind kind);
+
+/// Picks the index of the next request to service from `pending`
+/// (non-empty, ordered by arrival) given the bank's open row.
+std::size_t SelectNextRequest(SchedulerKind kind,
+                              const std::vector<Request>& pending,
+                              std::optional<std::size_t> open_row);
+
+class Bank;
+
+/// Overload consulting the bank's row buffers directly (covers banks with
+/// multiple subarrays, each with its own open row).
+std::size_t SelectNextRequest(SchedulerKind kind,
+                              const std::vector<Request>& pending,
+                              const Bank& bank);
+
+}  // namespace vrl::dram

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+/// \file timing.hpp
+/// DDR3-style command timing constraints, in memory-controller cycles.
+///
+/// The refresh latencies (τ_full / τ_partial) are not part of this struct:
+/// they come from the analytical model (model::RefreshModel) and are carried
+/// per refresh operation, since variable refresh latency is the point of
+/// the paper.
+
+namespace vrl::dram {
+
+struct TimingParams {
+  Cycles t_rcd = 10;  ///< ACTIVATE -> column command.
+  Cycles t_rp = 10;   ///< PRECHARGE -> ACTIVATE.
+  Cycles t_cas = 10;  ///< Column command -> data.
+  Cycles t_ras = 28;  ///< ACTIVATE -> PRECHARGE (minimum row-open time).
+  Cycles t_wr = 12;   ///< Write recovery before PRECHARGE.
+  Cycles t_bus = 4;   ///< Data burst occupancy (BL8 @ 2:1).
+
+  /// Refresh command interval tREFI: 7.8 us at the 2.5 ns cycle.
+  Cycles t_refi = 3120;
+
+  /// Base refresh window tREFW (64 ms at the 2.5 ns cycle).
+  Cycles t_refw = 25'600'000;
+
+  void Validate() const {
+    if (t_rcd == 0 || t_rp == 0 || t_cas == 0 || t_bus == 0) {
+      throw ConfigError("TimingParams: core timings must be non-zero");
+    }
+    if (t_ras < t_rcd) {
+      throw ConfigError("TimingParams: tRAS must cover tRCD");
+    }
+    if (t_refi == 0 || t_refw < t_refi) {
+      throw ConfigError("TimingParams: refresh interval/window inconsistent");
+    }
+  }
+};
+
+}  // namespace vrl::dram

@@ -1,0 +1,96 @@
+#include "model/equalization.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vrl::model {
+
+namespace {
+constexpr double kDefaultSettleTolerance = 0.01;  // [V]
+}
+
+EqualizationModel::EqualizationModel(const TechnologyParams& tech)
+    : tech_(tech),
+      beta_eq_(tech.BetaN(tech.wl_eq)),
+      overdrive_(tech.vdd - tech.Veq() - tech.vt_n) {
+  tech_.Validate();
+  if (overdrive_ <= 0.0) {
+    throw ConfigError(
+        "EqualizationModel: equalization device never turns on "
+        "(Vdd - Veq <= Vtn)");
+  }
+}
+
+double EqualizationModel::SaturationCurrent() const {
+  // Idsat2 = (beta_n2 / 2) * (Vg - Veq - Vtn2)^2   [Eq. 1]
+  return 0.5 * beta_eq_ * overdrive_ * overdrive_;
+}
+
+double EqualizationModel::PhaseOneTime(BitlineSide side) const {
+  if (side == BitlineSide::kLow) {
+    // The rising bitline sees Vgs = Vdd - Vbl > Vdd - Veq, and
+    // Vds = Veq - Vbl < Vgs - Vtn: linear region throughout, no Phase 1.
+    return 0.0;
+  }
+  // t_o = Cbl * Vtn2 / Idsat2   [Eq. 1]
+  return tech_.Cbl() * tech_.vt_n / SaturationCurrent();
+}
+
+double EqualizationModel::EquivalentResistance() const {
+  // Req = Rbl + 1 / (beta_n2 * (Vg - Veq - Vtn2))   [Eq. 2]
+  return tech_.Rbl() + 1.0 / (beta_eq_ * overdrive_);
+}
+
+double EqualizationModel::VoltageAt(BitlineSide side, double t_s) const {
+  const double veq = tech_.Veq();
+  if (side == BitlineSide::kHigh) {
+    const double to = PhaseOneTime(side);
+    if (t_s <= 0.0) {
+      return tech_.vdd;
+    }
+    if (t_s < to) {
+      // Phase 1: constant-current discharge of Cbl.
+      return tech_.vdd - SaturationCurrent() * t_s / tech_.Cbl();
+    }
+    // Phase 2: exponential settling from Vbl(t_o) = Vdd - Vtn   [Eq. 2]
+    const double v_to = tech_.vdd - tech_.vt_n;
+    const double tau = EquivalentResistance() * tech_.Cbl();
+    return veq + (v_to - veq) * std::exp(-(t_s - to) / tau);
+  }
+  // Low side: linear region from the start; single exponential toward Veq.
+  if (t_s <= 0.0) {
+    return tech_.vss;
+  }
+  const double tau = EquivalentResistance() * tech_.Cbl();
+  return veq + (tech_.vss - veq) * std::exp(-t_s / tau);
+}
+
+double EqualizationModel::SettleTime(BitlineSide side,
+                                     double tolerance_v) const {
+  if (tolerance_v <= 0.0) {
+    throw ConfigError("EqualizationModel: tolerance must be positive");
+  }
+  const double veq = tech_.Veq();
+  const double tau = EquivalentResistance() * tech_.Cbl();
+  if (side == BitlineSide::kHigh) {
+    const double v_to = tech_.vdd - tech_.vt_n;
+    const double gap = v_to - veq;
+    if (gap <= tolerance_v) {
+      return PhaseOneTime(side);
+    }
+    return PhaseOneTime(side) + tau * std::log(gap / tolerance_v);
+  }
+  const double gap = veq - tech_.vss;
+  if (gap <= tolerance_v) {
+    return 0.0;
+  }
+  return tau * std::log(gap / tolerance_v);
+}
+
+double EqualizationModel::EqualizationDelay() const {
+  return std::max(SettleTime(BitlineSide::kHigh, kDefaultSettleTolerance),
+                  SettleTime(BitlineSide::kLow, kDefaultSettleTolerance));
+}
+
+}  // namespace vrl::model

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "common/technology.hpp"
+
+/// \file equalization.hpp
+/// §2.1 of the paper: two-phase analytical model of the bitline
+/// equalization delay.
+///
+/// Before a row can be activated for refresh, the bitline pair must be
+/// equalized to Veq = Vdd/2 through the NMOS pair M2/M3 (Fig. 2a).  The
+/// bitline that starts at Vdd sees its equalization device in saturation
+/// first (Phase 1, constant-current discharge until the bitline has dropped
+/// by Vtn, Eq. 1), then in the linear region (Phase 2, RC settling with
+/// Req = Rbl + ron2, Eq. 2).  The complementary bitline rises from Vss with
+/// the device in the linear region throughout, so Phase 1 degenerates for it.
+
+namespace vrl::model {
+
+/// Which bitline of the pair is being tracked.
+enum class BitlineSide {
+  kHigh,  ///< starts at Vdd (B_i in Fig. 5, above the Veq line)
+  kLow,   ///< starts at Vss (the complement B̄_i, below the Veq line)
+};
+
+class EqualizationModel {
+ public:
+  explicit EqualizationModel(const TechnologyParams& tech);
+
+  /// Saturation current of the equalization device M2 (denominator of
+  /// Eq. 1) [A].
+  double SaturationCurrent() const;
+
+  /// Phase-1 duration t_o (Eq. 1): time for the high bitline to drop by
+  /// Vtn under constant-current discharge [s].  Zero for the low side.
+  double PhaseOneTime(BitlineSide side) const;
+
+  /// Equivalent resistance of Phase 2 (Eq. 2): Req = Rbl + ron2 [Ohm].
+  double EquivalentResistance() const;
+
+  /// Bitline voltage at time t (t = 0 is EQ assertion) [V], per Eq. 2.
+  double VoltageAt(BitlineSide side, double t_s) const;
+
+  /// Time for the given side to settle within `tolerance_v` of Veq [s].
+  double SettleTime(BitlineSide side, double tolerance_v) const;
+
+  /// Equalization delay τ_eq [s]: worst side settling to the default
+  /// 10 mV margin.
+  double EqualizationDelay() const;
+
+ private:
+  TechnologyParams tech_;
+  double beta_eq_;    ///< beta of M2/M3.
+  double overdrive_;  ///< Vg - Veq - Vtn (Eq. 1/2 denominator term).
+};
+
+}  // namespace vrl::model

@@ -1,0 +1,68 @@
+#include "model/single_cell.hpp"
+
+#include <cmath>
+
+namespace vrl::model {
+namespace {
+
+/// The baseline's nominal array: a 4096-row bitline at the paper's 90 nm
+/// node, independent of the simulated geometry.
+constexpr double kNominalRows = 4096.0;
+
+/// Charge sharing considered settled at 0.2% residual swing.
+constexpr double kSettleResidual = 0.002;
+
+/// Statistical yield guard-band the baseline applies on top of the nominal
+/// settling estimate (Li et al. size for worst-case process corners).
+constexpr double kGuardBand = 2.0;
+
+/// The baseline's nominal lumped path resistance [Ohm] — a "typical" access
+/// device from its own calibration, not tracking the simulated technology.
+constexpr double kNominalAccessR = 8e3;
+
+}  // namespace
+
+SingleCellModel::SingleCellModel(const TechnologyParams& tech) : tech_(tech) {
+  tech_.Validate();
+  nominal_cbl_ = tech_.cbl_fixed + tech_.cbl_per_row * kNominalRows;
+  // Lumped path resistance: a nominal access device (no distributed
+  // bitline R, no dependence on the simulated technology's actual device).
+  nominal_r_ = kNominalAccessR;
+}
+
+double SingleCellModel::EqualizationVoltageAt(bool high_side,
+                                              double t_s) const {
+  const double veq = tech_.Veq();
+  const double v0 = high_side ? tech_.vdd : tech_.vss;
+  if (t_s <= 0.0) {
+    return v0;
+  }
+  // One RC with the equalization device's linear-region resistance; the
+  // saturation phase of the real device is ignored.
+  const double ron_eq =
+      1.0 / (tech_.BetaN(tech_.wl_eq) * (tech_.vdd - veq - tech_.vt_n));
+  const double tau = ron_eq * nominal_cbl_;
+  return veq + (v0 - veq) * std::exp(-t_s / tau);
+}
+
+double SingleCellModel::SenseVoltage(double fraction) const {
+  const double v_cell =
+      tech_.vss + fraction * (tech_.vdd - tech_.vss);
+  return tech_.cs / (tech_.cs + nominal_cbl_) *
+         std::abs(v_cell - tech_.Veq());
+}
+
+double SingleCellModel::PreSensingTime() const {
+  // The baseline collapses the double exponential of Eq. 3 to a single RC
+  // with the total nominal charge on the path, settled to kSettleResidual,
+  // then applies its yield guard-band.  None of these inputs track the
+  // actual array geometry.
+  const double tau = nominal_r_ * (tech_.cs + nominal_cbl_);
+  return kGuardBand * tau * std::log(1.0 / kSettleResidual);
+}
+
+Cycles SingleCellModel::PreSensingCycles() const {
+  return SecondsToCyclesCeil(PreSensingTime(), tech_.clock_period_s);
+}
+
+}  // namespace vrl::model

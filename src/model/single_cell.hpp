@@ -1,0 +1,51 @@
+#pragma once
+
+#include "common/technology.hpp"
+#include "common/units.hpp"
+
+/// \file single_cell.hpp
+/// The single-cell capacitor baseline model (Li et al., "DRAM Yield
+/// Analysis and Optimization by a Statistical Design Approach", TCAS-I
+/// 2011) that the paper compares against in Fig. 5 and Table 1.
+///
+/// The baseline treats the refresh path as a single cell capacitor against
+/// a *nominal, fixed* bitline load: one RC exponential for equalization
+/// (no saturation phase), uncoupled charge sharing (no Cbb/Cbw terms, no
+/// neighbouring-bitline system), and no distributed bitline resistance.
+/// Because the nominal load does not track the actual array geometry, its
+/// pre-sensing estimate stays constant as the bank grows — which is exactly
+/// the failure mode Table 1 exposes (always 6 cycles, up to 62.5% off SPICE
+/// for the largest configuration).
+
+namespace vrl::model {
+
+class SingleCellModel {
+ public:
+  explicit SingleCellModel(const TechnologyParams& tech);
+
+  /// Equalization trajectory: single exponential from the rail toward Veq
+  /// with τ = Req * Cbl_nominal.  `high_side` selects the Vdd- or
+  /// Vss-starting bitline.
+  double EqualizationVoltageAt(bool high_side, double t_s) const;
+
+  /// Uncoupled charge-sharing swing Cs/(Cs+Cbl_nominal) * |Vs - Veq| for a
+  /// cell at `fraction` of full charge [V].
+  double SenseVoltage(double fraction) const;
+
+  /// Pre-sensing time estimate [s]: the nominal-load charge-sharing
+  /// exponential settled to the model's fixed criterion.
+  double PreSensingTime() const;
+
+  /// PreSensingTime in memory cycles (constant across geometries).
+  Cycles PreSensingCycles() const;
+
+  /// Nominal bitline load used by the baseline [F].
+  double NominalCbl() const { return nominal_cbl_; }
+
+ private:
+  TechnologyParams tech_;
+  double nominal_cbl_;
+  double nominal_r_;
+};
+
+}  // namespace vrl::model

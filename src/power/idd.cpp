@@ -1,0 +1,62 @@
+#include "power/idd.hpp"
+
+#include "common/error.hpp"
+
+namespace vrl::power {
+
+void IddCurrents::Validate() const {
+  if (vdd <= 0.0 || banks == 0) {
+    throw ConfigError("IddCurrents: vdd and banks must be positive");
+  }
+  if (idd0_ma <= idd3n_ma || idd3n_ma <= idd2n_ma) {
+    throw ConfigError(
+        "IddCurrents: expected IDD0 > IDD3N > IDD2N (datasheet ordering)");
+  }
+  if (idd4r_ma <= idd3n_ma || idd4w_ma <= idd3n_ma ||
+      idd5b_ma <= idd2n_ma) {
+    throw ConfigError("IddCurrents: burst currents below standby");
+  }
+}
+
+EnergyParams FromIdd(const IddCurrents& currents,
+                     const dram::TimingParams& timing,
+                     double clock_period_s) {
+  currents.Validate();
+  timing.Validate();
+  if (clock_period_s <= 0.0) {
+    throw ConfigError("FromIdd: clock period must be positive");
+  }
+
+  const double t_ras = CyclesToSeconds(timing.t_ras, clock_period_s);
+  const double t_rc =
+      CyclesToSeconds(timing.t_ras + timing.t_rp, clock_period_s);
+  const double t_burst = CyclesToSeconds(timing.t_bus, clock_period_s);
+
+  const double ma_to_a = 1e-3;
+  const double j_to_pj = 1e12;
+
+  EnergyParams params;
+  // ACT+PRE pair: IDD0 over a full tRC, minus the standby floor.
+  const double e_act =
+      (currents.idd0_ma * t_rc -
+       (currents.idd3n_ma * t_ras + currents.idd2n_ma * (t_rc - t_ras))) *
+      ma_to_a * currents.vdd;
+  params.e_activate_pj = e_act * j_to_pj;
+
+  params.e_read_pj = (currents.idd4r_ma - currents.idd3n_ma) * ma_to_a *
+                     currents.vdd * t_burst * j_to_pj;
+  params.e_write_pj = (currents.idd4w_ma - currents.idd3n_ma) * ma_to_a *
+                      currents.vdd * t_burst * j_to_pj;
+
+  // Refresh: the internal activation is the fixed part; the sustained
+  // IDD5B-above-standby current is the active part (scales with tRFC).
+  params.e_refresh_fixed_pj = params.e_activate_pj;
+  params.p_refresh_active_mw =
+      (currents.idd5b_ma - currents.idd2n_ma) * ma_to_a * currents.vdd * 1e3;
+
+  params.p_background_mw = currents.idd2n_ma * ma_to_a * currents.vdd * 1e3 /
+                           static_cast<double>(currents.banks);
+  return params;
+}
+
+}  // namespace vrl::power

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "dram/timing.hpp"
+#include "power/power_model.hpp"
+
+/// \file idd.hpp
+/// Deriving EnergyParams from DDR3 datasheet IDD currents — the same
+/// current-profile arithmetic DRAMPower performs, so the energy model can
+/// be recalibrated to a specific device from its datasheet instead of the
+/// baked-in defaults.
+///
+/// Standard decomposition (per device, referred to one bank):
+///   E(ACT+PRE) = [IDD0*tRC - (IDD3N*tRAS + IDD2N*(tRC - tRAS))] * VDD
+///   E(RD)      = (IDD4R - IDD3N) * VDD * tBURST
+///   E(WR)      = (IDD4W - IDD3N) * VDD * tBURST
+///   P(REF)     = (IDD5B - IDD2N) * VDD          (active part, over tRFC)
+///   P(BG)      = IDD2N * VDD / banks            (standby, per bank)
+/// The refresh fixed part is the internal row activation the refresh
+/// performs, i.e. E(ACT+PRE).
+
+namespace vrl::power {
+
+/// DDR3-1066-class datasheet currents [mA] and supply [V].
+struct IddCurrents {
+  double idd0_ma = 65.0;    ///< One-bank ACT->PRE cycling.
+  double idd2n_ma = 37.0;   ///< Precharge standby.
+  double idd3n_ma = 45.0;   ///< Active standby.
+  double idd4r_ma = 150.0;  ///< Read burst.
+  double idd4w_ma = 155.0;  ///< Write burst.
+  /// Refresh current at *single-row* granularity (one bank active), not the
+  /// datasheet's all-bank burst IDD5B (~175 mA): a per-row refresh draws
+  /// IDD0-like current in the refreshed bank.
+  double idd5b_ma = 72.0;
+  double vdd = 1.5;
+  std::size_t banks = 8;    ///< Banks sharing the background current.
+
+  void Validate() const;
+};
+
+/// Translates datasheet currents into the per-command energies the
+/// PowerModel consumes.  `clock_period_s` converts the timing fields.
+EnergyParams FromIdd(const IddCurrents& currents,
+                     const dram::TimingParams& timing,
+                     double clock_period_s);
+
+}  // namespace vrl::power

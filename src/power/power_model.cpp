@@ -1,0 +1,47 @@
+#include "power/power_model.hpp"
+
+namespace vrl::power {
+
+PowerModel::PowerModel(const EnergyParams& params, double clock_period_s)
+    : params_(params), clock_period_s_(clock_period_s) {
+  params_.Validate();
+  if (clock_period_s <= 0.0) {
+    throw ConfigError("PowerModel: clock period must be positive");
+  }
+}
+
+double PowerModel::RefreshOpEnergyPj(Cycles trfc) const {
+  const double duration_s = CyclesToSeconds(trfc, clock_period_s_);
+  // mW * s = mJ; convert to pJ (1 mJ = 1e9 pJ).
+  return params_.e_refresh_fixed_pj +
+         params_.p_refresh_active_mw * duration_s * 1e9;
+}
+
+EnergyBreakdown PowerModel::Compute(const dram::SimulationStats& stats) const {
+  EnergyBreakdown out;
+
+  const double acts = static_cast<double>(stats.TotalActivations());
+  const double reads = static_cast<double>(stats.TotalReads());
+  const double writes = static_cast<double>(stats.TotalWrites());
+  out.activate_nj = acts * params_.e_activate_pj * 1e-3;
+  out.read_write_nj =
+      (reads * params_.e_read_pj + writes * params_.e_write_pj) * 1e-3;
+
+  // Refresh: fixed part per operation + active power over the busy cycles.
+  const double ops = static_cast<double>(stats.TotalFullRefreshes() +
+                                         stats.TotalPartialRefreshes());
+  const double busy_s =
+      CyclesToSeconds(stats.TotalRefreshBusyCycles(), clock_period_s_);
+  out.refresh_nj = ops * params_.e_refresh_fixed_pj * 1e-3 +
+                   params_.p_refresh_active_mw * busy_s * 1e6;
+
+  const double span_s =
+      CyclesToSeconds(stats.simulated_cycles, clock_period_s_);
+  const double banks = static_cast<double>(stats.per_bank.size());
+  out.background_nj = params_.p_background_mw * span_s * banks * 1e6;
+
+  out.refresh_power_mw = span_s > 0.0 ? out.refresh_nj * 1e-6 / span_s : 0.0;
+  return out;
+}
+
+}  // namespace vrl::power

@@ -1,0 +1,74 @@
+#pragma once
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "dram/controller.hpp"
+
+/// \file power_model.hpp
+/// DRAM energy model (the repo's DRAMPower substitute; see DESIGN.md §2).
+///
+/// Per-command energies follow the DDR3 current-profile structure: an
+/// activate/precharge pair and each column burst cost fixed energy; a
+/// refresh operation costs a fixed sensing/activation part (the bitlines
+/// swing fully for sensing regardless of how long restoration runs) plus an
+/// active-power part proportional to its tRFC — which is exactly where
+/// variable refresh latency saves energy.  Background (standby) power
+/// accrues over the whole simulated interval.
+
+namespace vrl::power {
+
+struct EnergyParams {
+  double e_activate_pj = 2200.0;  ///< ACT + PRE pair.
+  double e_read_pj = 1600.0;      ///< Column read burst.
+  double e_write_pj = 1700.0;     ///< Column write burst.
+
+  /// Fixed part of one refresh operation (row sensing, bitline swing).
+  double e_refresh_fixed_pj = 1100.0;
+  /// Active power drawn while a refresh operation occupies the bank [mW].
+  double p_refresh_active_mw = 17.0;
+
+  /// Background/standby power per bank [mW].
+  double p_background_mw = 55.0;
+
+  void Validate() const {
+    if (e_activate_pj < 0 || e_read_pj < 0 || e_write_pj < 0 ||
+        e_refresh_fixed_pj < 0 || p_refresh_active_mw < 0 ||
+        p_background_mw < 0) {
+      throw ConfigError("EnergyParams: energies must be non-negative");
+    }
+  }
+};
+
+/// Energy totals for one simulation, in nanojoules.
+struct EnergyBreakdown {
+  double activate_nj = 0.0;
+  double read_write_nj = 0.0;
+  double refresh_nj = 0.0;
+  double background_nj = 0.0;
+
+  double Total() const {
+    return activate_nj + read_write_nj + refresh_nj + background_nj;
+  }
+
+  /// Average refresh power over the simulated span [mW].
+  double refresh_power_mw = 0.0;
+};
+
+class PowerModel {
+ public:
+  PowerModel(const EnergyParams& params, double clock_period_s);
+
+  /// Computes the energy breakdown of a finished simulation.
+  EnergyBreakdown Compute(const dram::SimulationStats& stats) const;
+
+  /// Energy of a single refresh operation with the given latency [pJ].
+  double RefreshOpEnergyPj(Cycles trfc) const;
+
+  const EnergyParams& params() const { return params_; }
+
+ private:
+  EnergyParams params_;
+  double clock_period_s_;
+};
+
+}  // namespace vrl::power

@@ -1,0 +1,140 @@
+#include "retention/distribution.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vrl::retention {
+namespace {
+
+/// Standard normal CDF.
+double Phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+RetentionDistribution::RetentionDistribution(
+    const RetentionDistributionParams& params)
+    : params_(params) {
+  if (params_.weak_fraction < 0.0 || params_.weak_fraction >= 1.0) {
+    throw ConfigError("RetentionDistribution: weak_fraction out of range");
+  }
+  if (!(params_.weak_lo_s < params_.weak_hi_s)) {
+    throw ConfigError("RetentionDistribution: weak tail bounds inverted");
+  }
+  if (params_.lognormal_sigma <= 0.0) {
+    throw ConfigError("RetentionDistribution: sigma must be positive");
+  }
+  weak_bin_edges_[0] = params_.weak_lo_s;
+  weak_bin_edges_[1] = 0.128;
+  weak_bin_edges_[2] = 0.192;
+  weak_bin_edges_[3] = params_.weak_hi_s;
+  const double total =
+      params_.weak_mass_64 + params_.weak_mass_128 + params_.weak_mass_192;
+  if (total <= 0.0) {
+    throw ConfigError("RetentionDistribution: weak masses must be positive");
+  }
+  weak_bin_probs_[0] = params_.weak_mass_64 / total;
+  weak_bin_probs_[1] = params_.weak_mass_128 / total;
+  weak_bin_probs_[2] = params_.weak_mass_192 / total;
+}
+
+double RetentionDistribution::SampleWeakTail(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  std::size_t bin = 0;
+  double acc = weak_bin_probs_[0];
+  while (bin < 2 && u >= acc) {
+    ++bin;
+    acc += weak_bin_probs_[bin];
+  }
+  return rng.Uniform(weak_bin_edges_[bin], weak_bin_edges_[bin + 1]);
+}
+
+double RetentionDistribution::SampleMain(Rng& rng) const {
+  // Truncated: resample until at or above the weak-tail boundary, so the
+  // main population never contributes to the sub-256 ms bins.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double t =
+        rng.LogNormal(params_.lognormal_mu, params_.lognormal_sigma);
+    if (t >= params_.weak_hi_s) {
+      return t;
+    }
+  }
+  // The lognormal mass below weak_hi_s is ~1e-3; reaching here means the
+  // parameters are degenerate.
+  throw NumericalError(
+      "RetentionDistribution: main component rejection sampling stuck");
+}
+
+double RetentionDistribution::SampleCellRetention(Rng& rng) const {
+  const double t = rng.Bernoulli(params_.weak_fraction) ? SampleWeakTail(rng)
+                                                        : SampleMain(rng);
+  return std::max(t, params_.min_retention_s);
+}
+
+double RetentionDistribution::SampleRowRetention(
+    Rng& rng, std::size_t cells_per_row) const {
+  if (cells_per_row == 0) {
+    throw ConfigError("SampleRowRetention: need at least one cell");
+  }
+  double worst = SampleCellRetention(rng);
+  for (std::size_t i = 1; i < cells_per_row; ++i) {
+    worst = std::min(worst, SampleCellRetention(rng));
+  }
+  return worst;
+}
+
+double RetentionDistribution::CellCdf(double t_s) const {
+  if (t_s <= params_.weak_lo_s) {
+    return 0.0;
+  }
+  // Weak-tail contribution: piecewise-linear CDF over the three sub-bins.
+  double weak_cdf = 0.0;
+  for (int b = 0; b < 3; ++b) {
+    const double lo = weak_bin_edges_[b];
+    const double hi = weak_bin_edges_[b + 1];
+    if (t_s >= hi) {
+      weak_cdf += weak_bin_probs_[b];
+    } else if (t_s > lo) {
+      weak_cdf += weak_bin_probs_[b] * (t_s - lo) / (hi - lo);
+    }
+  }
+  // Main-component contribution (truncated below weak_hi_s).
+  double main_cdf = 0.0;
+  if (t_s > params_.weak_hi_s) {
+    const double z_cut = (std::log(params_.weak_hi_s) - params_.lognormal_mu) /
+                         params_.lognormal_sigma;
+    const double z =
+        (std::log(t_s) - params_.lognormal_mu) / params_.lognormal_sigma;
+    const double below_cut = Phi(z_cut);
+    main_cdf = (Phi(z) - below_cut) / (1.0 - below_cut);
+  }
+  return params_.weak_fraction * weak_cdf +
+         (1.0 - params_.weak_fraction) * main_cdf;
+}
+
+std::vector<std::size_t> BuildRetentionHistogram(
+    const RetentionDistribution& dist, Rng& rng, std::size_t samples,
+    double lo_s, double hi_s, std::size_t bucket_count, bool clamp_overflow) {
+  if (bucket_count == 0 || !(lo_s < hi_s)) {
+    throw ConfigError("BuildRetentionHistogram: bad bucket spec");
+  }
+  std::vector<std::size_t> counts(bucket_count, 0);
+  const double width = (hi_s - lo_s) / static_cast<double>(bucket_count);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = dist.SampleCellRetention(rng);
+    if (t < lo_s) {
+      continue;
+    }
+    auto bucket = static_cast<std::size_t>((t - lo_s) / width);
+    if (bucket >= bucket_count) {
+      if (!clamp_overflow) {
+        continue;
+      }
+      bucket = bucket_count - 1;
+    }
+    ++counts[bucket];
+  }
+  return counts;
+}
+
+}  // namespace vrl::retention

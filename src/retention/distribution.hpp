@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+/// \file distribution.hpp
+/// DRAM retention-time distribution (the paper's Fig. 3a, after Liu et al.
+/// RAIDR).
+///
+/// The population is modelled as a mixture:
+///  * a main lognormal component (peak ≈ 1.2 s) holding almost all cells,
+///    truncated so it never produces cells below the weak-tail boundary;
+///  * a small "weak tail" (≈0.12% of cells) spread over [64 ms, 256 ms)
+///    with piecewise-constant density over the three RAIDR sub-bins,
+///    calibrated so that the row-level binning of an 8192x32 bank
+///    reproduces the paper's Fig. 3b table (68 / 101 / 145 / 7878 rows) in
+///    expectation.
+///
+/// A *row's* retention time is the minimum over its cells (the weakest cell
+/// determines when the row must be refreshed), which is how
+/// SampleRowRetention composes the cell distribution.
+
+namespace vrl::retention {
+
+struct RetentionDistributionParams {
+  // Main lognormal component (of retention in seconds).
+  double lognormal_mu = std::log(1.8);
+  double lognormal_sigma = 0.645;
+
+  /// Fraction of cells in the weak tail.
+  double weak_fraction = 1.22e-3;
+
+  /// Weak-tail support boundaries [s]: three sub-bins of [64, 256) ms.
+  double weak_lo_s = 0.065;
+  double weak_hi_s = 0.256;
+
+  /// Relative mass of the three weak sub-bins
+  /// [65,128) / [128,192) / [192,256) ms — calibrated to Fig. 3b.
+  double weak_mass_64 = 2.60e-4;
+  double weak_mass_128 = 3.85e-4;
+  double weak_mass_192 = 5.76e-4;
+
+  /// Cells are clamped to at least this retention (profiling floor).
+  double min_retention_s = 0.065;
+};
+
+class RetentionDistribution {
+ public:
+  RetentionDistribution()
+      : RetentionDistribution(RetentionDistributionParams{}) {}
+  explicit RetentionDistribution(const RetentionDistributionParams& params);
+
+  /// Retention time of one cell [s].
+  double SampleCellRetention(Rng& rng) const;
+
+  /// Retention time of a row of `cells_per_row` cells [s]: the minimum of
+  /// that many cell draws.
+  double SampleRowRetention(Rng& rng, std::size_t cells_per_row) const;
+
+  /// Probability a single cell's retention is below t [s] (used for
+  /// calibration tests; exact for the mixture).
+  double CellCdf(double t_s) const;
+
+  const RetentionDistributionParams& params() const { return params_; }
+
+ private:
+  double SampleWeakTail(Rng& rng) const;
+  double SampleMain(Rng& rng) const;
+
+  RetentionDistributionParams params_;
+  double weak_bin_edges_[4];  ///< 65 / 128 / 192 / 256 ms.
+  double weak_bin_probs_[3];  ///< Normalized sub-bin masses.
+};
+
+/// Builds the histogram of Fig. 3a: `bucket_count` equal-width buckets over
+/// [lo_s, hi_s) filled with `samples` cell draws.  Returns counts per
+/// bucket; values at or above hi_s land in the last bucket when
+/// `clamp_overflow` is set (the paper's figure truncates its x-axis).
+std::vector<std::size_t> BuildRetentionHistogram(
+    const RetentionDistribution& dist, Rng& rng, std::size_t samples,
+    double lo_s, double hi_s, std::size_t bucket_count, bool clamp_overflow);
+
+}  // namespace vrl::retention

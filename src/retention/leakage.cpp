@@ -1,0 +1,44 @@
+#include "retention/leakage.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace vrl::retention {
+
+LeakageModel::LeakageModel(double full_fraction, double readable_fraction)
+    : full_fraction_(full_fraction), readable_fraction_(readable_fraction) {
+  if (!(readable_fraction > 0.0) || !(full_fraction > readable_fraction) ||
+      full_fraction > 1.0) {
+    throw ConfigError(
+        "LeakageModel: need 0 < readable_fraction < full_fraction <= 1");
+  }
+  log_ratio_ = std::log(full_fraction_ / readable_fraction_);
+}
+
+double LeakageModel::TauCell(double retention_s) const {
+  if (retention_s <= 0.0) {
+    throw ConfigError("LeakageModel: retention must be positive");
+  }
+  return retention_s / log_ratio_;
+}
+
+double LeakageModel::FractionAfter(double fraction, double dt_s,
+                                   double retention_s) const {
+  if (dt_s < 0.0) {
+    throw ConfigError("LeakageModel: negative time step");
+  }
+  return fraction * std::exp(-dt_s / TauCell(retention_s));
+}
+
+double LeakageModel::TimeToReach(double fraction, double target_fraction,
+                                 double retention_s) const {
+  if (target_fraction >= fraction) {
+    return 0.0;
+  }
+  if (target_fraction <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return TauCell(retention_s) * std::log(fraction / target_fraction);
+}
+
+}  // namespace vrl::retention

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "common/error.hpp"
+
+/// \file leakage.hpp
+/// Charge-leakage model tying a cell's retention time to its decay rate.
+///
+/// Charge decays exponentially: V(t) = V0 * exp(-t / tau_cell).  A cell's
+/// retention time T is *defined* as the time for a freshly full cell (at
+/// `full_fraction` of Vdd) to decay to the minimum readable fraction, so
+///
+///   tau_cell = T / ln(full_fraction / readable_fraction)
+///
+/// This keeps the leakage model consistent with the analytical refresh
+/// model's sensing margins: a row binned at its retention period is, by
+/// construction, exactly readable at refresh time.
+
+namespace vrl::retention {
+
+class LeakageModel {
+ public:
+  /// \param full_fraction     charge fraction right after a full refresh
+  ///                          (RefreshModel spec full_target).
+  /// \param readable_fraction lowest readable fraction
+  ///                          (RefreshModel::MinReadableFraction()).
+  LeakageModel(double full_fraction, double readable_fraction);
+
+  /// Decay time constant of a cell with retention time T [s].
+  double TauCell(double retention_s) const;
+
+  /// Charge fraction after `dt_s` of leakage, starting from `fraction`.
+  double FractionAfter(double fraction, double dt_s,
+                       double retention_s) const;
+
+  /// Time for a cell at `fraction` to decay down to `target_fraction` [s].
+  /// Zero when already at or below the target; infinite when the target is
+  /// non-positive (exponential decay never reaches zero).
+  double TimeToReach(double fraction, double target_fraction,
+                     double retention_s) const;
+
+  double full_fraction() const { return full_fraction_; }
+  double readable_fraction() const { return readable_fraction_; }
+
+ private:
+  double full_fraction_;
+  double readable_fraction_;
+  double log_ratio_;
+};
+
+}  // namespace vrl::retention

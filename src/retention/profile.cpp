@@ -1,0 +1,85 @@
+#include "retention/profile.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace vrl::retention {
+
+RetentionProfile RetentionProfile::Generate(const RetentionDistribution& dist,
+                                            std::size_t rows,
+                                            std::size_t cells_per_row,
+                                            Rng& rng) {
+  if (rows == 0) {
+    throw ConfigError("RetentionProfile: need at least one row");
+  }
+  std::vector<double> retention(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    retention[r] = dist.SampleRowRetention(rng, cells_per_row);
+  }
+  return RetentionProfile(std::move(retention));
+}
+
+RetentionProfile::RetentionProfile(std::vector<double> row_retention_s)
+    : row_retention_s_(std::move(row_retention_s)) {
+  if (row_retention_s_.empty()) {
+    throw ConfigError("RetentionProfile: empty profile");
+  }
+  for (const double t : row_retention_s_) {
+    if (t <= 0.0) {
+      throw ConfigError("RetentionProfile: non-positive retention time");
+    }
+  }
+}
+
+double RetentionProfile::RowRetention(std::size_t row) const {
+  if (row >= row_retention_s_.size()) {
+    throw ConfigError("RetentionProfile: row out of range");
+  }
+  return row_retention_s_[row];
+}
+
+double RetentionProfile::MinRetention() const {
+  return *std::min_element(row_retention_s_.begin(), row_retention_s_.end());
+}
+
+std::vector<double> StandardBinPeriods() {
+  return {0.064, 0.128, 0.192, 0.256};
+}
+
+BinningResult BinRows(const RetentionProfile& profile,
+                      const std::vector<double>& periods_s) {
+  if (periods_s.empty()) {
+    throw ConfigError("BinRows: need at least one period");
+  }
+  if (!std::is_sorted(periods_s.begin(), periods_s.end())) {
+    throw ConfigError("BinRows: periods must be ascending");
+  }
+  BinningResult out;
+  out.periods_s = periods_s;
+  out.rows_per_bin.assign(periods_s.size(), 0);
+  out.row_bin.resize(profile.rows());
+
+  for (std::size_t r = 0; r < profile.rows(); ++r) {
+    const double t = profile.RowRetention(r);
+    if (t < periods_s.front()) {
+      throw ConfigError(
+          "BinRows: row retention below the smallest refresh period — the "
+          "row cannot be refreshed safely");
+    }
+    // Largest period <= retention.
+    std::size_t bin = 0;
+    for (std::size_t b = periods_s.size(); b-- > 0;) {
+      if (periods_s[b] <= t) {
+        bin = b;
+        break;
+      }
+    }
+    out.row_bin[r] = static_cast<std::uint8_t>(bin);
+    ++out.rows_per_bin[bin];
+  }
+  return out;
+}
+
+}  // namespace vrl::retention

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "retention/distribution.hpp"
+
+/// \file profile.hpp
+/// Per-bank retention profile and RAIDR-style row binning (Fig. 3b).
+///
+/// The paper assumes retention profiling data is available (REAPER, RAIDR,
+/// AVATAR are cited); this module plays the role of the profiler, producing
+/// a per-row retention time (the row's weakest cell) and binning rows into
+/// refresh-period buckets: a row is refreshed at the largest standard period
+/// that does not exceed its retention time.
+
+namespace vrl::retention {
+
+/// Retention profile of one DRAM bank: one retention time per row [s].
+class RetentionProfile {
+ public:
+  /// Profiles a bank by Monte-Carlo: `rows` rows of `cells_per_row` cells
+  /// drawn from `dist`.
+  static RetentionProfile Generate(const RetentionDistribution& dist,
+                                   std::size_t rows, std::size_t cells_per_row,
+                                   Rng& rng);
+
+  /// Builds a profile from explicit per-row retention times (tests,
+  /// external profiling data).
+  explicit RetentionProfile(std::vector<double> row_retention_s);
+
+  std::size_t rows() const { return row_retention_s_.size(); }
+
+  /// Retention time of one row [s]. \throws vrl::ConfigError out of range.
+  double RowRetention(std::size_t row) const;
+
+  const std::vector<double>& row_retention() const { return row_retention_s_; }
+
+  /// The weakest row's retention [s].
+  double MinRetention() const;
+
+ private:
+  std::vector<double> row_retention_s_;
+};
+
+/// Result of binning rows into refresh periods.
+struct BinningResult {
+  /// Bin refresh periods [s], ascending (e.g. 64/128/192/256 ms).
+  std::vector<double> periods_s;
+  /// Rows assigned to each bin (Fig. 3b's "number of rows" column).
+  std::vector<std::size_t> rows_per_bin;
+  /// Bin index of each row.
+  std::vector<std::uint8_t> row_bin;
+
+  /// Refresh period of a given row [s].
+  double RowPeriod(std::size_t row) const {
+    return periods_s[row_bin[row]];
+  }
+};
+
+/// The paper's standard bins: 64 / 128 / 192 / 256 ms.
+std::vector<double> StandardBinPeriods();
+
+/// RAIDR binning: each row goes to the largest period <= its retention
+/// time; rows above the largest period use the largest (refreshing more
+/// often than necessary is always safe).
+///
+/// \throws vrl::ConfigError if a row's retention is below the smallest
+/// period (such a row cannot be refreshed safely at any standard rate).
+BinningResult BinRows(const RetentionProfile& profile,
+                      const std::vector<double>& periods_s);
+
+}  // namespace vrl::retention

@@ -1,0 +1,102 @@
+#include "retention/profiler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace vrl::retention {
+
+void ProfilingCampaign::Validate() const {
+  if (test_periods_s.empty()) {
+    throw ConfigError("ProfilingCampaign: need at least one test period");
+  }
+  if (!std::is_sorted(test_periods_s.begin(), test_periods_s.end())) {
+    throw ConfigError("ProfilingCampaign: test periods must ascend");
+  }
+  for (const double t : test_periods_s) {
+    if (t <= 0.0) {
+      throw ConfigError("ProfilingCampaign: non-positive test period");
+    }
+  }
+  if (rounds == 0) {
+    throw ConfigError("ProfilingCampaign: need at least one round");
+  }
+  if (derating < 1.0) {
+    throw ConfigError("ProfilingCampaign: derating must be >= 1");
+  }
+}
+
+ProfilingCampaign StandardCampaign() {
+  ProfilingCampaign campaign;
+  campaign.test_periods_s = {0.064, 0.128, 0.192, 0.256, 0.512,
+                             1.024, 2.048, 4.096};
+  campaign.rounds = 2;
+  return campaign;
+}
+
+namespace {
+
+/// Largest test period the cell passes: the largest period <= retention,
+/// or the smallest period when even that one fails (a row the profiler
+/// flags as unusable; we clamp to the smallest period and let binning
+/// reject it downstream if it is genuinely below the base rate).
+double BinToGrid(double retention_s, const std::vector<double>& grid) {
+  double passed = grid.front();
+  for (const double period : grid) {
+    if (period <= retention_s) {
+      passed = period;
+    } else {
+      break;
+    }
+  }
+  return passed;
+}
+
+}  // namespace
+
+RetentionProfile MeasureProfile(const RetentionProfile& truth,
+                                const std::vector<bool>& vrt_rows,
+                                const VrtParams& vrt,
+                                const ProfilingCampaign& campaign, Rng& rng) {
+  campaign.Validate();
+  if (!vrt_rows.empty() && vrt_rows.size() != truth.rows()) {
+    throw ConfigError("MeasureProfile: vrt_rows size mismatch");
+  }
+  if (!vrt_rows.empty()) {
+    vrt.Validate();
+  }
+
+  std::vector<double> measured(truth.rows());
+  for (std::size_t r = 0; r < truth.rows(); ++r) {
+    const bool is_vrt = !vrt_rows.empty() && vrt_rows[r];
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t round = 0; round < campaign.rounds; ++round) {
+      // What the cell's retention actually is during this round.
+      double observed_truth = truth.RowRetention(r);
+      if (is_vrt && rng.Bernoulli(vrt.low_state_prob)) {
+        observed_truth *= vrt.low_ratio;
+      }
+      best = std::min(best, observed_truth);
+    }
+    measured[r] =
+        BinToGrid(best / campaign.derating, campaign.test_periods_s);
+  }
+  return RetentionProfile(std::move(measured));
+}
+
+double OptimisticMissRate(const RetentionProfile& measured,
+                          const RetentionProfile& worst_case_runtime) {
+  if (measured.rows() != worst_case_runtime.rows()) {
+    throw ConfigError("OptimisticMissRate: profile size mismatch");
+  }
+  std::size_t misses = 0;
+  for (std::size_t r = 0; r < measured.rows(); ++r) {
+    if (measured.RowRetention(r) > worst_case_runtime.RowRetention(r)) {
+      ++misses;
+    }
+  }
+  return static_cast<double>(misses) / static_cast<double>(measured.rows());
+}
+
+}  // namespace vrl::retention

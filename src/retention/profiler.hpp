@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "retention/profile.hpp"
+#include "retention/vrt.hpp"
+
+/// \file profiler.hpp
+/// Active retention profiling (REAPER, Patel et al. ISCA 2017; RAIDR's
+/// profiling step, Liu et al. ISCA 2012).
+///
+/// The paper *assumes* a retention profile is available; this module
+/// simulates how one is actually measured, so the quality of that
+/// assumption can be studied:
+///
+///   for each candidate period T (descending):
+///     write a data pattern, disable refresh for T, read back;
+///     rows that fail the read are assigned the previous (safe) period.
+///
+/// Two real-world effects make the measured profile optimistic:
+///  * finite test-period granularity — retention between two test periods
+///    rounds *up* to the longer one unless the profiler is conservative,
+///    and
+///  * VRT — a cell in its high-retention state during profiling passes a
+///    period it cannot always sustain.
+///
+/// MeasureProfile models both: it bins each row's true retention onto the
+/// test-period grid (conservatively: largest test period <= retention) and,
+/// for VRT rows, measures the high state with probability
+/// 1 - vrt.low_state_prob per test round (multiple rounds take the minimum
+/// observation, which is how REAPER drives the miss probability down).
+
+namespace vrl::retention {
+
+struct ProfilingCampaign {
+  /// Candidate retention periods tested, ascending [s].  Rows retaining
+  /// longer than the largest period are assigned the largest period.
+  std::vector<double> test_periods_s;
+
+  /// Independent profiling rounds; each VRT row is observed in its low
+  /// state with probability vrt.low_state_prob per round, and the minimum
+  /// observation across rounds is kept.
+  std::size_t rounds = 1;
+
+  /// Extra safety factor applied to the measurement (REAPER's "aggressive
+  /// conditions": profiling hotter / at lower voltage than operation so the
+  /// measured retention underestimates reality).
+  double derating = 1.0;
+
+  void Validate() const;
+};
+
+/// Default campaign: the paper's 64..256 ms bins plus longer probes.
+ProfilingCampaign StandardCampaign();
+
+/// Measures a profile of `truth` under the campaign.  `vrt_rows`/`vrt`
+/// describe which rows flicker (pass empty vrt_rows for a VRT-free chip).
+///
+/// The returned profile is what the controller would *believe*; compare
+/// against `truth` (or a VRT runtime snapshot) with core::IntegrityChecker
+/// to quantify the risk of trusting it.
+RetentionProfile MeasureProfile(const RetentionProfile& truth,
+                                const std::vector<bool>& vrt_rows,
+                                const VrtParams& vrt,
+                                const ProfilingCampaign& campaign, Rng& rng);
+
+/// Fraction of rows whose measured retention exceeds their worst-case
+/// runtime retention (the dangerous, optimistic misses).
+double OptimisticMissRate(const RetentionProfile& measured,
+                          const RetentionProfile& worst_case_runtime);
+
+}  // namespace vrl::retention

@@ -1,0 +1,22 @@
+#include "retention/temperature.hpp"
+
+#include <cmath>
+
+namespace vrl::retention {
+
+double TemperatureModel::RetentionScale(double operating_celsius) const {
+  Validate();
+  return std::exp2(-(operating_celsius - profiling_celsius) /
+                   halving_celsius);
+}
+
+double TemperatureModel::MaxSafeCelsius(double guardband) const {
+  Validate();
+  if (guardband < 1.0) {
+    throw ConfigError("TemperatureModel: guardband must be >= 1");
+  }
+  // RetentionScale(T) = 1/guardband  =>  T = Tp + halving * log2(guardband)
+  return profiling_celsius + halving_celsius * std::log2(guardband);
+}
+
+}  // namespace vrl::retention

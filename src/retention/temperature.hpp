@@ -1,0 +1,39 @@
+#pragma once
+
+#include "common/error.hpp"
+
+/// \file temperature.hpp
+/// Temperature dependence of DRAM retention.
+///
+/// Leakage grows exponentially with temperature; the standard rule of thumb
+/// (used by JEDEC's extended-temperature 2x refresh requirement and
+/// retention studies such as Liu et al. ISCA'13) is that retention time
+/// halves for every ~10 °C.  A retention profile collected at the profiling
+/// temperature must therefore be derated before it is used at a hotter
+/// operating point — this is one of the reasons deployments apply a
+/// retention guardband on top of profiling (see VrlConfig).
+
+namespace vrl::retention {
+
+struct TemperatureModel {
+  double profiling_celsius = 45.0;  ///< Temperature the profile was taken at.
+  double halving_celsius = 10.0;    ///< Retention halves per this many °C.
+
+  /// Multiplier on profiled retention times at `operating_celsius`:
+  /// 1.0 at the profiling temperature, 0.5 one halving step hotter, 2.0 one
+  /// step cooler.
+  double RetentionScale(double operating_celsius) const;
+
+  /// The hottest operating temperature at which scaled retention still
+  /// covers a `guardband`-derated profile, i.e. where
+  /// RetentionScale(T) >= 1/guardband.
+  double MaxSafeCelsius(double guardband) const;
+
+  void Validate() const {
+    if (halving_celsius <= 0.0) {
+      throw ConfigError("TemperatureModel: halving step must be positive");
+    }
+  }
+};
+
+}  // namespace vrl::retention

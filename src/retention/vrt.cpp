@@ -1,0 +1,68 @@
+#include "retention/vrt.hpp"
+
+#include "common/error.hpp"
+
+namespace vrl::retention {
+
+void VrtParams::Validate() const {
+  if (row_fraction < 0.0 || row_fraction > 1.0) {
+    throw ConfigError("VrtParams: row_fraction in [0, 1]");
+  }
+  if (low_ratio <= 0.0 || low_ratio > 1.0) {
+    throw ConfigError("VrtParams: low_ratio in (0, 1]");
+  }
+  if (low_state_prob < 0.0 || low_state_prob > 1.0) {
+    throw ConfigError("VrtParams: low_state_prob in [0, 1]");
+  }
+}
+
+std::vector<bool> SampleVrtRows(const VrtParams& params, std::size_t rows,
+                                Rng& rng) {
+  params.Validate();
+  std::vector<bool> vrt(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    vrt[r] = rng.Bernoulli(params.row_fraction);
+  }
+  return vrt;
+}
+
+namespace {
+
+RetentionProfile ScaleRows(const RetentionProfile& profiled,
+                           const std::vector<bool>& vrt_rows,
+                           const VrtParams& params,
+                           const std::vector<bool>& in_low_state) {
+  if (vrt_rows.size() != profiled.rows() ||
+      in_low_state.size() != profiled.rows()) {
+    throw ConfigError("vrt: row-flag size mismatch");
+  }
+  std::vector<double> runtime(profiled.rows());
+  for (std::size_t r = 0; r < profiled.rows(); ++r) {
+    const bool low = vrt_rows[r] && in_low_state[r];
+    runtime[r] = profiled.RowRetention(r) * (low ? params.low_ratio : 1.0);
+  }
+  return RetentionProfile(std::move(runtime));
+}
+
+}  // namespace
+
+RetentionProfile WorstCaseRuntimeProfile(const RetentionProfile& profiled,
+                                         const std::vector<bool>& vrt_rows,
+                                         const VrtParams& params) {
+  params.Validate();
+  return ScaleRows(profiled, vrt_rows, params,
+                   std::vector<bool>(profiled.rows(), true));
+}
+
+RetentionProfile SampleRuntimeProfile(const RetentionProfile& profiled,
+                                      const std::vector<bool>& vrt_rows,
+                                      const VrtParams& params, Rng& rng) {
+  params.Validate();
+  std::vector<bool> low(profiled.rows());
+  for (std::size_t r = 0; r < profiled.rows(); ++r) {
+    low[r] = rng.Bernoulli(params.low_state_prob);
+  }
+  return ScaleRows(profiled, vrt_rows, params, low);
+}
+
+}  // namespace vrl::retention

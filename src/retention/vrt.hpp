@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "retention/profile.hpp"
+
+/// \file vrt.hpp
+/// Variable retention time (VRT).
+///
+/// A fraction of DRAM cells toggle between a high- and a low-retention
+/// state at random (random telegraph noise in the junction leakage); a
+/// profile collected while such a cell was in its high state overstates the
+/// retention the controller can rely on.  AVATAR (Qureshi et al., DSN 2015)
+/// showed this is the main hazard for profile-based refresh schemes —
+/// including RAIDR and therefore VRL-DRAM.
+///
+/// We model VRT at row granularity: each row independently is a "VRT row"
+/// with probability `row_fraction`; a VRT row's runtime retention can drop
+/// to `low_ratio` of its profiled value whenever its weak cell flips to the
+/// low state (each row's flip is sampled with probability `low_state_prob`
+/// per evaluation).  The worst case (every VRT row in the low state) bounds
+/// the exposure and is what guardbands must cover.
+
+namespace vrl::retention {
+
+struct VrtParams {
+  double row_fraction = 0.02;   ///< Rows whose weak cell exhibits VRT.
+  double low_ratio = 0.6;       ///< Retention in the low state / profiled.
+  double low_state_prob = 0.5;  ///< P(low state) at a random instant.
+
+  void Validate() const;
+};
+
+/// Which rows are VRT rows (deterministic given the RNG state).
+std::vector<bool> SampleVrtRows(const VrtParams& params, std::size_t rows,
+                                Rng& rng);
+
+/// Worst-case runtime profile: every VRT row pinned at its low state.
+RetentionProfile WorstCaseRuntimeProfile(const RetentionProfile& profiled,
+                                         const std::vector<bool>& vrt_rows,
+                                         const VrtParams& params);
+
+/// A random runtime snapshot: each VRT row independently in the low state
+/// with probability low_state_prob.
+RetentionProfile SampleRuntimeProfile(const RetentionProfile& profiled,
+                                      const std::vector<bool>& vrt_rows,
+                                      const VrtParams& params, Rng& rng);
+
+}  // namespace vrl::retention

@@ -1,0 +1,47 @@
+#include "trace/address.hpp"
+
+namespace vrl::trace {
+
+AddressMapper::AddressMapper(const AddressGeometry& geometry)
+    : geometry_(geometry) {
+  geometry_.Validate();
+}
+
+AddressMapper::Coordinates AddressMapper::Decode(std::uint64_t address) const {
+  const std::uint64_t wrapped = address % geometry_.TotalLines();
+  Coordinates c;
+  c.bank = static_cast<std::size_t>(wrapped % geometry_.banks);
+  const std::uint64_t rest = wrapped / geometry_.banks;
+  c.column = static_cast<std::size_t>(rest % geometry_.columns);
+  c.row = static_cast<std::size_t>(rest / geometry_.columns % geometry_.rows);
+  return c;
+}
+
+std::uint64_t AddressMapper::Encode(const Coordinates& c) const {
+  if (c.bank >= geometry_.banks || c.row >= geometry_.rows ||
+      c.column >= geometry_.columns) {
+    throw ConfigError("AddressMapper::Encode: coordinates out of range");
+  }
+  return (static_cast<std::uint64_t>(c.row) * geometry_.columns + c.column) *
+             geometry_.banks +
+         c.bank;
+}
+
+std::vector<dram::Request> MapToRequests(
+    const std::vector<TraceRecord>& records, const AddressMapper& mapper) {
+  std::vector<dram::Request> requests;
+  requests.reserve(records.size());
+  for (const TraceRecord& rec : records) {
+    const auto c = mapper.Decode(rec.address);
+    dram::Request r;
+    r.arrival = rec.cycle;
+    r.bank = c.bank;
+    r.row = c.row;
+    r.column = c.column;
+    r.type = rec.is_write ? dram::RequestType::kWrite : dram::RequestType::kRead;
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+}  // namespace vrl::trace

@@ -1,0 +1,190 @@
+#include "trace/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vrl::trace {
+namespace {
+
+constexpr char kMagic[8] = {'V', 'R', 'L', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void PutLe(std::ostream& os, T value) {
+  std::array<unsigned char, sizeof(T)> buf;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xFF);
+  }
+  os.write(reinterpret_cast<const char*>(buf.data()), sizeof(T));
+}
+
+template <typename T>
+T GetLe(std::istream& is) {
+  std::array<unsigned char, sizeof(T)> buf;
+  is.read(reinterpret_cast<char*>(buf.data()), sizeof(T));
+  if (!is) {
+    throw ParseError("trace: truncated binary stream");
+  }
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value = static_cast<T>(value |
+                           (static_cast<std::uint64_t>(buf[i]) << (8 * i)));
+  }
+  return value;
+}
+
+}  // namespace
+
+void WriteText(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os << "# cycle op address\n";
+  for (const TraceRecord& r : records) {
+    os << r.cycle << ' ' << (r.is_write ? 'W' : 'R') << " 0x" << std::hex
+       << r.address << std::dec << '\n';
+  }
+}
+
+std::vector<TraceRecord> ReadText(std::istream& is) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and skip blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    std::istringstream ls(line);
+    TraceRecord rec;
+    std::string op;
+    std::string addr;
+    if (!(ls >> rec.cycle >> op >> addr)) {
+      throw ParseError("trace: malformed line " + std::to_string(line_no));
+    }
+    if (op == "W" || op == "w") {
+      rec.is_write = true;
+    } else if (op == "R" || op == "r") {
+      rec.is_write = false;
+    } else {
+      throw ParseError("trace: bad op '" + op + "' on line " +
+                       std::to_string(line_no));
+    }
+    try {
+      rec.address = std::stoull(addr, nullptr, 0);
+    } catch (const std::exception&) {
+      throw ParseError("trace: bad address '" + addr + "' on line " +
+                       std::to_string(line_no));
+    }
+    records.push_back(rec);
+  }
+  return records;
+}
+
+void WriteBinary(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os.write(kMagic, sizeof kMagic);
+  PutLe<std::uint32_t>(os, kVersion);
+  PutLe<std::uint32_t>(os, static_cast<std::uint32_t>(records.size()));
+  for (const TraceRecord& r : records) {
+    PutLe<std::uint64_t>(os, r.cycle);
+    PutLe<std::uint64_t>(os, r.address);
+    PutLe<std::uint8_t>(os, r.is_write ? 1 : 0);
+  }
+}
+
+std::vector<TraceRecord> ReadBinary(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw ParseError("trace: bad binary magic");
+  }
+  const auto version = GetLe<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw ParseError("trace: unsupported binary version " +
+                     std::to_string(version));
+  }
+  const auto count = GetLe<std::uint32_t>(is);
+  std::vector<TraceRecord> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    r.cycle = GetLe<std::uint64_t>(is);
+    r.address = GetLe<std::uint64_t>(is);
+    r.is_write = GetLe<std::uint8_t>(is) != 0;
+    records.push_back(r);
+  }
+  return records;
+}
+
+void WriteTextFile(const std::string& path,
+                   const std::vector<TraceRecord>& records) {
+  std::ofstream os(path);
+  if (!os) {
+    throw ParseError("trace: cannot open '" + path + "' for writing");
+  }
+  WriteText(os, records);
+}
+
+std::vector<TraceRecord> ReadTextFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw ParseError("trace: cannot open '" + path + "'");
+  }
+  return ReadText(is);
+}
+
+std::vector<TraceRecord> ReadRamulatorTrace(std::istream& is,
+                                            Cycles issue_gap_cycles) {
+  if (issue_gap_cycles == 0) {
+    throw ParseError("trace: ramulator issue gap must be non-zero");
+  }
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string addr;
+    std::string op;
+    if (!(ls >> addr >> op)) {
+      throw ParseError("trace: malformed ramulator line " +
+                       std::to_string(line_no));
+    }
+    TraceRecord rec;
+    rec.cycle = static_cast<Cycles>(records.size()) * issue_gap_cycles;
+    try {
+      rec.address = std::stoull(addr, nullptr, 0);
+    } catch (const std::exception&) {
+      throw ParseError("trace: bad ramulator address '" + addr +
+                       "' on line " + std::to_string(line_no));
+    }
+    if (op == "W" || op == "w" || op == "WRITE") {
+      rec.is_write = true;
+    } else if (op == "R" || op == "r" || op == "READ") {
+      rec.is_write = false;
+    } else {
+      throw ParseError("trace: bad ramulator op '" + op + "' on line " +
+                       std::to_string(line_no));
+    }
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace vrl::trace

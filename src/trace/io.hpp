@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/address.hpp"
+
+/// \file io.hpp
+/// Trace serialization.
+///
+/// Text format (one record per line, Ramulator-like):
+///   <cycle> <R|W> <hex-address>
+/// Lines starting with '#' and blank lines are ignored.
+///
+/// Binary format: a 16-byte header ("VRLTRACE", u32 version, u32 count)
+/// followed by packed records (u64 cycle, u64 address, u8 is_write).
+
+namespace vrl::trace {
+
+/// Writes records as text. Records should be cycle-sorted (not enforced).
+void WriteText(std::ostream& os, const std::vector<TraceRecord>& records);
+
+/// Parses a text trace.
+/// \throws vrl::ParseError on malformed lines.
+std::vector<TraceRecord> ReadText(std::istream& is);
+
+/// Writes records in the binary format.
+void WriteBinary(std::ostream& os, const std::vector<TraceRecord>& records);
+
+/// Reads a binary trace.
+/// \throws vrl::ParseError on bad magic, version, or truncated data.
+std::vector<TraceRecord> ReadBinary(std::istream& is);
+
+/// Convenience file wrappers. \throws vrl::ParseError on I/O failure.
+void WriteTextFile(const std::string& path,
+                   const std::vector<TraceRecord>& records);
+std::vector<TraceRecord> ReadTextFile(const std::string& path);
+
+/// Imports a Ramulator DRAM-trace stream ("<address> <R|W>" per line, no
+/// timestamps — Ramulator issues them back-to-back).  Records are stamped
+/// `index * issue_gap_cycles` so they can drive the simulator directly.
+/// \throws vrl::ParseError on malformed lines or zero gap.
+std::vector<TraceRecord> ReadRamulatorTrace(std::istream& is,
+                                            Cycles issue_gap_cycles);
+
+}  // namespace vrl::trace

@@ -1,0 +1,40 @@
+#include "trace/stats.hpp"
+
+#include <unordered_set>
+
+namespace vrl::trace {
+
+TraceStats ComputeStats(const std::vector<TraceRecord>& records,
+                        const AddressGeometry& geometry) {
+  geometry.Validate();
+  TraceStats stats;
+  stats.requests = records.size();
+  stats.total_rows = geometry.banks * geometry.rows;
+  if (records.empty()) {
+    return stats;
+  }
+
+  const AddressMapper mapper(geometry);
+  std::unordered_set<std::uint64_t> rows;
+  Cycles first = records.front().cycle;
+  Cycles last = records.front().cycle;
+  for (const TraceRecord& r : records) {
+    if (r.is_write) {
+      ++stats.writes;
+    }
+    first = std::min(first, r.cycle);
+    last = std::max(last, r.cycle);
+    const auto c = mapper.Decode(r.address);
+    rows.insert(static_cast<std::uint64_t>(c.bank) * geometry.rows + c.row);
+  }
+  stats.span_cycles = last - first;
+  stats.unique_rows = rows.size();
+  if (stats.span_cycles > 0) {
+    stats.requests_per_kilocycle = 1000.0 *
+                                   static_cast<double>(stats.requests) /
+                                   static_cast<double>(stats.span_cycles);
+  }
+  return stats;
+}
+
+}  // namespace vrl::trace

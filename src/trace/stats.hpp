@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/address.hpp"
+
+/// \file stats.hpp
+/// Descriptive statistics of a trace — used by examples and to sanity-check
+/// the synthetic workloads against their intended characteristics.
+
+namespace vrl::trace {
+
+struct TraceStats {
+  std::size_t requests = 0;
+  std::size_t writes = 0;
+  Cycles span_cycles = 0;          ///< Last minus first cycle.
+  std::size_t unique_rows = 0;     ///< Distinct (bank, row) pairs touched.
+  std::size_t total_rows = 0;      ///< Rows in the geometry (all banks).
+  double requests_per_kilocycle = 0.0;
+
+  double WriteFraction() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(writes) /
+                               static_cast<double>(requests);
+  }
+  double RowCoverage() const {
+    return total_rows == 0 ? 0.0
+                           : static_cast<double>(unique_rows) /
+                                 static_cast<double>(total_rows);
+  }
+};
+
+/// Computes statistics for a trace over the given geometry.
+TraceStats ComputeStats(const std::vector<TraceRecord>& records,
+                        const AddressGeometry& geometry);
+
+}  // namespace vrl::trace

@@ -1,0 +1,575 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/banded.hpp"
+#include "circuit/dram_circuits.hpp"
+#include "circuit/linear.hpp"
+#include "circuit/mosfet.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/transient.hpp"
+#include "common/error.hpp"
+#include "common/technology.hpp"
+
+namespace vrl::circuit {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dense / banded linear algebra
+// ---------------------------------------------------------------------------
+
+TEST(DenseSolve, SolvesKnown3x3) {
+  DenseMatrix a(3, 3);
+  // [[4,1,0],[1,3,1],[0,1,2]] x = [9, 13, 8] -> x = [2, 1, 3.5]... solve by
+  // construction instead: pick x, compute b.
+  const double m[3][3] = {{4, 1, 0}, {1, 3, 1}, {0, 1, 2}};
+  const double x_ref[3] = {2.0, -1.0, 3.0};
+  std::vector<double> b(3, 0.0);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      a.At(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = m[r][c];
+      b[static_cast<std::size_t>(r)] += m[r][c] * x_ref[c];
+    }
+  }
+  SolveInPlace(a, b);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)], x_ref[i], 1e-12);
+  }
+}
+
+TEST(DenseSolve, PivotsOnZeroDiagonal) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 0.0;
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;
+  a.At(1, 1) = 0.0;
+  std::vector<double> b{3.0, 7.0};  // x = [7, 3]
+  SolveInPlace(a, b);
+  EXPECT_NEAR(b[0], 7.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(DenseSolve, ThrowsOnSingular) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = 2.0;
+  a.At(1, 0) = 2.0;
+  a.At(1, 1) = 4.0;
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(SolveInPlace(a, b), NumericalError);
+}
+
+TEST(BandedSolve, MatchesDenseOnTridiagonal) {
+  const std::size_t n = 20;
+  BandedMatrix band(n, 1);
+  DenseMatrix dense(n, n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    band.At(i, i) = 4.0;
+    dense.At(i, i) = 4.0;
+    if (i + 1 < n) {
+      band.At(i, i + 1) = -1.0;
+      band.At(i + 1, i) = -2.0;
+      dense.At(i, i + 1) = -1.0;
+      dense.At(i + 1, i) = -2.0;
+    }
+    b[i] = static_cast<double>(i) + 1.0;
+  }
+  std::vector<double> xb = b;
+  band.SolveInPlace(xb);
+  std::vector<double> xd = b;
+  SolveInPlace(dense, xd);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(xb[i], xd[i], 1e-10);
+  }
+}
+
+TEST(BandedSolve, WiderBandMatchesDense) {
+  const std::size_t n = 30;
+  const std::size_t hb = 3;
+  BandedMatrix band(n, hb);
+  DenseMatrix dense(n, n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = (i > hb ? i - hb : 0); j <= std::min(n - 1, i + hb);
+         ++j) {
+      const double v = (i == j) ? 10.0 : 1.0 / (1.0 + std::abs(double(i) - double(j)));
+      band.At(i, j) = v;
+      dense.At(i, j) = v;
+    }
+    b[i] = std::sin(static_cast<double>(i));
+  }
+  std::vector<double> xb = b;
+  band.SolveInPlace(xb);
+  std::vector<double> xd = b;
+  SolveInPlace(dense, xd);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(xb[i], xd[i], 1e-9);
+  }
+}
+
+TEST(BandedMatrix, OutOfBandReadIsZeroWriteThrows) {
+  BandedMatrix band(5, 1);
+  const BandedMatrix& cband = band;
+  EXPECT_EQ(cband.At(0, 3), 0.0);
+  EXPECT_THROW(band.At(0, 3) = 1.0, NumericalError);
+}
+
+// ---------------------------------------------------------------------------
+// MOSFET model
+// ---------------------------------------------------------------------------
+
+TEST(Mosfet, CutoffHasNoCurrent) {
+  Mosfet m{MosType::kNmos, 1, 2, 3, {0.4, 1e-3, 0.0}};
+  const MosEval eval = EvaluateMosfet(m, 1.0, 0.3, 0.0);  // vgs < vt
+  EXPECT_NEAR(eval.ids, 0.0, 1e-9);
+  EXPECT_EQ(eval.gm, 0.0);
+}
+
+TEST(Mosfet, SaturationCurrentMatchesSquareLaw) {
+  const double beta = 2e-3;
+  Mosfet m{MosType::kNmos, 1, 2, 3, {0.4, beta, 0.0}};
+  // vgs = 1.0, vds = 1.2 > vov = 0.6 -> saturation
+  const MosEval eval = EvaluateMosfet(m, 1.2, 1.0, 0.0);
+  EXPECT_NEAR(eval.ids, 0.5 * beta * 0.6 * 0.6, 1e-12);
+  EXPECT_NEAR(eval.gm, beta * 0.6, 1e-12);
+}
+
+TEST(Mosfet, TriodeCurrentMatchesFormula) {
+  const double beta = 2e-3;
+  Mosfet m{MosType::kNmos, 1, 2, 3, {0.4, beta, 0.0}};
+  // vgs = 1.2, vov = 0.8, vds = 0.2 -> triode
+  const MosEval eval = EvaluateMosfet(m, 0.2, 1.2, 0.0);
+  EXPECT_NEAR(eval.ids, beta * (0.8 * 0.2 - 0.5 * 0.2 * 0.2), 1e-12);
+}
+
+TEST(Mosfet, SymmetricWhenTerminalsSwap) {
+  // ids(d=a, s=b) == -ids(d=b, s=a)
+  Mosfet m{MosType::kNmos, 1, 2, 3, {0.4, 1e-3, 0.0}};
+  const MosEval fwd = EvaluateMosfet(m, 0.9, 1.2, 0.1);
+  const MosEval rev = EvaluateMosfet(m, 0.1, 1.2, 0.9);
+  EXPECT_NEAR(fwd.ids, -rev.ids, 1e-15);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  Mosfet n{MosType::kNmos, 1, 2, 3, {0.4, 1e-3, 0.0}};
+  Mosfet p{MosType::kPmos, 1, 2, 3, {0.4, 1e-3, 0.0}};
+  const MosEval en = EvaluateMosfet(n, 1.0, 1.2, 0.0);
+  const MosEval ep = EvaluateMosfet(p, -1.0, -1.2, 0.0);
+  EXPECT_NEAR(ep.ids, -en.ids, 1e-15);
+  EXPECT_NEAR(std::abs(ep.gm), std::abs(en.gm), 1e-15);
+}
+
+TEST(Mosfet, DerivativesMatchFiniteDifference) {
+  Mosfet m{MosType::kNmos, 1, 2, 3, {0.4, 1.5e-3, 0.05}};
+  const double vd = 0.55;  // triode: vds = 0.45 < vov = 0.6
+  const double vg = 1.1;
+  const double vs = 0.1;
+  const double h = 1e-7;
+  const MosEval base = EvaluateMosfet(m, vd, vg, vs);
+  const MosEval dg = EvaluateMosfet(m, vd, vg + h, vs);
+  const MosEval dd = EvaluateMosfet(m, vd + h, vg, vs);
+  EXPECT_NEAR((dg.ids - base.ids) / h, base.gm, 1e-4 * std::abs(base.gm) + 1e-9);
+  EXPECT_NEAR((dd.ids - base.ids) / h, base.gds,
+              1e-4 * std::abs(base.gds) + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Netlist
+// ---------------------------------------------------------------------------
+
+TEST(Netlist, GroundAliases) {
+  Netlist n;
+  EXPECT_EQ(n.Node("0"), kGround);
+  EXPECT_EQ(n.Node("gnd"), kGround);
+}
+
+TEST(Netlist, NodesAreInterned) {
+  Netlist n;
+  const NodeId a = n.Node("x");
+  EXPECT_EQ(n.Node("x"), a);
+  EXPECT_NE(n.Node("y"), a);
+  EXPECT_EQ(n.NodeName(a), "x");
+}
+
+TEST(Netlist, NodeOrThrowRejectsUnknown) {
+  Netlist n;
+  EXPECT_THROW(n.NodeOrThrow("nope"), ConfigError);
+}
+
+TEST(Netlist, RejectsNonPositiveDevices) {
+  Netlist n;
+  const NodeId a = n.Node("a");
+  EXPECT_THROW(n.AddResistor(a, kGround, 0.0), ConfigError);
+  EXPECT_THROW(n.AddCapacitor(a, kGround, -1e-15), ConfigError);
+}
+
+TEST(Netlist, RejectsUnsortedPwl) {
+  Netlist n;
+  const NodeId a = n.Node("a");
+  EXPECT_THROW(n.AddVpwl(a, kGround, {{1.0, 0.0}, {0.5, 1.0}}), ConfigError);
+}
+
+TEST(VoltageSourceWaveform, InterpolatesAndClamps) {
+  VoltageSource src{1, 0, {{0.0, 0.0}, {1e-9, 1.0}}};
+  EXPECT_DOUBLE_EQ(src.ValueAt(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(src.ValueAt(0.5e-9), 0.5);
+  EXPECT_DOUBLE_EQ(src.ValueAt(2e-9), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Transient engine vs. closed-form RC answers
+// ---------------------------------------------------------------------------
+
+TEST(Transient, RcDischargeMatchesAnalytic) {
+  // 1k / 1pF from 1V: v(t) = exp(-t/RC).
+  Netlist n;
+  const NodeId top = n.Node("top");
+  n.AddResistor(top, kGround, 1e3);
+  n.AddCapacitor(top, kGround, 1e-12);
+  n.SetInitialCondition(top, 1.0);
+
+  TransientOptions opt;
+  opt.t_stop_s = 3e-9;
+  opt.dt_s = 1e-12;
+  const Waveform wave = RunTransient(n, opt, {"top"});
+
+  const double rc = 1e3 * 1e-12;
+  for (const double t : {0.5e-9, 1e-9, 2e-9}) {
+    EXPECT_NEAR(wave.ValueAt("top", t), std::exp(-t / rc), 2e-3);
+  }
+}
+
+TEST(Transient, RcChargeThroughSourceMatchesAnalytic) {
+  // Source 1V -> R -> C: v(t) = 1 - exp(-t/RC).
+  Netlist n;
+  const NodeId vs = n.Node("vs");
+  const NodeId top = n.Node("top");
+  n.AddVdc(vs, kGround, 1.0);
+  n.AddResistor(vs, top, 2e3);
+  n.AddCapacitor(top, kGround, 1e-12);
+
+  TransientOptions opt;
+  opt.t_stop_s = 10e-9;
+  opt.dt_s = 2e-12;
+  const Waveform wave = RunTransient(n, opt, {"top"});
+
+  const double rc = 2e3 * 1e-12;
+  for (const double t : {1e-9, 3e-9, 6e-9}) {
+    EXPECT_NEAR(wave.ValueAt("top", t), 1.0 - std::exp(-t / rc), 2e-3);
+  }
+}
+
+TEST(Transient, BackwardEulerAlsoConverges) {
+  Netlist n;
+  const NodeId top = n.Node("top");
+  n.AddResistor(top, kGround, 1e3);
+  n.AddCapacitor(top, kGround, 1e-12);
+  n.SetInitialCondition(top, 1.0);
+
+  TransientOptions opt;
+  opt.t_stop_s = 2e-9;
+  opt.dt_s = 0.5e-12;
+  opt.method = Integration::kBackwardEuler;
+  const Waveform wave = RunTransient(n, opt, {"top"});
+  const double rc = 1e-9;
+  EXPECT_NEAR(wave.ValueAt("top", 1e-9), std::exp(-1.0), 5e-3);
+}
+
+TEST(Transient, CapacitiveDividerConservesCharge) {
+  // Two caps joined through a resistor: final voltage is the
+  // charge-weighted average (the charge-sharing primitive of Fig. 2b).
+  Netlist n;
+  const NodeId a = n.Node("a");
+  const NodeId b = n.Node("b");
+  n.AddCapacitor(a, kGround, 24e-15);
+  n.AddCapacitor(b, kGround, 100e-15);
+  n.AddResistor(a, b, 10e3);
+  n.SetInitialCondition(a, 1.2);
+  n.SetInitialCondition(b, 0.6);
+
+  TransientOptions opt;
+  opt.t_stop_s = 50e-9;
+  opt.dt_s = 10e-12;
+  const Waveform wave = RunTransient(n, opt, {"a", "b"});
+
+  const double v_final = (24e-15 * 1.2 + 100e-15 * 0.6) / (124e-15);
+  EXPECT_NEAR(wave.FinalValue("a"), v_final, 1e-3);
+  EXPECT_NEAR(wave.FinalValue("b"), v_final, 1e-3);
+}
+
+TEST(Transient, PwlSourceDrivesNode) {
+  Netlist n;
+  const NodeId src = n.Node("src");
+  n.AddVpwl(src, kGround, {{0.0, 0.0}, {1e-9, 1.0}});
+  n.AddResistor(src, kGround, 1e6);  // keep the source loaded
+
+  TransientOptions opt;
+  opt.t_stop_s = 2e-9;
+  opt.dt_s = 1e-12;
+  const Waveform wave = RunTransient(n, opt, {"src"});
+  EXPECT_NEAR(wave.ValueAt("src", 0.5e-9), 0.5, 1e-6);
+  EXPECT_NEAR(wave.ValueAt("src", 1.5e-9), 1.0, 1e-9);
+}
+
+TEST(Transient, NmosFollowsGateAsSwitch) {
+  // NMOS passing from a 1V source into a cap: output settles near
+  // vg - vt (source-follower limit) when gate is not boosted.
+  Netlist n;
+  const NodeId vd = n.Node("vd");
+  const NodeId vg = n.Node("vg");
+  const NodeId out = n.Node("out");
+  n.AddVdc(vd, kGround, 1.0);
+  n.AddVpwl(vg, kGround, StepWaveform(0.0, 1.0, 0.1e-9, 20e-12));
+  n.AddMosfet(MosType::kNmos, vd, vg, out, {0.4, 1e-3, 0.0});
+  n.AddCapacitor(out, kGround, 10e-15);
+
+  TransientOptions opt;
+  opt.t_stop_s = 20e-9;
+  opt.dt_s = 5e-12;
+  const Waveform wave = RunTransient(n, opt, {"out"});
+  EXPECT_NEAR(wave.FinalValue("out"), 0.6, 0.05);  // vg - vt = 0.6
+}
+
+TEST(Transient, RejectsNonGroundReferencedSource) {
+  Netlist n;
+  const NodeId a = n.Node("a");
+  const NodeId b = n.Node("b");
+  n.AddVdc(a, b, 1.0);
+  n.AddResistor(a, b, 1e3);
+  TransientOptions opt;
+  EXPECT_THROW(RunTransient(n, opt, {"a"}), ConfigError);
+}
+
+TEST(Transient, RejectsDoublyDrivenNode) {
+  Netlist n;
+  const NodeId a = n.Node("a");
+  n.AddVdc(a, kGround, 1.0);
+  n.AddVdc(a, kGround, 2.0);
+  TransientOptions opt;
+  EXPECT_THROW(RunTransient(n, opt, {"a"}), ConfigError);
+}
+
+TEST(Transient, RejectsBadOptions) {
+  Netlist n;
+  n.AddResistor(n.Node("a"), kGround, 1.0);
+  TransientOptions opt;
+  opt.dt_s = 0.0;
+  EXPECT_THROW(RunTransient(n, opt, {"a"}), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// DRAM circuits
+// ---------------------------------------------------------------------------
+
+TechnologyParams SmallTech() {
+  TechnologyParams tech;
+  tech.rows = 2048;
+  tech.columns = 8;  // keep array tests fast
+  return tech;
+}
+
+TEST(DataPatternHelpers, ValuesMatchDefinition) {
+  EXPECT_FALSE(CellValue(DataPattern::kAllZeros, 3));
+  EXPECT_TRUE(CellValue(DataPattern::kAllOnes, 3));
+  EXPECT_FALSE(CellValue(DataPattern::kAlternating, 0));
+  EXPECT_TRUE(CellValue(DataPattern::kAlternating, 1));
+  // Random is deterministic per index.
+  EXPECT_EQ(CellValue(DataPattern::kRandom, 5),
+            CellValue(DataPattern::kRandom, 5));
+  EXPECT_EQ(PatternName(DataPattern::kRandom), "rand");
+}
+
+TEST(EqualizationCircuit, BitlinesConvergeToVeq) {
+  const TechnologyParams tech = SmallTech();
+  EqualizationCircuit circuit = BuildEqualizationCircuit(tech, 20e-12);
+
+  TransientOptions opt;
+  opt.t_stop_s = 5e-9;
+  opt.dt_s = 2e-12;
+  const Waveform wave =
+      RunTransient(circuit.netlist, opt, {circuit.bl, circuit.blb});
+
+  EXPECT_NEAR(wave.FinalValue(circuit.bl), tech.Veq(), 0.02);
+  EXPECT_NEAR(wave.FinalValue(circuit.blb), tech.Veq(), 0.02);
+  // bl starts at Vdd and must decay monotonically toward Veq.
+  EXPECT_NEAR(wave.ValueAt(circuit.bl, 0.0), tech.vdd, 1e-9);
+  EXPECT_NEAR(wave.ValueAt(circuit.blb, 0.0), tech.vss, 1e-9);
+}
+
+TEST(EqualizationCircuit, ComplementConvergesFasterPhase) {
+  // Fig. 5 observation: B̄ (rising from 0, device in triode) tracks all
+  // models closely; B (falling from Vdd, device saturates first) is slower
+  // to start.  Check the rising side reaches 90% of its swing earlier than
+  // the falling side in the circuit reference.
+  const TechnologyParams tech = SmallTech();
+  EqualizationCircuit circuit = BuildEqualizationCircuit(tech, 0.0);
+
+  TransientOptions opt;
+  opt.t_stop_s = 5e-9;
+  opt.dt_s = 2e-12;
+  const Waveform wave =
+      RunTransient(circuit.netlist, opt, {circuit.bl, circuit.blb});
+
+  const double veq = tech.Veq();
+  const double t_bl = wave.CrossingTime(circuit.bl, veq + 0.1 * (tech.vdd - veq),
+                                        /*rising=*/false);
+  const double t_blb = wave.CrossingTime(circuit.blb, veq - 0.1 * veq,
+                                         /*rising=*/true);
+  ASSERT_GT(t_bl, 0.0);
+  ASSERT_GT(t_blb, 0.0);
+  EXPECT_LT(t_blb, t_bl);
+}
+
+TEST(ChargeSharingArray, DevelopsExpectedSenseVoltage) {
+  const TechnologyParams tech = SmallTech();
+  ChargeSharingArray array =
+      BuildChargeSharingArray(tech, DataPattern::kAllOnes, 1.0, 20e-12);
+
+  TransientOptions opt;
+  opt.t_stop_s = 30e-9;
+  opt.dt_s = 10e-12;
+  const Waveform wave = RunTransient(array.netlist, opt,
+                                     {array.bitline_nodes[2],
+                                      array.cell_nodes[2]});
+
+  // Ideal charge sharing (no parasitics): dV = Cs/(Cs+Cbl) * (Vdd - Veq).
+  // The circuit also sees the wordline-coupling boost through Cbw (the
+  // wordline swings to Vpp) and mutual reinforcement through Cbb when all
+  // neighbours store the same value, so dv may exceed the uncoupled ideal.
+  const double ideal =
+      tech.cs / (tech.cs + tech.Cbl()) * (tech.vdd - tech.Veq());
+  const double dv = wave.FinalValue(array.bitline_nodes[2]) - tech.Veq();
+  EXPECT_GT(dv, 0.5 * ideal);
+  EXPECT_LT(dv, 1.6 * ideal);
+  // Cell and bitline converge to the same level.
+  EXPECT_NEAR(wave.FinalValue(array.bitline_nodes[2]),
+              wave.FinalValue(array.cell_nodes[2]), 5e-3);
+}
+
+TEST(ChargeSharingArray, ZeroCellPullsBitlineDown) {
+  const TechnologyParams tech = SmallTech();
+  ChargeSharingArray array =
+      BuildChargeSharingArray(tech, DataPattern::kAllZeros, 1.0, 20e-12);
+
+  TransientOptions opt;
+  opt.t_stop_s = 30e-9;
+  opt.dt_s = 10e-12;
+  const Waveform wave =
+      RunTransient(array.netlist, opt, {array.bitline_nodes[0]});
+  EXPECT_LT(wave.FinalValue(array.bitline_nodes[0]), tech.Veq());
+}
+
+TEST(RefreshPath, RestoresCellTowardFull) {
+  const TechnologyParams tech = SmallTech();
+  RefreshPathCircuit path =
+      BuildRefreshPathCircuit(tech, /*cell_value=*/true,
+                              /*initial_charge_fraction=*/0.7,
+                              /*t_wordline_s=*/0.1e-9, /*t_sense_s=*/3e-9);
+
+  TransientOptions opt;
+  opt.t_stop_s = 40e-9;
+  opt.dt_s = 10e-12;
+  const Waveform wave =
+      RunTransient(path.netlist, opt, {path.cell, path.bl, path.blb});
+
+  // After sensing, the bitline pair splits to the rails and the cell is
+  // restored above its initial 70% level.
+  EXPECT_GT(wave.FinalValue(path.bl), 0.9 * tech.vdd);
+  EXPECT_LT(wave.FinalValue(path.blb), 0.1 * tech.vdd);
+  EXPECT_GT(wave.FinalValue(path.cell), 0.9 * tech.vdd);
+}
+
+TEST(RefreshPath, RestoresZeroCell) {
+  const TechnologyParams tech = SmallTech();
+  RefreshPathCircuit path =
+      BuildRefreshPathCircuit(tech, /*cell_value=*/false,
+                              /*initial_charge_fraction=*/1.0,
+                              /*t_wordline_s=*/0.1e-9, /*t_sense_s=*/3e-9);
+
+  TransientOptions opt;
+  opt.t_stop_s = 40e-9;
+  opt.dt_s = 10e-12;
+  const Waveform wave =
+      RunTransient(path.netlist, opt, {path.cell, path.bl, path.blb});
+
+  EXPECT_LT(wave.FinalValue(path.bl), 0.1 * tech.vdd);
+  EXPECT_GT(wave.FinalValue(path.blb), 0.9 * tech.vdd);
+  EXPECT_LT(wave.FinalValue(path.cell), 0.1 * tech.vdd);
+}
+
+// ---------------------------------------------------------------------------
+// DC operating point
+// ---------------------------------------------------------------------------
+
+TEST(DcOperatingPoint, ResistiveDivider) {
+  Netlist n;
+  const NodeId vs = n.Node("vs");
+  const NodeId mid = n.Node("mid");
+  n.AddVdc(vs, kGround, 1.2);
+  n.AddResistor(vs, mid, 1e3);
+  n.AddResistor(mid, kGround, 3e3);
+  const auto op = SolveDc(n, DcOptions{});
+  EXPECT_NEAR(op[mid], 0.9, 1e-6);
+  EXPECT_NEAR(op[vs], 1.2, 1e-12);
+}
+
+TEST(DcOperatingPoint, CapacitorsAreOpen) {
+  // With the cap open, no current flows: mid sits at the source voltage.
+  Netlist n;
+  const NodeId vs = n.Node("vs");
+  const NodeId mid = n.Node("mid");
+  n.AddVdc(vs, kGround, 1.0);
+  n.AddResistor(vs, mid, 1e3);
+  n.AddCapacitor(mid, kGround, 1e-12);
+  const auto op = SolveDc(n, DcOptions{});
+  EXPECT_NEAR(op[mid], 1.0, 1e-5);
+}
+
+TEST(DcOperatingPoint, SourceFollowerSettlesNearVgMinusVt) {
+  Netlist n;
+  const NodeId vd = n.Node("vd");
+  const NodeId vg = n.Node("vg");
+  const NodeId out = n.Node("out");
+  n.AddVdc(vd, kGround, 1.2);
+  n.AddVdc(vg, kGround, 1.0);
+  n.AddMosfet(MosType::kNmos, vd, vg, out, {0.4, 1e-3, 0.0});
+  n.AddResistor(out, kGround, 100e3);
+  DcOptions options;
+  const auto op = SolveDc(n, options);
+  // Between cutoff (vg - vt) and the resistive pull-down equilibrium.
+  EXPECT_GT(op[out], 0.4);
+  EXPECT_LT(op[out], 0.6);
+}
+
+TEST(DcOperatingPoint, EvaluatesSourcesAtGivenTime) {
+  Netlist n;
+  const NodeId src = n.Node("src");
+  n.AddVpwl(src, kGround, {{0.0, 0.0}, {1e-9, 1.0}});
+  n.AddResistor(src, kGround, 1e3);
+  DcOptions at_end;
+  at_end.time_s = 2e-9;
+  EXPECT_NEAR(SolveDc(n, at_end)[src], 1.0, 1e-12);
+  DcOptions at_mid;
+  at_mid.time_s = 0.5e-9;
+  EXPECT_NEAR(SolveDc(n, at_mid)[src], 0.5, 1e-12);
+}
+
+TEST(Waveform, CrossingTimeInterpolates) {
+  Waveform wave;
+  wave.AddSignal("x");
+  wave.Append(0.0, {0.0});
+  wave.Append(1.0, {1.0});
+  EXPECT_NEAR(wave.CrossingTime("x", 0.25, true), 0.25, 1e-12);
+  EXPECT_LT(wave.CrossingTime("x", 2.0, true), 0.0);  // never crosses
+}
+
+TEST(Waveform, UnknownSignalThrows) {
+  Waveform wave;
+  wave.AddSignal("x");
+  wave.Append(0.0, {0.0});
+  EXPECT_THROW(wave.Samples("y"), ConfigError);
+}
+
+}  // namespace
+}  // namespace vrl::circuit

@@ -1,0 +1,534 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "dram/bank.hpp"
+#include "dram/controller.hpp"
+#include "dram/refresh_policy.hpp"
+#include "dram/timing.hpp"
+#include "retention/profile.hpp"
+
+namespace vrl::dram {
+namespace {
+
+TimingParams FastTiming() {
+  TimingParams t;
+  t.t_refi = 1000;
+  t.t_refw = 64000;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// TimingParams
+// ---------------------------------------------------------------------------
+
+TEST(Timing, DefaultValidates) { EXPECT_NO_THROW(TimingParams{}.Validate()); }
+
+TEST(Timing, RejectsInconsistent) {
+  TimingParams t;
+  t.t_ras = 2;
+  t.t_rcd = 10;
+  EXPECT_THROW(t.Validate(), ConfigError);
+  t = TimingParams{};
+  t.t_refw = t.t_refi - 1;
+  EXPECT_THROW(t.Validate(), ConfigError);
+  t = TimingParams{};
+  t.t_cas = 0;
+  EXPECT_THROW(t.Validate(), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Bank
+// ---------------------------------------------------------------------------
+
+TEST(Bank, RowMissCostsActivate) {
+  const TimingParams t;
+  Bank bank(64, t);
+  Request r;
+  r.arrival = 0;
+  r.row = 3;
+  const Cycles done = bank.ServiceRequest(r);
+  // Row empty: tRCD + tCAS + burst.
+  EXPECT_EQ(done, t.t_rcd + t.t_cas + t.t_bus);
+  EXPECT_EQ(bank.stats().row_misses, 1u);
+  EXPECT_EQ(bank.stats().row_hits, 0u);
+  EXPECT_EQ(*bank.open_row(), 3u);
+}
+
+TEST(Bank, RowHitIsCheaper) {
+  const TimingParams t;
+  Bank bank(64, t);
+  Request r;
+  r.row = 3;
+  const Cycles first = bank.ServiceRequest(r);
+  r.arrival = first;
+  const Cycles second = bank.ServiceRequest(r);
+  EXPECT_EQ(second - first, t.t_cas + t.t_bus);
+  EXPECT_EQ(bank.stats().row_hits, 1u);
+}
+
+TEST(Bank, RowConflictCostsPrechargeActivate) {
+  const TimingParams t;
+  Bank bank(64, t);
+  Request r;
+  r.row = 3;
+  const Cycles first = bank.ServiceRequest(r);
+  r.row = 5;
+  r.arrival = first;
+  const Cycles second = bank.ServiceRequest(r);
+  // Precharge waits for tRAS of the ACT at 0 if the first access was quick.
+  const Cycles pre_start = std::max(first, t.t_ras);
+  EXPECT_EQ(second, pre_start + t.t_rp + t.t_rcd + t.t_cas + t.t_bus);
+  EXPECT_EQ(bank.stats().row_misses, 2u);
+}
+
+TEST(Bank, RequestWaitsForBusyBank) {
+  const TimingParams t;
+  Bank bank(64, t);
+  Request r;
+  r.row = 1;
+  const Cycles done = bank.ServiceRequest(r);
+  Request r2;
+  r2.row = 1;
+  r2.arrival = 0;  // arrived while busy
+  const Cycles done2 = bank.ServiceRequest(r2);
+  EXPECT_EQ(done2, done + t.t_cas + t.t_bus);
+  // Queueing delay shows up in the latency accounting.
+  EXPECT_EQ(bank.stats().total_request_latency, done + done2);
+}
+
+TEST(Bank, RefreshClosesOpenRow) {
+  const TimingParams t;
+  Bank bank(64, t);
+  Request r;
+  r.row = 7;
+  const Cycles done = bank.ServiceRequest(r);
+  const RefreshOp op{0, 26, true};
+  const Cycles ref_done = bank.ExecuteRefresh(op, done);
+  EXPECT_EQ(ref_done, std::max(done, t.t_ras) + t.t_rp + 26);
+  EXPECT_FALSE(bank.open_row().has_value());
+  EXPECT_EQ(bank.stats().refresh_busy_cycles, 26u);
+  EXPECT_EQ(bank.stats().full_refreshes, 1u);
+}
+
+TEST(Bank, RefreshFromPrechargedCostsOnlyTrfc) {
+  Bank bank(64, TimingParams{});
+  const Cycles done = bank.ExecuteRefresh({1, 15, false}, 100);
+  EXPECT_EQ(done, 115u);
+  EXPECT_EQ(bank.stats().partial_refreshes, 1u);
+}
+
+TEST(Bank, CountsReadsAndWrites) {
+  Bank bank(64, TimingParams{});
+  Request r;
+  r.type = RequestType::kWrite;
+  bank.ServiceRequest(r);
+  r.type = RequestType::kRead;
+  r.arrival = 1000;
+  bank.ServiceRequest(r);
+  EXPECT_EQ(bank.stats().writes, 1u);
+  EXPECT_EQ(bank.stats().reads, 1u);
+}
+
+TEST(Bank, WriteRecoveryDelaysConflictPrecharge) {
+  const TimingParams t;
+  Bank bank(64, t);
+  Request write;
+  write.row = 3;
+  write.type = RequestType::kWrite;
+  const Cycles write_done = bank.ServiceRequest(write);
+  // Immediate conflict: the precharge must wait out tWR after the write.
+  Request conflict;
+  conflict.row = 5;
+  conflict.arrival = write_done;
+  const Cycles done = bank.ServiceRequest(conflict);
+  EXPECT_EQ(done,
+            write_done + t.t_wr + t.t_rp + t.t_rcd + t.t_cas + t.t_bus);
+}
+
+TEST(Bank, ReadConflictNeedsNoWriteRecovery) {
+  const TimingParams t;
+  Bank bank(64, t);
+  Request read;
+  read.row = 3;
+  const Cycles read_done = bank.ServiceRequest(read);
+  Request conflict;
+  conflict.row = 5;
+  conflict.arrival = read_done;
+  const Cycles done = bank.ServiceRequest(conflict);
+  // No tWR wait — but the precharge still honors tRAS of the ACT at 0.
+  const Cycles pre_start = std::max(read_done, t.t_ras);
+  EXPECT_EQ(done, pre_start + t.t_rp + t.t_rcd + t.t_cas + t.t_bus);
+}
+
+TEST(Bank, TRasKeepsRowOpenBeforeConflict) {
+  TimingParams t;
+  t.t_ras = 200;  // force the constraint to bind
+  Bank bank(64, t);
+  Request first;
+  first.row = 1;
+  const Cycles first_done = bank.ServiceRequest(first);  // ACT at 0
+  Request conflict;
+  conflict.row = 2;
+  conflict.arrival = first_done;
+  const Cycles done = bank.ServiceRequest(conflict);
+  // Precharge cannot start before ACT + tRAS = 200.
+  EXPECT_EQ(done, 200 + t.t_rp + t.t_rcd + t.t_cas + t.t_bus);
+}
+
+TEST(Bank, TRasDelaysRefreshPrecharge) {
+  TimingParams t;
+  t.t_ras = 200;
+  Bank bank(64, t);
+  Request first;
+  first.row = 1;
+  const Cycles first_done = bank.ServiceRequest(first);
+  const Cycles ref_done = bank.ExecuteRefresh({0, 26, true}, first_done);
+  EXPECT_EQ(ref_done, 200 + t.t_rp + 26);
+}
+
+TEST(Bank, ClosedPagePrechargesAfterAccess) {
+  const TimingParams t;
+  Bank bank(64, t, RowBufferPolicy::kClosedPage);
+  Request r;
+  r.row = 7;
+  const Cycles done = bank.ServiceRequest(r);
+  EXPECT_FALSE(bank.open_row().has_value());
+  // The auto-precharge (waiting out tRAS) occupies the bank beyond the
+  // data burst.
+  EXPECT_EQ(bank.busy_until(), std::max(done, t.t_ras) + t.t_rp);
+}
+
+TEST(Bank, ClosedPageTurnsConflictsIntoEmptyActivations) {
+  const TimingParams t;
+  Bank open_bank(64, t, RowBufferPolicy::kOpenPage);
+  Bank closed_bank(64, t, RowBufferPolicy::kClosedPage);
+  // Alternate two rows: open-page pays PRE+ACT each time, closed-page only
+  // ACT (the precharge already happened in the shadow of the previous op).
+  Cycles open_t = 0;
+  Cycles closed_t = 0;
+  for (int i = 0; i < 10; ++i) {
+    Request r;
+    r.row = static_cast<std::size_t>(i % 2);
+    // Spaced far apart: the bank is idle when each request arrives.
+    r.arrival = static_cast<Cycles>(i + 1) * 100000;
+    open_t = open_bank.ServiceRequest(r);
+    closed_t = closed_bank.ServiceRequest(r);
+  }
+  EXPECT_EQ(open_bank.stats().row_misses, 10u);
+  EXPECT_EQ(closed_bank.stats().row_misses, 10u);
+  // Same misses, but the closed bank never paid an in-line precharge after
+  // the first access (arrivals are spaced out), so per-access latency is
+  // tRCD+tCAS+tBUS vs tRP+tRCD+tCAS+tBUS.
+  EXPECT_LT(closed_bank.stats().total_request_latency,
+            open_bank.stats().total_request_latency);
+}
+
+// ---------------------------------------------------------------------------
+// Subarray-level parallelism
+// ---------------------------------------------------------------------------
+
+TEST(BankSalp, RefreshDoesNotBlockOtherSubarrays) {
+  const TimingParams t;
+  Bank bank(64, t, RowBufferPolicy::kOpenPage, /*subarrays=*/4);
+  // Refresh a row in subarray 0 (rows 0..15) with a long tRFC.
+  bank.ExecuteRefresh({0, 500, true}, 0);
+  // An access to subarray 3 proceeds immediately.
+  Request r;
+  r.row = 60;
+  const Cycles done = bank.ServiceRequest(r);
+  EXPECT_EQ(done, t.t_rcd + t.t_cas + t.t_bus);
+  // An access to the refreshed subarray waits.
+  Request blocked;
+  blocked.row = 1;
+  const Cycles blocked_done = bank.ServiceRequest(blocked);
+  EXPECT_GE(blocked_done, 500u);
+}
+
+TEST(BankSalp, EachSubarrayHasItsOwnRowBuffer) {
+  const TimingParams t;
+  Bank bank(64, t, RowBufferPolicy::kOpenPage, 4);
+  Request a;
+  a.row = 1;  // subarray 0
+  Request b;
+  b.row = 20;  // subarray 1
+  bank.ServiceRequest(a);
+  bank.ServiceRequest(b);
+  EXPECT_TRUE(bank.IsRowOpen(1));
+  EXPECT_TRUE(bank.IsRowOpen(20));
+  EXPECT_FALSE(bank.IsRowOpen(2));
+  // Re-access of row 1 is still a hit: opening row 20 did not evict it.
+  Request again;
+  again.row = 1;
+  again.arrival = 10000;
+  bank.ServiceRequest(again);
+  EXPECT_EQ(bank.stats().row_hits, 1u);
+}
+
+TEST(BankSalp, SharedBusSerializesBursts) {
+  const TimingParams t;
+  Bank bank(64, t, RowBufferPolicy::kOpenPage, 4);
+  Request a;
+  a.row = 1;  // subarray 0
+  Request b;
+  b.row = 60;  // subarray 3, same arrival
+  const Cycles done_a = bank.ServiceRequest(a);
+  const Cycles done_b = bank.ServiceRequest(b);
+  // Row cycles overlap, but the two bursts cannot: completions differ by at
+  // least the burst length.
+  EXPECT_GE(done_b, done_a + t.t_bus);
+  // And b finished earlier than a fully serialized bank would allow.
+  EXPECT_LT(done_b, done_a + t.t_rcd + t.t_cas + t.t_bus);
+}
+
+TEST(BankSalp, SubarrayOfMapsRowsContiguously) {
+  Bank bank(64, TimingParams{}, RowBufferPolicy::kOpenPage, 4);
+  EXPECT_EQ(bank.subarray_count(), 4u);
+  EXPECT_EQ(bank.SubarrayOf(0), 0u);
+  EXPECT_EQ(bank.SubarrayOf(15), 0u);
+  EXPECT_EQ(bank.SubarrayOf(16), 1u);
+  EXPECT_EQ(bank.SubarrayOf(63), 3u);
+}
+
+TEST(BankSalp, SingleSubarrayMatchesLegacyBehaviour) {
+  const TimingParams t;
+  Bank legacy(64, t);
+  EXPECT_EQ(legacy.subarray_count(), 1u);
+  Request r;
+  r.row = 3;
+  const Cycles done = legacy.ServiceRequest(r);
+  EXPECT_EQ(done, t.t_rcd + t.t_cas + t.t_bus);
+  EXPECT_EQ(*legacy.open_row(), 3u);
+}
+
+TEST(BankSalp, RejectsBadSubarrayCount) {
+  EXPECT_THROW(Bank(64, TimingParams{}, RowBufferPolicy::kOpenPage, 0),
+               ConfigError);
+  EXPECT_THROW(Bank(64, TimingParams{}, RowBufferPolicy::kOpenPage, 65),
+               ConfigError);
+}
+
+TEST(Bank, RejectsBadInput) {
+  EXPECT_THROW(Bank(0, TimingParams{}), ConfigError);
+  Bank bank(4, TimingParams{});
+  Request r;
+  r.row = 4;
+  EXPECT_THROW(bank.ServiceRequest(r), ConfigError);
+  EXPECT_THROW(bank.ExecuteRefresh({9, 26, true}, 0), ConfigError);
+  EXPECT_THROW(bank.ExecuteRefresh({0, 0, true}, 0), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Refresh policies
+// ---------------------------------------------------------------------------
+
+retention::BinningResult MakeBinning(std::vector<double> retentions) {
+  const retention::RetentionProfile profile(std::move(retentions));
+  return retention::BinRows(profile, retention::StandardBinPeriods());
+}
+
+TEST(JedecPolicy, RefreshesEveryRowOncePerWindow) {
+  JedecPolicy policy(16, 1600, 26);
+  std::size_t ops = 0;
+  for (Cycles t = 0; t < 3200; t += 100) {
+    for (const auto& op : policy.CollectDue(t)) {
+      EXPECT_TRUE(op.is_full);
+      EXPECT_EQ(op.trfc, 26u);
+      ++ops;
+    }
+  }
+  // Two windows' worth of refreshes for 16 rows (t=3100 covers the second
+  // window's staggered deadlines except the very last row).
+  EXPECT_GE(ops, 31u);
+  EXPECT_LE(ops, 32u);
+}
+
+TEST(RaidrPolicy, WeakRowsRefreshMoreOften) {
+  // Row 0: 64 ms bin; row 1: 256 ms bin.
+  const auto binning = MakeBinning({0.07, 1.0});
+  const auto plan = MakeRefreshPlan(binning, 2.5e-9);
+  RaidrPolicy policy(plan, 26);
+  std::size_t row0 = 0;
+  std::size_t row1 = 0;
+  const Cycles period64 = plan.period_cycles[0];
+  for (Cycles t = 0; t < 8 * period64; t += period64 / 16) {
+    for (const auto& op : policy.CollectDue(t)) {
+      (op.row == 0 ? row0 : row1) += 1;
+      EXPECT_TRUE(op.is_full);
+    }
+  }
+  EXPECT_GT(row0, 3 * row1);
+}
+
+TEST(VrlPolicy, FollowsAlgorithmOne) {
+  // Single row with MPRSF 2: pattern partial, partial, full, ...
+  retention::BinningResult binning = MakeBinning({1.0});
+  auto plan = MakeRefreshPlan(binning, 2.5e-9, {2});
+  VrlPolicy policy(plan, 26, 15);
+  const Cycles period = plan.period_cycles[0];
+
+  std::vector<bool> fulls;
+  for (Cycles t = 0; t < 9 * period; t += period) {
+    for (const auto& op : policy.CollectDue(t)) {
+      fulls.push_back(op.is_full);
+      EXPECT_EQ(op.trfc, op.is_full ? 26u : 15u);
+    }
+  }
+  ASSERT_GE(fulls.size(), 9u);
+  // Exactly one full every three refreshes.
+  std::size_t full_count = 0;
+  for (std::size_t i = 0; i + 2 < fulls.size(); i += 3) {
+    full_count += static_cast<std::size_t>(fulls[i]) + fulls[i + 1] + fulls[i + 2];
+  }
+  EXPECT_EQ(full_count, fulls.size() / 3);
+}
+
+TEST(VrlPolicy, ZeroMprsfMeansAllFull) {
+  auto plan = MakeRefreshPlan(MakeBinning({1.0}), 2.5e-9, {0});
+  VrlPolicy policy(plan, 26, 15);
+  const Cycles period = plan.period_cycles[0];
+  for (Cycles t = 0; t < 5 * period; t += period) {
+    for (const auto& op : policy.CollectDue(t)) {
+      EXPECT_TRUE(op.is_full);
+    }
+  }
+}
+
+TEST(VrlPolicy, CounterPhasesAreStaggered) {
+  auto plan = MakeRefreshPlan(MakeBinning({1.0, 1.0, 1.0}), 2.5e-9, {2, 2, 2});
+  VrlPolicy policy(plan, 26, 15);
+  // rcount starts at r % (mprsf+1).
+  EXPECT_EQ(policy.RefreshCount(0), 0);
+  EXPECT_EQ(policy.RefreshCount(1), 1);
+  EXPECT_EQ(policy.RefreshCount(2), 2);
+}
+
+TEST(VrlPolicy, RejectsBadConfiguration) {
+  auto plan = MakeRefreshPlan(MakeBinning({1.0}), 2.5e-9, {1});
+  EXPECT_THROW(VrlPolicy(plan, 26, 26), ConfigError);
+  EXPECT_THROW(VrlPolicy(plan, 26, 0), ConfigError);
+  auto no_mprsf = MakeRefreshPlan(MakeBinning({1.0}), 2.5e-9);
+  EXPECT_THROW(VrlPolicy(no_mprsf, 26, 15), ConfigError);
+}
+
+TEST(VrlAccessPolicy, AccessResetsCounter) {
+  auto plan = MakeRefreshPlan(MakeBinning({1.0}), 2.5e-9, {2});
+  VrlAccessPolicy policy(plan, 26, 15);
+  const Cycles period = plan.period_cycles[0];
+
+  // Two partials bring the counter to 2 (next would be full)...
+  (void)policy.CollectDue(0);
+  (void)policy.CollectDue(period);
+  EXPECT_EQ(policy.RefreshCount(0), 2);
+  // ...but an access resets it, so the next refresh is partial again.
+  policy.OnRowAccess(0);
+  EXPECT_EQ(policy.RefreshCount(0), 0);
+  const auto ops = policy.CollectDue(2 * period);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_FALSE(ops[0].is_full);
+}
+
+TEST(VrlAccessPolicy, RejectsUnknownRow) {
+  auto plan = MakeRefreshPlan(MakeBinning({1.0}), 2.5e-9, {1});
+  VrlAccessPolicy policy(plan, 26, 15);
+  EXPECT_THROW(policy.OnRowAccess(1), ConfigError);
+}
+
+TEST(MakeRefreshPlanTest, ConvertsPeriodsToCycles) {
+  const auto binning = MakeBinning({0.07, 0.26});
+  const auto plan = MakeRefreshPlan(binning, 2.5e-9);
+  EXPECT_EQ(plan.period_cycles[0], SecondsToCyclesCeil(0.064, 2.5e-9));
+  EXPECT_EQ(plan.period_cycles[1], SecondsToCyclesCeil(0.256, 2.5e-9));
+  EXPECT_TRUE(plan.mprsf.empty());
+}
+
+TEST(MakeRefreshPlanTest, RejectsMismatchedMprsf) {
+  const auto binning = MakeBinning({0.07, 0.26});
+  EXPECT_THROW(MakeRefreshPlan(binning, 2.5e-9, {1}), ConfigError);
+  EXPECT_THROW(MakeRefreshPlan(binning, 0.0), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// MemoryController
+// ---------------------------------------------------------------------------
+
+PolicyFactory JedecFactory(std::size_t rows, Cycles window, Cycles trfc) {
+  return [=]() { return std::make_unique<JedecPolicy>(rows, window, trfc); };
+}
+
+TEST(Controller, RefreshOverheadMatchesHandCount) {
+  const TimingParams t = FastTiming();
+  const std::size_t rows = 8;
+  MemoryController controller(1, rows, t, JedecFactory(rows, t.t_refw, 26));
+  const Cycles horizon = 4 * t.t_refw;
+  const auto stats = controller.Run({}, horizon);
+  // Every row refreshed once per window; deadlines staggered from t=0, so
+  // windows [0,4) of deadlines fire within the horizon, plus the boundary
+  // tick at exactly `horizon`.
+  const std::size_t expected = rows * 4;
+  EXPECT_NEAR(static_cast<double>(stats.TotalFullRefreshes()),
+              static_cast<double>(expected), 8.0);
+  EXPECT_EQ(stats.TotalRefreshBusyCycles(), stats.TotalFullRefreshes() * 26);
+}
+
+TEST(Controller, ServicesAllRequests) {
+  const TimingParams t = FastTiming();
+  MemoryController controller(2, 16, t, JedecFactory(16, t.t_refw, 26));
+  std::vector<Request> requests;
+  for (int i = 0; i < 100; ++i) {
+    Request r;
+    r.arrival = static_cast<Cycles>(i * 50);
+    r.bank = static_cast<std::size_t>(i % 2);
+    r.row = static_cast<std::size_t>(i % 16);
+    requests.push_back(r);
+  }
+  const auto stats = controller.Run(requests, 2 * t.t_refw);
+  EXPECT_EQ(stats.TotalReads() + stats.TotalWrites(), 100u);
+  EXPECT_GT(stats.AverageRequestLatency(), 0.0);
+}
+
+TEST(Controller, RejectsUnsortedRequests) {
+  const TimingParams t = FastTiming();
+  MemoryController controller(1, 16, t, JedecFactory(16, t.t_refw, 26));
+  std::vector<Request> requests(2);
+  requests[0].arrival = 100;
+  requests[1].arrival = 50;
+  EXPECT_THROW(controller.Run(requests, 1000), ConfigError);
+}
+
+TEST(Controller, RejectsOutOfRangeBank) {
+  const TimingParams t = FastTiming();
+  MemoryController controller(1, 16, t, JedecFactory(16, t.t_refw, 26));
+  std::vector<Request> requests(1);
+  requests[0].bank = 5;
+  EXPECT_THROW(controller.Run(requests, 1000), ConfigError);
+}
+
+TEST(Controller, RejectsBadFactory) {
+  const TimingParams t = FastTiming();
+  EXPECT_THROW(MemoryController(1, 16, t, []() {
+                 return std::unique_ptr<RefreshPolicy>{};
+               }),
+               ConfigError);
+  // Policy row count must match the bank.
+  EXPECT_THROW(MemoryController(1, 16, t, JedecFactory(8, t.t_refw, 26)),
+               ConfigError);
+}
+
+TEST(ControllerStats, AggregatesAcrossBanks) {
+  SimulationStats stats;
+  stats.per_bank.resize(2);
+  stats.per_bank[0].full_refreshes = 3;
+  stats.per_bank[0].refresh_busy_cycles = 78;
+  stats.per_bank[1].partial_refreshes = 2;
+  stats.per_bank[1].refresh_busy_cycles = 30;
+  EXPECT_EQ(stats.TotalFullRefreshes(), 3u);
+  EXPECT_EQ(stats.TotalPartialRefreshes(), 2u);
+  EXPECT_EQ(stats.TotalRefreshBusyCycles(), 108u);
+  EXPECT_DOUBLE_EQ(stats.RefreshOverheadPerBank(), 54.0);
+}
+
+}  // namespace
+}  // namespace vrl::dram

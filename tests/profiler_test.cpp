@@ -1,0 +1,157 @@
+// Tests for the simulated retention profiler (REAPER-style measurement).
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "retention/distribution.hpp"
+#include "retention/profiler.hpp"
+#include "retention/vrt.hpp"
+
+namespace vrl::retention {
+namespace {
+
+RetentionProfile FixedTruth() {
+  return RetentionProfile({0.07, 0.2, 0.3, 1.0, 5.0});
+}
+
+TEST(ProfilingCampaignTest, StandardCampaignValidates) {
+  EXPECT_NO_THROW(StandardCampaign().Validate());
+}
+
+TEST(ProfilingCampaignTest, RejectsBadCampaigns) {
+  ProfilingCampaign campaign;
+  EXPECT_THROW(campaign.Validate(), ConfigError);  // no periods
+  campaign.test_periods_s = {0.128, 0.064};
+  EXPECT_THROW(campaign.Validate(), ConfigError);  // unsorted
+  campaign.test_periods_s = {0.064};
+  campaign.rounds = 0;
+  EXPECT_THROW(campaign.Validate(), ConfigError);
+  campaign.rounds = 1;
+  campaign.derating = 0.5;
+  EXPECT_THROW(campaign.Validate(), ConfigError);
+}
+
+TEST(MeasureProfileTest, BinsOntoGridConservatively) {
+  Rng rng(1);
+  const auto truth = FixedTruth();
+  const auto measured =
+      MeasureProfile(truth, {}, VrtParams{}, StandardCampaign(), rng);
+  // Each measurement is the largest grid period <= truth.
+  EXPECT_DOUBLE_EQ(measured.RowRetention(0), 0.064);  // 70ms -> 64ms
+  EXPECT_DOUBLE_EQ(measured.RowRetention(1), 0.192);  // 200ms -> 192ms
+  EXPECT_DOUBLE_EQ(measured.RowRetention(2), 0.256);  // 300ms -> 256ms
+  EXPECT_DOUBLE_EQ(measured.RowRetention(3), 0.512);  // 1s -> 512ms
+  EXPECT_DOUBLE_EQ(measured.RowRetention(4), 4.096);  // 5s -> grid max
+}
+
+TEST(MeasureProfileTest, NeverExceedsTruthWithoutVrt) {
+  Rng rng(7);
+  const RetentionDistribution dist;
+  const auto truth = RetentionProfile::Generate(dist, 512, 32, rng);
+  const auto measured =
+      MeasureProfile(truth, {}, VrtParams{}, StandardCampaign(), rng);
+  for (std::size_t r = 0; r < truth.rows(); ++r) {
+    EXPECT_LE(measured.RowRetention(r), truth.RowRetention(r) + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(OptimisticMissRate(measured, truth), 0.0);
+}
+
+TEST(MeasureProfileTest, DeratingShrinksMeasurements) {
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const auto truth = FixedTruth();
+  ProfilingCampaign plain = StandardCampaign();
+  ProfilingCampaign derated = StandardCampaign();
+  derated.derating = 2.0;
+  const auto m_plain = MeasureProfile(truth, {}, VrtParams{}, plain, rng_a);
+  const auto m_derated =
+      MeasureProfile(truth, {}, VrtParams{}, derated, rng_b);
+  for (std::size_t r = 0; r < truth.rows(); ++r) {
+    EXPECT_LE(m_derated.RowRetention(r), m_plain.RowRetention(r) + 1e-12);
+  }
+}
+
+TEST(MeasureProfileTest, VrtCausesOptimisticMisses) {
+  Rng rng(11);
+  const RetentionDistribution dist;
+  const auto truth = RetentionProfile::Generate(dist, 2048, 32, rng);
+  VrtParams vrt;
+  vrt.row_fraction = 0.1;
+  vrt.low_ratio = 0.5;
+  vrt.low_state_prob = 0.3;
+  const auto vrt_rows = SampleVrtRows(vrt, truth.rows(), rng);
+  const auto worst = WorstCaseRuntimeProfile(truth, vrt_rows, vrt);
+
+  ProfilingCampaign one_round = StandardCampaign();
+  one_round.rounds = 1;
+  const auto measured = MeasureProfile(truth, vrt_rows, vrt, one_round, rng);
+  EXPECT_GT(OptimisticMissRate(measured, worst), 0.0);
+}
+
+TEST(MeasureProfileTest, MoreRoundsReduceMisses) {
+  Rng rng(13);
+  const RetentionDistribution dist;
+  const auto truth = RetentionProfile::Generate(dist, 4096, 32, rng);
+  VrtParams vrt;
+  vrt.row_fraction = 0.1;
+  vrt.low_ratio = 0.5;
+  vrt.low_state_prob = 0.4;
+  const auto vrt_rows = SampleVrtRows(vrt, truth.rows(), rng);
+  const auto worst = WorstCaseRuntimeProfile(truth, vrt_rows, vrt);
+
+  const auto miss_at = [&](std::size_t rounds) {
+    ProfilingCampaign campaign = StandardCampaign();
+    campaign.rounds = rounds;
+    Rng measure_rng(5);
+    const auto measured =
+        MeasureProfile(truth, vrt_rows, vrt, campaign, measure_rng);
+    return OptimisticMissRate(measured, worst);
+  };
+  EXPECT_GT(miss_at(1), miss_at(8));
+}
+
+TEST(MeasureProfileTest, DeratingByVrtRatioIsSafe) {
+  Rng rng(17);
+  const RetentionDistribution dist;
+  const auto truth = RetentionProfile::Generate(dist, 2048, 32, rng);
+  VrtParams vrt;
+  vrt.row_fraction = 0.1;
+  vrt.low_ratio = 0.6;
+  const auto vrt_rows = SampleVrtRows(vrt, truth.rows(), rng);
+  const auto worst = WorstCaseRuntimeProfile(truth, vrt_rows, vrt);
+
+  ProfilingCampaign campaign = StandardCampaign();
+  campaign.rounds = 1;
+  campaign.derating = 1.0 / vrt.low_ratio;
+  const auto measured = MeasureProfile(truth, vrt_rows, vrt, campaign, rng);
+
+  // The only possible "misses" are rows clamped at the grid floor, whose
+  // worst-case runtime retention dips below the smallest test period.
+  for (std::size_t r = 0; r < truth.rows(); ++r) {
+    if (measured.RowRetention(r) > worst.RowRetention(r)) {
+      EXPECT_DOUBLE_EQ(measured.RowRetention(r),
+                       campaign.test_periods_s.front());
+    }
+  }
+}
+
+TEST(MeasureProfileTest, RejectsSizeMismatch) {
+  Rng rng(1);
+  const auto truth = FixedTruth();
+  EXPECT_THROW(MeasureProfile(truth, std::vector<bool>(3, false), VrtParams{},
+                              StandardCampaign(), rng),
+               ConfigError);
+}
+
+TEST(OptimisticMissRateTest, CountsOnlyOptimism) {
+  const RetentionProfile measured({0.064, 0.256, 0.5});
+  const RetentionProfile worst({0.07, 0.2, 0.5});
+  // Row 0 pessimistic (fine), row 1 optimistic (miss), row 2 equal (fine).
+  EXPECT_NEAR(OptimisticMissRate(measured, worst), 1.0 / 3.0, 1e-12);
+  const RetentionProfile wrong({1.0});
+  EXPECT_THROW(OptimisticMissRate(measured, wrong), ConfigError);
+}
+
+}  // namespace
+}  // namespace vrl::retention

@@ -1,0 +1,198 @@
+// Property-based tests of the analytical refresh model: invariants asserted
+// across the full grid of bank geometries and across model-spec variations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/technology.hpp"
+#include "model/refresh_model.hpp"
+#include "model/single_cell.hpp"
+
+namespace vrl::model {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Invariants across bank geometries (the Table 1 grid and beyond)
+// ---------------------------------------------------------------------------
+
+class GeometryProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+ protected:
+  TechnologyParams Tech() const {
+    const auto [rows, columns] = GetParam();
+    return TechnologyParams{}.WithGeometry(rows, columns);
+  }
+};
+
+TEST_P(GeometryProperty, CouplingCoefficientsAreProperFractions) {
+  const PreSensingModel pre(Tech());
+  EXPECT_GT(pre.K1(), 0.0);
+  EXPECT_LT(pre.K1(), 1.0);
+  EXPECT_GT(pre.K2(), 0.0);
+  EXPECT_LT(pre.K2(), pre.K1());
+  // Stability of the tridiagonal system: spectral radius of the coupling
+  // term is below 1 when 2*K2 < 1.
+  EXPECT_LT(2.0 * pre.K2(), 1.0);
+}
+
+TEST_P(GeometryProperty, PhaseDelaysArePositiveAndOrdered) {
+  const RefreshModel m(Tech());
+  EXPECT_GT(m.TauEqSeconds(), 0.0);
+  EXPECT_GT(m.TauPreSeconds(), 0.0);
+  const auto full = m.FullRefreshTimings();
+  const auto partial = m.PartialRefreshTimings();
+  EXPECT_GT(full.tau_post_s, partial.tau_post_s);
+  EXPECT_EQ(full.tau_eq, partial.tau_eq);
+  EXPECT_EQ(full.tau_pre, partial.tau_pre);
+  EXPECT_EQ(full.tau_fixed, partial.tau_fixed);
+  EXPECT_LT(partial.trfc(), full.trfc());
+}
+
+TEST_P(GeometryProperty, SensingDeltaVIsMonotoneInCharge) {
+  const RefreshModel m(Tech());
+  double prev = -1.0;
+  for (double f = 0.55; f <= 1.0; f += 0.05) {
+    const double dv = m.SensingDeltaV(f);
+    EXPECT_GT(dv, prev);
+    prev = dv;
+  }
+}
+
+TEST_P(GeometryProperty, MinReadableFractionIsConsistent) {
+  const RefreshModel m(Tech());
+  const double f = m.MinReadableFraction();
+  EXPECT_GT(f, 0.5);
+  EXPECT_LT(f, 0.75);
+  EXPECT_LT(m.SensingDeltaV(f - 0.01), m.tech().v_sense_min);
+  EXPECT_GT(m.SensingDeltaV(f + 0.01), m.tech().v_sense_min);
+}
+
+TEST_P(GeometryProperty, ApplyRefreshIsMonotoneInStartFraction) {
+  const RefreshModel m(Tech());
+  const double tau = m.PartialRefreshTimings().tau_post_s;
+  double prev_after = 0.0;
+  for (double f = m.MinReadableFraction() + 0.01; f <= 0.99; f += 0.05) {
+    const auto out = m.ApplyRefresh(f, tau);
+    ASSERT_TRUE(out.sense_ok);
+    EXPECT_GE(out.fraction_after, prev_after - 1e-12);
+    // Every readable cell ends at least at the partial target (a nearly
+    // full cell may end *below* its starting level — that is exactly the
+    // restore truncation of a partial refresh).
+    if (f >= m.spec().start_fraction) {
+      EXPECT_GE(out.fraction_after, m.spec().partial_target - 1e-9);
+    }
+    prev_after = out.fraction_after;
+  }
+}
+
+TEST_P(GeometryProperty, RestoreCurveIsNormalizedAndMonotone) {
+  const RefreshModel m(Tech());
+  const auto curve = m.RestoreCurve(128);
+  EXPECT_NEAR(curve(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(curve(1.0), 1.0, 1e-9);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.02) {
+    const double y = curve(x);
+    EXPECT_GE(y, prev - 1e-12);
+    EXPECT_GE(y, -1e-12);
+    EXPECT_LE(y, 1.0 + 1e-12);
+    prev = y;
+  }
+}
+
+TEST_P(GeometryProperty, TimeToRestoreInvertsRestoredVoltage) {
+  const TechnologyParams tech = Tech();
+  const PostSensingModel post(tech);
+  const double dv = 0.02;
+  const double v0 = tech.Veq() + dv;
+  for (double target = 0.8; target < 1.0; target += 0.04) {
+    const double v_target = target * tech.vdd;
+    if (v_target <= v0) {
+      continue;
+    }
+    const double t = post.TimeToRestore(v0, dv, v_target);
+    EXPECT_NEAR(post.RestoredVoltage(v0, dv, t), v_target,
+                1e-9 * tech.vdd);
+  }
+}
+
+TEST_P(GeometryProperty, SingleCellModelIgnoresGeometry) {
+  const SingleCellModel sc(Tech());
+  const SingleCellModel reference(TechnologyParams{});
+  EXPECT_EQ(sc.PreSensingCycles(), reference.PreSensingCycles());
+}
+
+TEST_P(GeometryProperty, PartialCapsCompoundMonotonically) {
+  const RefreshModel m(Tech());
+  double prev = 1.0;
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const double cap = m.PartialRestoreCap(k);
+    EXPECT_LE(cap, prev);
+    EXPECT_GE(cap, 0.0);
+    prev = cap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BankGrid, GeometryProperty,
+    ::testing::Combine(::testing::Values(std::size_t{2048}, std::size_t{4096},
+                                         std::size_t{8192},
+                                         std::size_t{16384}),
+                       ::testing::Values(std::size_t{32}, std::size_t{64},
+                                         std::size_t{128})));
+
+// ---------------------------------------------------------------------------
+// Invariants across restore-target specs
+// ---------------------------------------------------------------------------
+
+class SpecProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpecProperty, TauPostGrowsWithTarget) {
+  RefreshModel::Spec spec;
+  spec.partial_target = GetParam();
+  const RefreshModel m(TechnologyParams{}, spec);
+  EXPECT_LT(m.TauPostSeconds(spec.partial_target),
+            m.TauPostSeconds(spec.full_target));
+  // And the generated partial refresh really restores at least its target
+  // for the spec's worst-case start.
+  const auto out = m.ApplyRefresh(spec.start_fraction,
+                                  m.PartialRefreshTimings().tau_post_s);
+  ASSERT_TRUE(out.sense_ok);
+  EXPECT_GE(out.fraction_after, spec.partial_target - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, SpecProperty,
+                         ::testing::Values(0.85, 0.90, 0.93, 0.95, 0.97));
+
+// ---------------------------------------------------------------------------
+// Equalization model properties across drive strengths
+// ---------------------------------------------------------------------------
+
+class EqualizationProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(EqualizationProperty, StrongerDeviceEqualizesFaster) {
+  TechnologyParams weak;
+  weak.wl_eq = GetParam();
+  TechnologyParams strong = weak;
+  strong.wl_eq = GetParam() * 2.0;
+  EXPECT_GT(EqualizationModel(weak).EqualizationDelay(),
+            EqualizationModel(strong).EqualizationDelay());
+}
+
+TEST_P(EqualizationProperty, TrajectoriesBracketVeq) {
+  TechnologyParams tech;
+  tech.wl_eq = GetParam();
+  const EqualizationModel eq(tech);
+  for (double t = 0.0; t < 10e-9; t += 0.2e-9) {
+    EXPECT_GE(eq.VoltageAt(BitlineSide::kHigh, t), tech.Veq() - 1e-9);
+    EXPECT_LE(eq.VoltageAt(BitlineSide::kLow, t), tech.Veq() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DriveStrengths, EqualizationProperty,
+                         ::testing::Values(5.0, 10.0, 20.0, 40.0));
+
+}  // namespace
+}  // namespace vrl::model

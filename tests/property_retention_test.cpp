@@ -1,0 +1,262 @@
+// Property-based tests of the retention stack: distribution calibration
+// across parameter sets, leakage-model algebra, MPRSF monotonicity sweeps,
+// temperature and VRT invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "model/refresh_model.hpp"
+#include "retention/distribution.hpp"
+#include "retention/leakage.hpp"
+#include "retention/mprsf.hpp"
+#include "retention/profile.hpp"
+#include "retention/temperature.hpp"
+#include "retention/vrt.hpp"
+
+namespace vrl::retention {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Distribution: empirical vs analytic CDF across parameter sets
+// ---------------------------------------------------------------------------
+
+class DistributionProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {
+ protected:
+  RetentionDistribution Dist() const {
+    const auto [mu, sigma, weak] = GetParam();
+    RetentionDistributionParams params;
+    params.lognormal_mu = mu;
+    params.lognormal_sigma = sigma;
+    params.weak_fraction = weak;
+    return RetentionDistribution(params);
+  }
+};
+
+TEST_P(DistributionProperty, EmpiricalCdfTracksAnalytic) {
+  const auto dist = Dist();
+  Rng rng(17);
+  const int n = 60000;
+  for (const double t : {0.1, 0.256, 0.7, 2.0}) {
+    int below = 0;
+    Rng sample_rng = rng.Fork(static_cast<std::uint64_t>(t * 1000));
+    for (int i = 0; i < n; ++i) {
+      below += dist.SampleCellRetention(sample_rng) < t ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(below) / n, dist.CellCdf(t),
+                4.0 * std::sqrt(0.25 / n) + 1e-3)
+        << "at t=" << t;
+  }
+}
+
+TEST_P(DistributionProperty, CdfIsMonotone) {
+  const auto dist = Dist();
+  double prev = -1.0;
+  for (double t = 0.01; t < 50.0; t *= 1.4) {
+    const double c = dist.CellCdf(t);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST_P(DistributionProperty, RowMinIsStochasticallySmaller) {
+  const auto dist = Dist();
+  Rng rng(3);
+  int row_smaller = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const double cell = dist.SampleCellRetention(rng);
+    const double row = dist.SampleRowRetention(rng, 16);
+    row_smaller += row < cell ? 1 : 0;
+  }
+  // P(min of 16 < one draw) should be well above 1/2.
+  EXPECT_GT(row_smaller, trials * 2 / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSets, DistributionProperty,
+    ::testing::Values(std::make_tuple(std::log(1.8), 0.645, 1.22e-3),
+                      std::make_tuple(std::log(1.0), 0.5, 5e-3),
+                      std::make_tuple(std::log(3.0), 0.8, 1e-4),
+                      std::make_tuple(std::log(1.8), 0.645, 0.0)));
+
+// ---------------------------------------------------------------------------
+// Leakage algebra
+// ---------------------------------------------------------------------------
+
+class LeakageProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LeakageProperty, DecayComposes) {
+  // decay(t1 + t2) == decay(t1) then decay(t2)  (exponential semigroup)
+  const LeakageModel leak(0.9995, 0.579);
+  const double retention = GetParam();
+  const double f0 = 0.95;
+  const double split = leak.FractionAfter(
+      leak.FractionAfter(f0, 0.03, retention), 0.05, retention);
+  const double whole = leak.FractionAfter(f0, 0.08, retention);
+  EXPECT_NEAR(split, whole, 1e-12);
+}
+
+TEST_P(LeakageProperty, RetentionDefinitionHolds) {
+  const LeakageModel leak(0.9995, 0.579);
+  const double retention = GetParam();
+  EXPECT_NEAR(leak.FractionAfter(0.9995, retention, retention), 0.579, 1e-9);
+  EXPECT_NEAR(leak.TimeToReach(0.9995, 0.579, retention), retention, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Retentions, LeakageProperty,
+                         ::testing::Values(0.07, 0.128, 0.5, 2.0, 10.0));
+
+// ---------------------------------------------------------------------------
+// MPRSF monotonicity across the (retention, period) plane
+// ---------------------------------------------------------------------------
+
+class MprsfPlane : public ::testing::TestWithParam<double> {
+ protected:
+  MprsfPlane()
+      : model_(TechnologyParams{}),
+        calc_(model_, model_.PartialRefreshTimings().tau_post_s) {}
+  model::RefreshModel model_;
+  MprsfCalculator calc_;
+};
+
+TEST_P(MprsfPlane, MonotoneInRetention) {
+  const double period = GetParam();
+  std::size_t prev = 0;
+  for (double ratio = 1.02; ratio < 40.0; ratio *= 1.6) {
+    const std::size_t m = calc_.ComputeMprsf(period * ratio, period, 8);
+    EXPECT_GE(m, prev) << "period=" << period << " ratio=" << ratio;
+    prev = m;
+  }
+}
+
+TEST_P(MprsfPlane, LongerPeriodNeverHelps) {
+  // For the same absolute retention, refreshing less often cannot increase
+  // the number of sustainable partials.
+  const double period = GetParam();
+  const double retention = 8.0 * period;
+  const std::size_t fast = calc_.ComputeMprsf(retention, period, 8);
+  const std::size_t slow = calc_.ComputeMprsf(retention, 2.0 * period, 8);
+  EXPECT_GE(fast, slow);
+}
+
+TEST_P(MprsfPlane, CapIsRespected) {
+  const double period = GetParam();
+  for (std::size_t cap = 0; cap <= 4; ++cap) {
+    EXPECT_LE(calc_.ComputeMprsf(50.0 * period, period, cap), cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, MprsfPlane,
+                         ::testing::Values(0.064, 0.128, 0.192, 0.256));
+
+// ---------------------------------------------------------------------------
+// Temperature model
+// ---------------------------------------------------------------------------
+
+class TemperatureProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TemperatureProperty, ScaleHalvesPerStep) {
+  TemperatureModel model;
+  const double celsius = GetParam();
+  const double scale = model.RetentionScale(celsius);
+  const double hotter = model.RetentionScale(celsius + model.halving_celsius);
+  EXPECT_NEAR(hotter, 0.5 * scale, 1e-12);
+}
+
+TEST_P(TemperatureProperty, MaxSafeCelsiusInvertsScale) {
+  TemperatureModel model;
+  const double celsius = GetParam();
+  if (celsius < model.profiling_celsius) {
+    return;  // guardbands below 1 are rejected by contract
+  }
+  const double guard = 1.0 / model.RetentionScale(celsius);
+  EXPECT_NEAR(model.MaxSafeCelsius(guard), celsius, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, TemperatureProperty,
+                         ::testing::Values(25.0, 45.0, 55.0, 70.0, 85.0));
+
+TEST(TemperatureModelTest, ProfilingPointIsUnity) {
+  TemperatureModel model;
+  EXPECT_DOUBLE_EQ(model.RetentionScale(model.profiling_celsius), 1.0);
+  EXPECT_NEAR(model.MaxSafeCelsius(1.0), model.profiling_celsius, 1e-12);
+}
+
+TEST(TemperatureModelTest, RejectsBadInputs) {
+  TemperatureModel model;
+  model.halving_celsius = 0.0;
+  EXPECT_THROW(model.RetentionScale(50.0), ConfigError);
+  model = TemperatureModel{};
+  EXPECT_THROW(model.MaxSafeCelsius(0.5), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// VRT model
+// ---------------------------------------------------------------------------
+
+class VrtProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(VrtProperty, WorstCaseOnlyDegradesVrtRows) {
+  VrtParams params;
+  params.row_fraction = GetParam();
+  Rng rng(5);
+  const RetentionProfile profiled(
+      std::vector<double>(200, 1.0));
+  const auto vrt_rows = SampleVrtRows(params, 200, rng);
+  const auto runtime = WorstCaseRuntimeProfile(profiled, vrt_rows, params);
+  for (std::size_t r = 0; r < 200; ++r) {
+    if (vrt_rows[r]) {
+      EXPECT_NEAR(runtime.RowRetention(r), params.low_ratio, 1e-12);
+    } else {
+      EXPECT_DOUBLE_EQ(runtime.RowRetention(r), 1.0);
+    }
+  }
+}
+
+TEST_P(VrtProperty, SampledRuntimeIsBoundedByWorstCase) {
+  VrtParams params;
+  params.row_fraction = GetParam();
+  Rng rng(6);
+  const RetentionProfile profiled(std::vector<double>(100, 2.0));
+  const auto vrt_rows = SampleVrtRows(params, 100, rng);
+  const auto worst = WorstCaseRuntimeProfile(profiled, vrt_rows, params);
+  const auto sampled = SampleRuntimeProfile(profiled, vrt_rows, params, rng);
+  for (std::size_t r = 0; r < 100; ++r) {
+    EXPECT_GE(sampled.RowRetention(r), worst.RowRetention(r) - 1e-12);
+    EXPECT_LE(sampled.RowRetention(r), profiled.RowRetention(r) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VrtFractions, VrtProperty,
+                         ::testing::Values(0.0, 0.02, 0.2, 1.0));
+
+TEST(VrtParamsTest, RejectsBadValues) {
+  VrtParams params;
+  params.low_ratio = 0.0;
+  EXPECT_THROW(params.Validate(), ConfigError);
+  params = VrtParams{};
+  params.row_fraction = 1.5;
+  EXPECT_THROW(params.Validate(), ConfigError);
+  params = VrtParams{};
+  params.low_state_prob = -0.1;
+  EXPECT_THROW(params.Validate(), ConfigError);
+}
+
+TEST(VrtSampling, FractionMatchesExpectation) {
+  VrtParams params;
+  params.row_fraction = 0.1;
+  Rng rng(9);
+  const auto rows = SampleVrtRows(params, 50000, rng);
+  std::size_t count = 0;
+  for (const bool v : rows) {
+    count += v ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(count) / 50000.0, 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace vrl::retention

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "trace/address.hpp"
+#include "trace/io.hpp"
+#include "trace/stats.hpp"
+#include "trace/synthetic.hpp"
+
+namespace vrl::trace {
+namespace {
+
+AddressGeometry SmallGeometry() {
+  AddressGeometry g;
+  g.banks = 4;
+  g.rows = 64;
+  g.columns = 8;
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// AddressMapper
+// ---------------------------------------------------------------------------
+
+TEST(AddressMapper, RoundTripsAllCoordinates) {
+  const AddressMapper mapper(SmallGeometry());
+  for (std::size_t bank = 0; bank < 4; ++bank) {
+    for (std::size_t row = 0; row < 64; row += 13) {
+      for (std::size_t col = 0; col < 8; ++col) {
+        const auto addr = mapper.Encode({bank, row, col});
+        const auto c = mapper.Decode(addr);
+        EXPECT_EQ(c.bank, bank);
+        EXPECT_EQ(c.row, row);
+        EXPECT_EQ(c.column, col);
+      }
+    }
+  }
+}
+
+TEST(AddressMapper, ConsecutiveLinesInterleaveBanks) {
+  const AddressMapper mapper(SmallGeometry());
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    EXPECT_EQ(mapper.Decode(a).bank, a % 4);
+  }
+}
+
+TEST(AddressMapper, SequentialStreamStaysInRowAcrossBanks) {
+  // banks * columns consecutive lines share a row index.
+  const AddressMapper mapper(SmallGeometry());
+  const std::uint64_t lines_per_row = 4 * 8;
+  for (std::uint64_t a = 0; a < lines_per_row; ++a) {
+    EXPECT_EQ(mapper.Decode(a).row, 0u);
+  }
+  EXPECT_EQ(mapper.Decode(lines_per_row).row, 1u);
+}
+
+TEST(AddressMapper, WrapsOutOfRangeAddresses) {
+  const AddressMapper mapper(SmallGeometry());
+  const auto total = SmallGeometry().TotalLines();
+  const auto c1 = mapper.Decode(5);
+  const auto c2 = mapper.Decode(5 + total);
+  EXPECT_EQ(c1.bank, c2.bank);
+  EXPECT_EQ(c1.row, c2.row);
+  EXPECT_EQ(c1.column, c2.column);
+}
+
+TEST(AddressMapper, EncodeRejectsOutOfRange) {
+  const AddressMapper mapper(SmallGeometry());
+  EXPECT_THROW(mapper.Encode({4, 0, 0}), ConfigError);
+  EXPECT_THROW(mapper.Encode({0, 64, 0}), ConfigError);
+  EXPECT_THROW(mapper.Encode({0, 0, 8}), ConfigError);
+}
+
+TEST(MapToRequestsTest, PreservesOrderAndTypes) {
+  const AddressMapper mapper(SmallGeometry());
+  std::vector<TraceRecord> records{
+      {10, 0, false}, {20, 1, true}, {30, 2, false}};
+  const auto requests = MapToRequests(records, mapper);
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_EQ(requests[0].arrival, 10u);
+  EXPECT_EQ(requests[1].type, dram::RequestType::kWrite);
+  EXPECT_EQ(requests[2].bank, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace I/O
+// ---------------------------------------------------------------------------
+
+std::vector<TraceRecord> SampleRecords() {
+  return {{0, 0x10, false}, {100, 0xABCDEF, true}, {250, 7, false}};
+}
+
+TEST(TraceIo, TextRoundTrip) {
+  std::stringstream ss;
+  WriteText(ss, SampleRecords());
+  const auto back = ReadText(ss);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back[i].cycle, SampleRecords()[i].cycle);
+    EXPECT_EQ(back[i].address, SampleRecords()[i].address);
+    EXPECT_EQ(back[i].is_write, SampleRecords()[i].is_write);
+  }
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  std::stringstream ss;
+  WriteBinary(ss, SampleRecords());
+  const auto back = ReadBinary(ss);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[1].address, 0xABCDEFu);
+  EXPECT_TRUE(back[1].is_write);
+}
+
+TEST(TraceIo, TextSkipsCommentsAndBlanks) {
+  std::stringstream ss("# header\n\n10 R 0x20\n   \n20 W 0x30 # inline\n");
+  const auto records = ReadText(ss);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].address, 0x20u);
+  EXPECT_TRUE(records[1].is_write);
+}
+
+TEST(TraceIo, TextRejectsMalformed) {
+  std::stringstream bad_op("10 X 0x20\n");
+  EXPECT_THROW(ReadText(bad_op), ParseError);
+  std::stringstream bad_addr("10 R zzz\n");
+  EXPECT_THROW(ReadText(bad_addr), ParseError);
+  std::stringstream missing("10\n");
+  EXPECT_THROW(ReadText(missing), ParseError);
+}
+
+TEST(TraceIo, BinaryRejectsBadMagic) {
+  std::stringstream ss("NOTATRACE........");
+  EXPECT_THROW(ReadBinary(ss), ParseError);
+}
+
+TEST(TraceIo, BinaryRejectsTruncated) {
+  std::stringstream ss;
+  WriteBinary(ss, SampleRecords());
+  std::string data = ss.str();
+  data.resize(data.size() - 4);
+  std::stringstream truncated(data);
+  EXPECT_THROW(ReadBinary(truncated), ParseError);
+}
+
+TEST(TraceIo, RamulatorImportStampsCycles) {
+  std::stringstream ss("0x100 R\n0x200 W\n0x300 READ\n");
+  const auto records = ReadRamulatorTrace(ss, 4);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].cycle, 0u);
+  EXPECT_EQ(records[1].cycle, 4u);
+  EXPECT_EQ(records[2].cycle, 8u);
+  EXPECT_EQ(records[1].address, 0x200u);
+  EXPECT_TRUE(records[1].is_write);
+  EXPECT_FALSE(records[2].is_write);
+}
+
+TEST(TraceIo, RamulatorImportRejectsMalformed) {
+  std::stringstream bad_op("0x100 X\n");
+  EXPECT_THROW(ReadRamulatorTrace(bad_op, 4), ParseError);
+  std::stringstream bad_addr("zzz R\n");
+  EXPECT_THROW(ReadRamulatorTrace(bad_addr, 4), ParseError);
+  std::stringstream ok("0x1 R\n");
+  EXPECT_THROW(ReadRamulatorTrace(ok, 0), ParseError);
+}
+
+TEST(TraceIo, RamulatorImportSkipsComments) {
+  std::stringstream ss("# ramulator trace\n\n0x10 W\n");
+  const auto records = ReadRamulatorTrace(ss, 2);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].is_write);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = "/tmp/vrl_trace_test.txt";
+  WriteTextFile(path, SampleRecords());
+  const auto back = ReadTextFile(path);
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_THROW(ReadTextFile("/nonexistent/dir/file.txt"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generator
+// ---------------------------------------------------------------------------
+
+TEST(Synthetic, GeneratesSortedTraceWithinDuration) {
+  Rng rng(1);
+  SyntheticWorkloadParams params;
+  params.mean_gap_cycles = 50.0;
+  const auto records = GenerateTrace(params, SmallGeometry(), 100000, rng);
+  EXPECT_GT(records.size(), 1000u);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].cycle, records[i - 1].cycle);
+  }
+  EXPECT_LT(records.back().cycle, 100000u);
+}
+
+TEST(Synthetic, IsDeterministicPerSeed) {
+  Rng rng_a(9);
+  Rng rng_b(9);
+  SyntheticWorkloadParams params;
+  const auto a = GenerateTrace(params, SmallGeometry(), 50000, rng_a);
+  const auto b = GenerateTrace(params, SmallGeometry(), 50000, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].address, b[i].address);
+    EXPECT_EQ(a[i].cycle, b[i].cycle);
+  }
+}
+
+TEST(Synthetic, RespectsFootprint) {
+  Rng rng(2);
+  SyntheticWorkloadParams params;
+  params.footprint_fraction = 0.25;
+  params.sequential_prob = 0.0;
+  const auto geometry = SmallGeometry();
+  const auto records = GenerateTrace(params, geometry, 200000, rng);
+  const auto limit = static_cast<std::uint64_t>(
+      0.25 * static_cast<double>(geometry.TotalLines()));
+  for (const auto& r : records) {
+    EXPECT_LT(r.address, limit);
+  }
+}
+
+TEST(Synthetic, WriteFractionApproximatelyRespected) {
+  Rng rng(3);
+  SyntheticWorkloadParams params;
+  params.write_fraction = 0.4;
+  params.mean_gap_cycles = 10.0;
+  const auto records = GenerateTrace(params, SmallGeometry(), 400000, rng);
+  const auto stats = ComputeStats(records, SmallGeometry());
+  EXPECT_NEAR(stats.WriteFraction(), 0.4, 0.02);
+}
+
+TEST(Synthetic, IntensityMatchesMeanGap) {
+  Rng rng(4);
+  SyntheticWorkloadParams params;
+  params.mean_gap_cycles = 100.0;
+  const auto records = GenerateTrace(params, SmallGeometry(), 1000000, rng);
+  EXPECT_NEAR(static_cast<double>(records.size()), 10000.0, 500.0);
+}
+
+TEST(Synthetic, PhasesWidenRowCoverage) {
+  // A small footprint that migrates eventually touches much more of the
+  // address space than a static one.
+  Rng rng_a(8);
+  Rng rng_b(8);
+  SyntheticWorkloadParams stationary;
+  stationary.footprint_fraction = 0.1;
+  stationary.mean_gap_cycles = 20.0;
+  SyntheticWorkloadParams phased = stationary;
+  phased.phase_cycles = 50000;
+
+  const auto geometry = SmallGeometry();
+  const auto a = GenerateTrace(stationary, geometry, 800000, rng_a);
+  const auto b = GenerateTrace(phased, geometry, 800000, rng_b);
+  EXPECT_GT(ComputeStats(b, geometry).RowCoverage(),
+            2.0 * ComputeStats(a, geometry).RowCoverage());
+}
+
+TEST(Synthetic, PhasedAddressesStayInBounds) {
+  Rng rng(9);
+  SyntheticWorkloadParams params;
+  params.footprint_fraction = 0.9;
+  params.phase_cycles = 10000;
+  const auto geometry = SmallGeometry();
+  const auto records = GenerateTrace(params, geometry, 300000, rng);
+  for (const auto& r : records) {
+    EXPECT_LT(r.address, geometry.TotalLines());
+  }
+}
+
+TEST(Synthetic, RejectsBadParams) {
+  Rng rng(5);
+  SyntheticWorkloadParams params;
+  params.footprint_fraction = 0.0;
+  EXPECT_THROW(GenerateTrace(params, SmallGeometry(), 1000, rng), ConfigError);
+  params = SyntheticWorkloadParams{};
+  params.mean_gap_cycles = 0.5;
+  EXPECT_THROW(GenerateTrace(params, SmallGeometry(), 1000, rng), ConfigError);
+  params = SyntheticWorkloadParams{};
+  params.sequential_prob = 1.5;
+  EXPECT_THROW(GenerateTrace(params, SmallGeometry(), 1000, rng), ConfigError);
+}
+
+TEST(Synthetic, SuiteHasFourteenWorkloads) {
+  const auto suite = EvaluationSuite();
+  EXPECT_EQ(suite.size(), 14u);
+  for (const auto& w : suite) {
+    EXPECT_NO_THROW(w.Validate());
+  }
+}
+
+TEST(Synthetic, SuiteLookupByName) {
+  const auto bgsave = SuiteWorkload("bgsave");
+  EXPECT_DOUBLE_EQ(bgsave.footprint_fraction, 1.0);
+  EXPECT_THROW(SuiteWorkload("no-such-workload"), ConfigError);
+}
+
+TEST(Synthetic, BgsaveCoversMoreRowsThanSwaptions) {
+  // The workload axis that matters for VRL-Access.
+  Rng rng(6);
+  const auto geometry = SmallGeometry();
+  const auto bgsave =
+      GenerateTrace(SuiteWorkload("bgsave"), geometry, 500000, rng);
+  const auto swaptions =
+      GenerateTrace(SuiteWorkload("swaptions"), geometry, 500000, rng);
+  const auto cover_bg = ComputeStats(bgsave, geometry).RowCoverage();
+  const auto cover_sw = ComputeStats(swaptions, geometry).RowCoverage();
+  EXPECT_GT(cover_bg, 2.0 * cover_sw);
+}
+
+// ---------------------------------------------------------------------------
+// TraceStats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, EmptyTrace) {
+  const auto stats = ComputeStats({}, SmallGeometry());
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_DOUBLE_EQ(stats.WriteFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.RowCoverage(), 0.0);
+}
+
+TEST(Stats, CountsUniqueRows) {
+  const AddressMapper mapper(SmallGeometry());
+  std::vector<TraceRecord> records;
+  // Two distinct rows in bank 0, one accessed twice.
+  records.push_back({0, mapper.Encode({0, 3, 0}), false});
+  records.push_back({5, mapper.Encode({0, 3, 1}), false});
+  records.push_back({9, mapper.Encode({0, 4, 0}), true});
+  const auto stats = ComputeStats(records, SmallGeometry());
+  EXPECT_EQ(stats.unique_rows, 2u);
+  EXPECT_EQ(stats.span_cycles, 9u);
+  EXPECT_EQ(stats.writes, 1u);
+}
+
+}  // namespace
+}  // namespace vrl::trace
