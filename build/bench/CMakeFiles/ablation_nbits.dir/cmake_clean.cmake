@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nbits.dir/ablation_nbits.cpp.o"
+  "CMakeFiles/ablation_nbits.dir/ablation_nbits.cpp.o.d"
+  "ablation_nbits"
+  "ablation_nbits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nbits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

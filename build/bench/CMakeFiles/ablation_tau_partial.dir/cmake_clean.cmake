@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tau_partial.dir/ablation_tau_partial.cpp.o"
+  "CMakeFiles/ablation_tau_partial.dir/ablation_tau_partial.cpp.o.d"
+  "ablation_tau_partial"
+  "ablation_tau_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tau_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

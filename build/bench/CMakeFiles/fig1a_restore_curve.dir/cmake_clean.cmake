@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_restore_curve.dir/fig1a_restore_curve.cpp.o"
+  "CMakeFiles/fig1a_restore_curve.dir/fig1a_restore_curve.cpp.o.d"
+  "fig1a_restore_curve"
+  "fig1a_restore_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_restore_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_partial_refresh.dir/fig1b_partial_refresh.cpp.o"
+  "CMakeFiles/fig1b_partial_refresh.dir/fig1b_partial_refresh.cpp.o.d"
+  "fig1b_partial_refresh"
+  "fig1b_partial_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_partial_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_retention_binning.dir/fig3_retention_binning.cpp.o"
+  "CMakeFiles/fig3_retention_binning.dir/fig3_retention_binning.cpp.o.d"
+  "fig3_retention_binning"
+  "fig3_retention_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_retention_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_equalization.dir/fig5_equalization.cpp.o"
+  "CMakeFiles/fig5_equalization.dir/fig5_equalization.cpp.o.d"
+  "fig5_equalization"
+  "fig5_equalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_equalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

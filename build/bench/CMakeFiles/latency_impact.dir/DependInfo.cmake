@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/latency_impact.cpp" "bench/CMakeFiles/latency_impact.dir/latency_impact.cpp.o" "gcc" "bench/CMakeFiles/latency_impact.dir/latency_impact.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vrl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vrl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/vrl_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/retention/CMakeFiles/vrl_retention.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vrl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/vrl_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vrl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

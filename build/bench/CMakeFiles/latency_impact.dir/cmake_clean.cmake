@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_impact.dir/latency_impact.cpp.o"
+  "CMakeFiles/latency_impact.dir/latency_impact.cpp.o.d"
+  "latency_impact"
+  "latency_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_refresh.dir/power_refresh.cpp.o"
+  "CMakeFiles/power_refresh.dir/power_refresh.cpp.o.d"
+  "power_refresh"
+  "power_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_circuit.dir/validation_circuit.cpp.o"
+  "CMakeFiles/validation_circuit.dir/validation_circuit.cpp.o.d"
+  "validation_circuit"
+  "validation_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

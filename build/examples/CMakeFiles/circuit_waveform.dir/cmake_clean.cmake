@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_waveform.dir/circuit_waveform.cpp.o"
+  "CMakeFiles/circuit_waveform.dir/circuit_waveform.cpp.o.d"
+  "circuit_waveform"
+  "circuit_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

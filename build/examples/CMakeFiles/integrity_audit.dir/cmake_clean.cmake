@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrity_audit.dir/integrity_audit.cpp.o"
+  "CMakeFiles/integrity_audit.dir/integrity_audit.cpp.o.d"
+  "integrity_audit"
+  "integrity_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrity_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

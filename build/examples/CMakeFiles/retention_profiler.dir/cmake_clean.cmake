@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retention_profiler.dir/retention_profiler.cpp.o"
+  "CMakeFiles/retention_profiler.dir/retention_profiler.cpp.o.d"
+  "retention_profiler"
+  "retention_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retention_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

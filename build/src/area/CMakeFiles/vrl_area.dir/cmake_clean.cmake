@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrl_area.dir/area_model.cpp.o"
+  "CMakeFiles/vrl_area.dir/area_model.cpp.o.d"
+  "libvrl_area.a"
+  "libvrl_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrl_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

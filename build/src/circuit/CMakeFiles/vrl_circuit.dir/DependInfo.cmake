@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/banded.cpp" "src/circuit/CMakeFiles/vrl_circuit.dir/banded.cpp.o" "gcc" "src/circuit/CMakeFiles/vrl_circuit.dir/banded.cpp.o.d"
+  "/root/repo/src/circuit/dram_circuits.cpp" "src/circuit/CMakeFiles/vrl_circuit.dir/dram_circuits.cpp.o" "gcc" "src/circuit/CMakeFiles/vrl_circuit.dir/dram_circuits.cpp.o.d"
+  "/root/repo/src/circuit/linear.cpp" "src/circuit/CMakeFiles/vrl_circuit.dir/linear.cpp.o" "gcc" "src/circuit/CMakeFiles/vrl_circuit.dir/linear.cpp.o.d"
+  "/root/repo/src/circuit/mosfet.cpp" "src/circuit/CMakeFiles/vrl_circuit.dir/mosfet.cpp.o" "gcc" "src/circuit/CMakeFiles/vrl_circuit.dir/mosfet.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/vrl_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/vrl_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/spice_export.cpp" "src/circuit/CMakeFiles/vrl_circuit.dir/spice_export.cpp.o" "gcc" "src/circuit/CMakeFiles/vrl_circuit.dir/spice_export.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/circuit/CMakeFiles/vrl_circuit.dir/transient.cpp.o" "gcc" "src/circuit/CMakeFiles/vrl_circuit.dir/transient.cpp.o.d"
+  "/root/repo/src/circuit/waveform.cpp" "src/circuit/CMakeFiles/vrl_circuit.dir/waveform.cpp.o" "gcc" "src/circuit/CMakeFiles/vrl_circuit.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vrl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrl_circuit.dir/banded.cpp.o"
+  "CMakeFiles/vrl_circuit.dir/banded.cpp.o.d"
+  "CMakeFiles/vrl_circuit.dir/dram_circuits.cpp.o"
+  "CMakeFiles/vrl_circuit.dir/dram_circuits.cpp.o.d"
+  "CMakeFiles/vrl_circuit.dir/linear.cpp.o"
+  "CMakeFiles/vrl_circuit.dir/linear.cpp.o.d"
+  "CMakeFiles/vrl_circuit.dir/mosfet.cpp.o"
+  "CMakeFiles/vrl_circuit.dir/mosfet.cpp.o.d"
+  "CMakeFiles/vrl_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/vrl_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/vrl_circuit.dir/spice_export.cpp.o"
+  "CMakeFiles/vrl_circuit.dir/spice_export.cpp.o.d"
+  "CMakeFiles/vrl_circuit.dir/transient.cpp.o"
+  "CMakeFiles/vrl_circuit.dir/transient.cpp.o.d"
+  "CMakeFiles/vrl_circuit.dir/waveform.cpp.o"
+  "CMakeFiles/vrl_circuit.dir/waveform.cpp.o.d"
+  "libvrl_circuit.a"
+  "libvrl_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrl_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

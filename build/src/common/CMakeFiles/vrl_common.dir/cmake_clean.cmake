@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrl_common.dir/data_pattern.cpp.o"
+  "CMakeFiles/vrl_common.dir/data_pattern.cpp.o.d"
+  "CMakeFiles/vrl_common.dir/interpolation.cpp.o"
+  "CMakeFiles/vrl_common.dir/interpolation.cpp.o.d"
+  "CMakeFiles/vrl_common.dir/nodes.cpp.o"
+  "CMakeFiles/vrl_common.dir/nodes.cpp.o.d"
+  "CMakeFiles/vrl_common.dir/rng.cpp.o"
+  "CMakeFiles/vrl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vrl_common.dir/table.cpp.o"
+  "CMakeFiles/vrl_common.dir/table.cpp.o.d"
+  "CMakeFiles/vrl_common.dir/tridiagonal.cpp.o"
+  "CMakeFiles/vrl_common.dir/tridiagonal.cpp.o.d"
+  "libvrl_common.a"
+  "libvrl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/vrl_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/vrl_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/experiments.cpp" "src/core/CMakeFiles/vrl_core.dir/experiments.cpp.o" "gcc" "src/core/CMakeFiles/vrl_core.dir/experiments.cpp.o.d"
+  "/root/repo/src/core/integrity.cpp" "src/core/CMakeFiles/vrl_core.dir/integrity.cpp.o" "gcc" "src/core/CMakeFiles/vrl_core.dir/integrity.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/vrl_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/vrl_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/vrl_system.cpp" "src/core/CMakeFiles/vrl_core.dir/vrl_system.cpp.o" "gcc" "src/core/CMakeFiles/vrl_core.dir/vrl_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vrl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vrl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/retention/CMakeFiles/vrl_retention.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/vrl_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vrl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vrl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/vrl_area.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

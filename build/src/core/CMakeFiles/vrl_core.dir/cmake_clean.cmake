@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrl_core.dir/config_io.cpp.o"
+  "CMakeFiles/vrl_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/vrl_core.dir/experiments.cpp.o"
+  "CMakeFiles/vrl_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/vrl_core.dir/integrity.cpp.o"
+  "CMakeFiles/vrl_core.dir/integrity.cpp.o.d"
+  "CMakeFiles/vrl_core.dir/sweep.cpp.o"
+  "CMakeFiles/vrl_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/vrl_core.dir/vrl_system.cpp.o"
+  "CMakeFiles/vrl_core.dir/vrl_system.cpp.o.d"
+  "libvrl_core.a"
+  "libvrl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvrl_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cpp" "src/dram/CMakeFiles/vrl_dram.dir/bank.cpp.o" "gcc" "src/dram/CMakeFiles/vrl_dram.dir/bank.cpp.o.d"
+  "/root/repo/src/dram/controller.cpp" "src/dram/CMakeFiles/vrl_dram.dir/controller.cpp.o" "gcc" "src/dram/CMakeFiles/vrl_dram.dir/controller.cpp.o.d"
+  "/root/repo/src/dram/refresh_policy.cpp" "src/dram/CMakeFiles/vrl_dram.dir/refresh_policy.cpp.o" "gcc" "src/dram/CMakeFiles/vrl_dram.dir/refresh_policy.cpp.o.d"
+  "/root/repo/src/dram/scheduler.cpp" "src/dram/CMakeFiles/vrl_dram.dir/scheduler.cpp.o" "gcc" "src/dram/CMakeFiles/vrl_dram.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vrl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/retention/CMakeFiles/vrl_retention.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vrl_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

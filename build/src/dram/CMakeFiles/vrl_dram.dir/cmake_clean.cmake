@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrl_dram.dir/bank.cpp.o"
+  "CMakeFiles/vrl_dram.dir/bank.cpp.o.d"
+  "CMakeFiles/vrl_dram.dir/controller.cpp.o"
+  "CMakeFiles/vrl_dram.dir/controller.cpp.o.d"
+  "CMakeFiles/vrl_dram.dir/refresh_policy.cpp.o"
+  "CMakeFiles/vrl_dram.dir/refresh_policy.cpp.o.d"
+  "CMakeFiles/vrl_dram.dir/scheduler.cpp.o"
+  "CMakeFiles/vrl_dram.dir/scheduler.cpp.o.d"
+  "libvrl_dram.a"
+  "libvrl_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrl_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/equalization.cpp" "src/model/CMakeFiles/vrl_model.dir/equalization.cpp.o" "gcc" "src/model/CMakeFiles/vrl_model.dir/equalization.cpp.o.d"
+  "/root/repo/src/model/postsensing.cpp" "src/model/CMakeFiles/vrl_model.dir/postsensing.cpp.o" "gcc" "src/model/CMakeFiles/vrl_model.dir/postsensing.cpp.o.d"
+  "/root/repo/src/model/presensing.cpp" "src/model/CMakeFiles/vrl_model.dir/presensing.cpp.o" "gcc" "src/model/CMakeFiles/vrl_model.dir/presensing.cpp.o.d"
+  "/root/repo/src/model/refresh_model.cpp" "src/model/CMakeFiles/vrl_model.dir/refresh_model.cpp.o" "gcc" "src/model/CMakeFiles/vrl_model.dir/refresh_model.cpp.o.d"
+  "/root/repo/src/model/single_cell.cpp" "src/model/CMakeFiles/vrl_model.dir/single_cell.cpp.o" "gcc" "src/model/CMakeFiles/vrl_model.dir/single_cell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vrl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

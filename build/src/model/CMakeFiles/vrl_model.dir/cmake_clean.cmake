@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrl_model.dir/equalization.cpp.o"
+  "CMakeFiles/vrl_model.dir/equalization.cpp.o.d"
+  "CMakeFiles/vrl_model.dir/postsensing.cpp.o"
+  "CMakeFiles/vrl_model.dir/postsensing.cpp.o.d"
+  "CMakeFiles/vrl_model.dir/presensing.cpp.o"
+  "CMakeFiles/vrl_model.dir/presensing.cpp.o.d"
+  "CMakeFiles/vrl_model.dir/refresh_model.cpp.o"
+  "CMakeFiles/vrl_model.dir/refresh_model.cpp.o.d"
+  "CMakeFiles/vrl_model.dir/single_cell.cpp.o"
+  "CMakeFiles/vrl_model.dir/single_cell.cpp.o.d"
+  "libvrl_model.a"
+  "libvrl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

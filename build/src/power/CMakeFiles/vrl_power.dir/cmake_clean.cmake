@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrl_power.dir/idd.cpp.o"
+  "CMakeFiles/vrl_power.dir/idd.cpp.o.d"
+  "CMakeFiles/vrl_power.dir/power_model.cpp.o"
+  "CMakeFiles/vrl_power.dir/power_model.cpp.o.d"
+  "libvrl_power.a"
+  "libvrl_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrl_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

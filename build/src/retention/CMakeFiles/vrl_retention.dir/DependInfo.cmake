@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retention/distribution.cpp" "src/retention/CMakeFiles/vrl_retention.dir/distribution.cpp.o" "gcc" "src/retention/CMakeFiles/vrl_retention.dir/distribution.cpp.o.d"
+  "/root/repo/src/retention/leakage.cpp" "src/retention/CMakeFiles/vrl_retention.dir/leakage.cpp.o" "gcc" "src/retention/CMakeFiles/vrl_retention.dir/leakage.cpp.o.d"
+  "/root/repo/src/retention/mprsf.cpp" "src/retention/CMakeFiles/vrl_retention.dir/mprsf.cpp.o" "gcc" "src/retention/CMakeFiles/vrl_retention.dir/mprsf.cpp.o.d"
+  "/root/repo/src/retention/profile.cpp" "src/retention/CMakeFiles/vrl_retention.dir/profile.cpp.o" "gcc" "src/retention/CMakeFiles/vrl_retention.dir/profile.cpp.o.d"
+  "/root/repo/src/retention/profiler.cpp" "src/retention/CMakeFiles/vrl_retention.dir/profiler.cpp.o" "gcc" "src/retention/CMakeFiles/vrl_retention.dir/profiler.cpp.o.d"
+  "/root/repo/src/retention/temperature.cpp" "src/retention/CMakeFiles/vrl_retention.dir/temperature.cpp.o" "gcc" "src/retention/CMakeFiles/vrl_retention.dir/temperature.cpp.o.d"
+  "/root/repo/src/retention/vrt.cpp" "src/retention/CMakeFiles/vrl_retention.dir/vrt.cpp.o" "gcc" "src/retention/CMakeFiles/vrl_retention.dir/vrt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vrl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vrl_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrl_retention.dir/distribution.cpp.o"
+  "CMakeFiles/vrl_retention.dir/distribution.cpp.o.d"
+  "CMakeFiles/vrl_retention.dir/leakage.cpp.o"
+  "CMakeFiles/vrl_retention.dir/leakage.cpp.o.d"
+  "CMakeFiles/vrl_retention.dir/mprsf.cpp.o"
+  "CMakeFiles/vrl_retention.dir/mprsf.cpp.o.d"
+  "CMakeFiles/vrl_retention.dir/profile.cpp.o"
+  "CMakeFiles/vrl_retention.dir/profile.cpp.o.d"
+  "CMakeFiles/vrl_retention.dir/profiler.cpp.o"
+  "CMakeFiles/vrl_retention.dir/profiler.cpp.o.d"
+  "CMakeFiles/vrl_retention.dir/temperature.cpp.o"
+  "CMakeFiles/vrl_retention.dir/temperature.cpp.o.d"
+  "CMakeFiles/vrl_retention.dir/vrt.cpp.o"
+  "CMakeFiles/vrl_retention.dir/vrt.cpp.o.d"
+  "libvrl_retention.a"
+  "libvrl_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrl_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrl_trace.dir/address.cpp.o"
+  "CMakeFiles/vrl_trace.dir/address.cpp.o.d"
+  "CMakeFiles/vrl_trace.dir/io.cpp.o"
+  "CMakeFiles/vrl_trace.dir/io.cpp.o.d"
+  "CMakeFiles/vrl_trace.dir/stats.cpp.o"
+  "CMakeFiles/vrl_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/vrl_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/vrl_trace.dir/synthetic.cpp.o.d"
+  "libvrl_trace.a"
+  "libvrl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

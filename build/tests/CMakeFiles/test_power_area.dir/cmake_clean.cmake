@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_area.dir/power_area_test.cpp.o"
+  "CMakeFiles/test_power_area.dir/power_area_test.cpp.o.d"
+  "test_power_area"
+  "test_power_area.pdb"
+  "test_power_area[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_dram.dir/property_dram_test.cpp.o"
+  "CMakeFiles/test_property_dram.dir/property_dram_test.cpp.o.d"
+  "test_property_dram"
+  "test_property_dram.pdb"
+  "test_property_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_model.dir/property_model_test.cpp.o"
+  "CMakeFiles/test_property_model.dir/property_model_test.cpp.o.d"
+  "test_property_model"
+  "test_property_model.pdb"
+  "test_property_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

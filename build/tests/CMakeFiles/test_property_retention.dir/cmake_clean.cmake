@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_retention.dir/property_retention_test.cpp.o"
+  "CMakeFiles/test_property_retention.dir/property_retention_test.cpp.o.d"
+  "test_property_retention"
+  "test_property_retention.pdb"
+  "test_property_retention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_retention[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_power_area[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_property_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_property_model[1]_include.cmake")
+include("/root/repo/build/tests/test_property_retention[1]_include.cmake")
+include("/root/repo/build/tests/test_property_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_profiler[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_edge[1]_include.cmake")
