@@ -1,0 +1,193 @@
+// Fault-injection campaign: run a refresh policy while faults are injected
+// at runtime, detect the resulting sensing failures online, and report how
+// gracefully the adaptive degradation layer holds up.
+//
+//   ./fault_campaign [--config FILE] [--policy raidr|vrl|vrl-access]
+//                    [--windows N] [--seed S]
+//                    [--row-fraction F] [--low-ratio R] [--dwell-s D]
+//                    [--temp-excursion C] [--drift RATE] [--corruption F]
+//
+// Three legs run under the identical fault realization: the JEDEC
+// full-rate baseline, the plain policy (no detection — silent loss), and
+// the adaptive wrapper (detection + demotion / fallback).  Exit code 0
+// when the adaptive leg ends with zero unrecovered failures.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/config_io.hpp"
+#include "core/experiments.hpp"
+#include "core/vrl_system.hpp"
+#include "fault/injector.hpp"
+#include "retention/temperature.hpp"
+#include "retention/vrt.hpp"
+
+namespace {
+
+using namespace vrl;
+
+core::PolicyKind ParsePolicy(const std::string& name) {
+  if (name == "raidr") return core::PolicyKind::kRaidr;
+  if (name == "vrl") return core::PolicyKind::kVrl;
+  if (name == "vrl-access") return core::PolicyKind::kVrlAccess;
+  throw ConfigError("unknown policy '" + name + "' (jedec is the baseline)");
+}
+
+void AddReportRow(TextTable& table, const std::string& name,
+                  const fault::CampaignReport& report,
+                  const fault::CampaignReport& jedec) {
+  const double vs_jedec = static_cast<double>(report.refresh_busy_cycles) /
+                          static_cast<double>(jedec.refresh_busy_cycles);
+  table.AddRow({name, std::to_string(report.refreshes),
+                std::to_string(report.partial_refreshes),
+                std::to_string(report.detected_failures),
+                std::to_string(report.corrected_failures),
+                std::to_string(report.unrecovered_failures),
+                Fmt(report.min_margin, 4), Fmt(vs_jedec, 3)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::VrlConfig config;
+  config.banks = 1;
+  std::string policy_name = "vrl";
+  std::size_t windows = 16;
+  std::uint64_t seed = 0xFA11ULL;
+  retention::VrtParams vrt;
+  double temp_excursion_celsius = 0.0;
+  double drift_rate = 0.0;
+  double corruption_fraction = 0.0;
+
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    try {
+      if (flag == "--config") {
+        config = core::LoadVrlConfigFile(value);
+        config.banks = 1;  // the campaign replays one bank's schedule
+      } else if (flag == "--policy") {
+        policy_name = value;
+      } else if (flag == "--windows") {
+        windows = std::stoul(value);
+      } else if (flag == "--seed") {
+        seed = std::stoull(value);
+      } else if (flag == "--row-fraction") {
+        vrt.row_fraction = std::stod(value);
+      } else if (flag == "--low-ratio") {
+        vrt.low_ratio = std::stod(value);
+      } else if (flag == "--dwell-s") {
+        vrt.mean_dwell_s = std::stod(value);
+      } else if (flag == "--temp-excursion") {
+        temp_excursion_celsius = std::stod(value);
+      } else if (flag == "--drift") {
+        drift_rate = std::stod(value);
+      } else if (flag == "--corruption") {
+        corruption_fraction = std::stod(value);
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+        return 2;
+      }
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 2;
+    }
+  }
+
+  try {
+    const core::VrlSystem system(config);
+    const auto kind = ParsePolicy(policy_name);
+    const double window_s =
+        CyclesToSeconds(config.timing.t_refw, config.tech.clock_period_s);
+
+    const auto make_schedule = [&] {
+      fault::FaultSchedule schedule(seed);
+      schedule.Add(std::make_unique<fault::VrtFlipInjector>(vrt));
+      if (temp_excursion_celsius > 0.0) {
+        // A hot window spanning the middle third of the campaign.
+        const double span = window_s * static_cast<double>(windows);
+        schedule.Add(std::make_unique<fault::TemperatureExcursionInjector>(
+            retention::TemperatureModel{}, span / 3.0, span / 3.0,
+            temp_excursion_celsius));
+      }
+      if (drift_rate > 0.0) {
+        schedule.Add(std::make_unique<fault::RetentionDriftInjector>(
+            drift_rate, 0.5));
+      }
+      if (corruption_fraction > 0.0) {
+        schedule.Add(std::make_unique<fault::ProfileCorruptionInjector>(
+            corruption_fraction, 0.8));
+      }
+      return schedule;
+    };
+
+    std::printf(
+        "Fault campaign: %s, %zu x 64 ms, VRT rows %.1f%% (low ratio %.2f, "
+        "dwell %.2fs)\n",
+        core::PolicyName(kind).c_str(), windows, vrt.row_fraction * 100.0,
+        vrt.low_ratio, vrt.mean_dwell_s);
+    {
+      auto probe = make_schedule();
+      std::printf("injectors: %s\n\n", probe.Describe().c_str());
+    }
+
+    core::FaultCampaignOptions options;
+    options.windows = windows;
+
+    auto jedec_faults = make_schedule();
+    options.adaptive = false;
+    const auto jedec = system.RunFaultCampaign(core::PolicyKind::kJedec,
+                                               jedec_faults, options);
+    auto plain_faults = make_schedule();
+    const auto plain = system.RunFaultCampaign(kind, plain_faults, options);
+    auto adaptive_faults = make_schedule();
+    options.adaptive = true;
+    const auto adaptive =
+        system.RunFaultCampaign(kind, adaptive_faults, options);
+
+    TextTable table({"policy", "refreshes", "partials", "detected",
+                     "corrected", "unrecovered", "min margin", "ovh/JEDEC"});
+    AddReportRow(table, "JEDEC", jedec, jedec);
+    AddReportRow(table, core::PolicyName(kind), plain, jedec);
+    AddReportRow(table, "Adaptive(" + core::PolicyName(kind) + ")", adaptive,
+                 jedec);
+    table.Print(std::cout);
+
+    const auto& sm = adaptive.adaptive;
+    std::printf(
+        "\ndegradation state machine: %zu demotions, %zu promotions, "
+        "%zu forced fulls, %zu fallback entries, %zu fallback exits, "
+        "%zu rows demoted at end%s\n",
+        sm.demotions, sm.promotions, sm.forced_full_refreshes,
+        sm.fallback_entries, sm.fallback_exits, sm.rows_demoted_now,
+        sm.in_fallback ? " (bank in fallback)" : "");
+
+    if (!adaptive.events.empty()) {
+      std::printf("\nfirst detected failures:\n");
+      const std::size_t shown = std::min<std::size_t>(5,
+                                                      adaptive.events.size());
+      for (std::size_t i = 0; i < shown; ++i) {
+        const auto& event = adaptive.events[i];
+        std::printf("  t=%7.1f ms  row %5zu  margin %+.4f  %s  %s\n",
+                    event.at_s * 1e3, event.row, event.margin,
+                    event.was_full ? "full" : "partial",
+                    event.corrected ? "corrected" : "UNRECOVERED");
+      }
+    }
+
+    std::printf("\nverdict: plain %s loses %zu rows' worth of data; "
+                "adaptive ends with %zu unrecovered failures at %.1f%% of "
+                "JEDEC refresh overhead\n",
+                core::PolicyName(kind).c_str(), plain.unrecovered_failures,
+                adaptive.unrecovered_failures,
+                100.0 * static_cast<double>(adaptive.refresh_busy_cycles) /
+                    static_cast<double>(jedec.refresh_busy_cycles));
+    return adaptive.unrecovered_failures == 0 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

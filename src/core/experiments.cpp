@@ -53,6 +53,41 @@ std::vector<WorkloadResult> RunEvaluationSuite(
   return results;
 }
 
+ResilienceResult RunResilienceComparison(const VrlSystem& system,
+                                         PolicyKind kind,
+                                         const retention::VrtParams& vrt,
+                                         std::size_t windows,
+                                         std::uint64_t fault_seed) {
+  if (kind == PolicyKind::kJedec) {
+    throw ConfigError(
+        "RunResilienceComparison: pick a retention-aware policy to compare "
+        "against the JEDEC baseline");
+  }
+  const auto make_schedule = [&] {
+    fault::FaultSchedule schedule(fault_seed);
+    schedule.Add(std::make_unique<fault::VrtFlipInjector>(vrt));
+    return schedule;
+  };
+  // Every leg advances the schedule on the same tick sequence, so the same
+  // seed reproduces the identical fault trace for all three.
+  FaultCampaignOptions options;
+  options.windows = windows;
+
+  ResilienceResult result;
+  auto jedec_faults = make_schedule();
+  options.adaptive = false;
+  result.jedec =
+      system.RunFaultCampaign(PolicyKind::kJedec, jedec_faults, options);
+
+  auto plain_faults = make_schedule();
+  result.plain = system.RunFaultCampaign(kind, plain_faults, options);
+
+  auto adaptive_faults = make_schedule();
+  options.adaptive = true;
+  result.adaptive = system.RunFaultCampaign(kind, adaptive_faults, options);
+  return result;
+}
+
 SuiteAverages Average(const std::vector<WorkloadResult>& results) {
   SuiteAverages avg;
   if (results.empty()) {

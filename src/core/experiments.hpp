@@ -54,4 +54,34 @@ struct SuiteAverages {
 };
 SuiteAverages Average(const std::vector<WorkloadResult>& results);
 
+// ---------------------------------------------------------------------------
+// Fault-injection resilience comparison (docs/FAULTS.md)
+// ---------------------------------------------------------------------------
+
+/// The same fault realization (identical schedule seed and tick sequence)
+/// replayed three ways: the JEDEC full-rate baseline, the plain policy
+/// (no detection — failures are silent data loss), and the adaptive
+/// wrapper (detection + degradation).
+struct ResilienceResult {
+  fault::CampaignReport jedec;
+  fault::CampaignReport plain;
+  fault::CampaignReport adaptive;
+
+  /// Refresh-overhead cost of the adaptive scheme relative to the JEDEC
+  /// baseline (< 1.0 means the VRL saving survived the faults).
+  double AdaptiveOverheadVsJedec() const {
+    return static_cast<double>(adaptive.refresh_busy_cycles) /
+           static_cast<double>(jedec.refresh_busy_cycles);
+  }
+};
+
+/// Runs the three-way comparison under VRT telegraph-noise injection.
+/// Extra injectors can be layered by building campaigns directly via
+/// VrlSystem::RunFaultCampaign.
+ResilienceResult RunResilienceComparison(const VrlSystem& system,
+                                         PolicyKind kind,
+                                         const retention::VrtParams& vrt,
+                                         std::size_t windows,
+                                         std::uint64_t fault_seed);
+
 }  // namespace vrl::core

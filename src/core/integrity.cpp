@@ -1,9 +1,7 @@
 #include "core/integrity.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
-#include "retention/leakage.hpp"
+#include "fault/charge_tracker.hpp"
 
 namespace vrl::core {
 
@@ -58,67 +56,48 @@ IntegrityReport IntegrityChecker::Replay(dram::RefreshPolicy& policy,
     throw ConfigError("IntegrityChecker: need at least one window");
   }
   const auto& model = system_.refresh_model();
-  const auto& profile = system_.profile();
-  const double clock = system_.config().tech.clock_period_s;
-  const retention::LeakageModel leakage(model.spec().full_target,
-                                        model.MinReadableFraction());
-
-  const std::size_t rows = profile.rows();
+  const std::size_t rows = system_.profile().rows();
   if (policy.rows() != rows) {
     throw ConfigError("IntegrityChecker: policy row count mismatch");
   }
 
-  // Per-row physical state.
-  std::vector<double> fraction(rows, model.spec().full_target);
-  std::vector<double> last_event_s(rows, 0.0);
-  std::vector<std::size_t> consecutive_partials(rows, 0);
+  // The per-row physics (leakage, sensing, restore-truncation compounding)
+  // lives in the shared charge tracker, the same code path the online
+  // failure monitor (fault::RunCampaign) replays through.
+  fault::ChargeTracker tracker(model, rows);
 
   IntegrityReport report;
-  const double readable = model.MinReadableFraction();
+  const double clock = system_.config().tech.clock_period_s;
   const Cycles horizon = system_.HorizonForWindows(windows);
   const Cycles t_refi = system_.config().timing.t_refi;
 
   for (Cycles tick = 0; tick <= horizon; tick += t_refi) {
     const double now_s = CyclesToSeconds(tick, clock);
     for (const auto& op : policy.CollectDue(tick)) {
-      const std::size_t row = op.row;
-      const double retention = RuntimeRetention(row);
-      fraction[row] = leakage.FractionAfter(
-          fraction[row], now_s - last_event_s[row], retention);
-      last_event_s[row] = now_s;
-
-      report.min_margin =
-          std::min(report.min_margin, fraction[row] - readable);
-
       const double budget_s =
           op.is_full ? system_.FullTimings().tau_post_s
                      : system_.PartialTimings().tau_post_s;
-      const double cap =
-          op.is_full ? 1.0
-                     : model.PartialRestoreCap(consecutive_partials[row] + 1);
-      const auto outcome = model.ApplyRefresh(fraction[row], budget_s, cap);
+      const auto sense = tracker.Refresh(op.row, now_s,
+                                         RuntimeRetention(op.row),
+                                         op.is_full, budget_s);
 
       ++report.refreshes_checked;
       if (!op.is_full) {
         ++report.partial_refreshes;
       }
-      if (!outcome.sense_ok) {
+      if (!sense.sense_ok) {
         if (report.failures == 0) {
-          report.first_failed_row = row;
+          report.first_failed_row = op.row;
           report.first_failure_time_s = now_s;
         }
         ++report.failures;
         // The data is gone; model the (wrong) restore as a fresh full level
         // so the replay can continue counting further failures distinctly.
-        fraction[row] = model.spec().full_target;
-        consecutive_partials[row] = 0;
-        continue;
+        tracker.Restore(op.row, now_s);
       }
-      fraction[row] = outcome.fraction_after;
-      consecutive_partials[row] =
-          op.is_full ? 0 : consecutive_partials[row] + 1;
     }
   }
+  report.min_margin = tracker.min_margin();
   return report;
 }
 

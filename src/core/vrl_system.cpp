@@ -188,4 +188,45 @@ Cycles VrlSystem::HorizonForWindows(std::size_t windows) const {
   return config_.timing.t_refw * static_cast<Cycles>(windows);
 }
 
+fault::CampaignReport VrlSystem::RunFaultCampaign(
+    PolicyKind kind, fault::FaultSchedule& faults,
+    const FaultCampaignOptions& options) const {
+  fault::CampaignSetup setup;
+  setup.clock_period_s = config_.tech.clock_period_s;
+  setup.t_refi = config_.timing.t_refi;
+  setup.base_window = config_.timing.t_refw;
+  setup.windows = options.windows;
+  setup.tau_post_full_s = tau_full_.tau_post_s;
+  setup.tau_post_partial_s = tau_partial_.tau_post_s;
+  setup.max_logged_events = options.max_logged_events;
+
+  auto policy = MakePolicyFactory(kind)();
+  if (!options.adaptive) {
+    return fault::RunCampaign(*model_, *profile_, *policy, faults, setup);
+  }
+
+  // Base plan the demotion ladder starts from.  For JEDEC every row's base
+  // setting is the base window (its binned period would *lengthen* the
+  // schedule); the retention-aware policies start from their binned plan.
+  dram::RowRefreshPlan plan;
+  switch (kind) {
+    case PolicyKind::kJedec:
+      plan.period_cycles.assign(config_.tech.rows, config_.timing.t_refw);
+      break;
+    case PolicyKind::kRaidr:
+      plan = dram::MakeRefreshPlan(binning_, config_.tech.clock_period_s);
+      break;
+    case PolicyKind::kVrl:
+    case PolicyKind::kVrlAccess:
+      plan = dram::MakeRefreshPlan(binning_, config_.tech.clock_period_s,
+                                   row_mprsf_);
+      break;
+  }
+  fault::AdaptiveVrlPolicy adaptive(
+      std::move(policy), std::move(plan), TauFullCycles(),
+      TauPartialCycles(), config_.timing.t_refw, config_.timing.t_refi,
+      options.adaptive_params);
+  return fault::RunCampaign(*model_, *profile_, adaptive, faults, setup);
+}
+
 }  // namespace vrl::core

@@ -11,6 +11,9 @@
 #include "dram/controller.hpp"
 #include "dram/refresh_policy.hpp"
 #include "dram/timing.hpp"
+#include "fault/adaptive_policy.hpp"
+#include "fault/campaign.hpp"
+#include "fault/injector.hpp"
 #include "model/refresh_model.hpp"
 #include "retention/distribution.hpp"
 #include "retention/mprsf.hpp"
@@ -35,6 +38,17 @@ namespace vrl::core {
 
 /// Which refresh scheduling policy to simulate.
 enum class PolicyKind { kJedec, kRaidr, kVrl, kVrlAccess };
+
+/// Options for VrlSystem::RunFaultCampaign.
+struct FaultCampaignOptions {
+  std::size_t windows = 8;
+  /// Wrap the policy in fault::AdaptiveVrlPolicy (online detection +
+  /// degradation); false replays the plain policy, where every sensing
+  /// failure is silent data loss.
+  bool adaptive = true;
+  fault::AdaptiveParams adaptive_params;
+  std::size_t max_logged_events = 256;
+};
 
 /// Human-readable policy name.
 std::string PolicyName(PolicyKind kind);
@@ -134,6 +148,16 @@ class VrlSystem {
   /// Convenience: simulation horizon covering `windows` base refresh
   /// windows (64 ms each).
   Cycles HorizonForWindows(std::size_t windows) const;
+
+  /// Runs a fault-injection campaign (see fault/campaign.hpp): one bank of
+  /// this system replayed against the physics while `faults` perturbs the
+  /// runtime retention.  With options.adaptive the policy is wrapped in
+  /// fault::AdaptiveVrlPolicy and detected failures feed the degradation
+  /// state machine; the returned report carries the failure event log and
+  /// the state-machine counters.
+  fault::CampaignReport RunFaultCampaign(
+      PolicyKind kind, fault::FaultSchedule& faults,
+      const FaultCampaignOptions& options = {}) const;
 
  private:
   /// Shared construction tail: plan (guardband, spares, binning, MPRSF)

@@ -24,6 +24,16 @@ DeadlineQueue StaggeredDeadlines(const std::vector<Cycles>& periods) {
 
 }  // namespace
 
+void RefreshPolicy::RequireMonotonicNow(Cycles now) {
+  if (now < last_now_) {
+    throw ConfigError("RefreshPolicy::CollectDue: now must be non-decreasing"
+                      " (got " +
+                      std::to_string(now) + " after " +
+                      std::to_string(last_now_) + ")");
+  }
+  last_now_ = now;
+}
+
 RowRefreshPlan MakeRefreshPlan(const retention::BinningResult& binning,
                                double clock_period_s,
                                const std::vector<std::size_t>& mprsf) {
@@ -66,6 +76,7 @@ JedecPolicy::JedecPolicy(std::size_t rows, Cycles window_cycles,
 }
 
 std::vector<RefreshOp> JedecPolicy::CollectDue(Cycles now) {
+  RequireMonotonicNow(now);
   std::vector<RefreshOp> ops;
   while (!due_.empty() && due_.top().first <= now && !AtCap(ops.size())) {
     const auto [when, row] = due_.top();
@@ -89,6 +100,7 @@ RaidrPolicy::RaidrPolicy(RowRefreshPlan plan, Cycles trfc_full)
 }
 
 std::vector<RefreshOp> RaidrPolicy::CollectDue(Cycles now) {
+  RequireMonotonicNow(now);
   std::vector<RefreshOp> ops;
   while (!due_.empty() && due_.top().first <= now && !AtCap(ops.size())) {
     const auto [when, row] = due_.top();
@@ -130,6 +142,7 @@ VrlPolicy::VrlPolicy(RowRefreshPlan plan, Cycles trfc_full,
 }
 
 std::vector<RefreshOp> VrlPolicy::CollectDue(Cycles now) {
+  RequireMonotonicNow(now);
   std::vector<RefreshOp> ops;
   while (!due_.empty() && due_.top().first <= now && !AtCap(ops.size())) {
     const auto [when, row] = due_.top();

@@ -67,8 +67,14 @@ class RefreshPolicy {
     return max_ops_per_tick_ != 0 && emitted >= max_ops_per_tick_;
   }
 
+  /// Enforces the documented CollectDue contract: `now` must be
+  /// non-decreasing across calls.  Every CollectDue implementation calls
+  /// this first.  \throws vrl::ConfigError on a decreasing `now`.
+  void RequireMonotonicNow(Cycles now);
+
  private:
   std::size_t max_ops_per_tick_ = 0;
+  Cycles last_now_ = 0;
 };
 
 /// Per-row refresh period table shared by the retention-aware policies.

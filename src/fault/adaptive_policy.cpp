@@ -1,0 +1,273 @@
+#include "fault/adaptive_policy.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace vrl::fault {
+
+void AdaptiveParams::Validate() const {
+  if (promote_after_clean_windows == 0) {
+    throw ConfigError("AdaptiveParams: promote_after_clean_windows >= 1");
+  }
+  if (fallback_exit_clean_windows == 0) {
+    throw ConfigError("AdaptiveParams: fallback_exit_clean_windows >= 1");
+  }
+}
+
+AdaptiveVrlPolicy::AdaptiveVrlPolicy(
+    std::unique_ptr<dram::RefreshPolicy> inner,
+    dram::RowRefreshPlan base_plan, Cycles trfc_full, Cycles trfc_partial,
+    Cycles base_window, Cycles min_period, AdaptiveParams params)
+    : inner_(std::move(inner)),
+      plan_(std::move(base_plan)),
+      trfc_full_(trfc_full),
+      trfc_partial_(trfc_partial),
+      base_window_(base_window),
+      min_period_(min_period),
+      params_(params) {
+  params_.Validate();
+  if (!inner_) {
+    throw ConfigError("AdaptiveVrlPolicy: null inner policy");
+  }
+  if (plan_.period_cycles.size() != inner_->rows()) {
+    throw ConfigError(
+        "AdaptiveVrlPolicy: base plan row count does not match the policy");
+  }
+  if (!plan_.mprsf.empty() &&
+      plan_.mprsf.size() != plan_.period_cycles.size()) {
+    throw ConfigError("AdaptiveVrlPolicy: malformed base plan MPRSF");
+  }
+  if (trfc_partial_ == 0 || trfc_partial_ >= trfc_full_) {
+    throw ConfigError("AdaptiveVrlPolicy: need 0 < tau_partial < tau_full");
+  }
+  if (base_window_ == 0 || min_period_ == 0 || min_period_ > base_window_) {
+    throw ConfigError(
+        "AdaptiveVrlPolicy: need 0 < min_period <= base_window");
+  }
+  pending_forced_flag_.assign(inner_->rows(), false);
+}
+
+void AdaptiveVrlPolicy::CheckRow(std::size_t row) const {
+  if (row >= inner_->rows()) {
+    throw ConfigError("AdaptiveVrlPolicy: row " + std::to_string(row) +
+                      " out of range");
+  }
+}
+
+void AdaptiveVrlPolicy::RollWindows(Cycles now) {
+  const auto window = static_cast<std::size_t>(now / base_window_);
+  while (current_window_ < window) {
+    if (in_fallback_) {
+      if (failures_this_window_ == 0) {
+        ++clean_fallback_windows_;
+        if (clean_fallback_windows_ >= params_.fallback_exit_clean_windows) {
+          in_fallback_ = false;
+          ++stats_.fallback_exits;
+          fallback_due_ = dram::DeadlineQueue();
+        }
+      } else {
+        clean_fallback_windows_ = 0;
+      }
+    }
+    failures_this_window_ = 0;
+    ++current_window_;
+  }
+}
+
+bool AdaptiveVrlPolicy::SettingAtLevel(std::size_t row, std::size_t level,
+                                       std::uint8_t* mprsf,
+                                       Cycles* period) const {
+  std::size_t m = plan_.mprsf.empty() ? 0 : plan_.mprsf[row];
+  Cycles p = plan_.period_cycles[row];
+  for (std::size_t i = 0; i < level; ++i) {
+    if (m > 0) {
+      m /= 2;
+      continue;
+    }
+    if (p / 2 < min_period_) {
+      return false;
+    }
+    p /= 2;
+  }
+  *mprsf = static_cast<std::uint8_t>(m);
+  *period = p;
+  return true;
+}
+
+void AdaptiveVrlPolicy::EnterFallback(Cycles now) {
+  in_fallback_ = true;
+  ++stats_.fallback_entries;
+  clean_fallback_windows_ = 0;
+  fallback_due_ = dram::DeadlineQueue();
+  const auto n = static_cast<Cycles>(inner_->rows());
+  for (Cycles r = 0; r < n; ++r) {
+    // Staggered like the steady-state policies so the full-rate refreshes
+    // spread over the window instead of bursting.
+    fallback_due_.emplace(now + base_window_ * r / n,
+                          static_cast<std::size_t>(r));
+  }
+}
+
+std::vector<dram::RefreshOp> AdaptiveVrlPolicy::CollectDue(Cycles now) {
+  RequireMonotonicNow(now);
+  RollWindows(now);
+  std::vector<dram::RefreshOp> ops;
+
+  // Recovery write-backs outrank scheduled work.
+  for (const std::size_t row : pending_forced_) {
+    ops.push_back({row, trfc_full_, true});
+    pending_forced_flag_[row] = false;
+    ++stats_.forced_full_refreshes;
+  }
+  pending_forced_.clear();
+
+  // Demoted rows run on wrapper-owned schedules (lazy-deleted by
+  // generation tag when the row is promoted or re-demoted).
+  while (!demoted_due_.empty() && std::get<0>(demoted_due_.top()) <= now) {
+    const auto [when, row, generation] = demoted_due_.top();
+    demoted_due_.pop();
+    const auto it = demoted_.find(row);
+    if (it == demoted_.end() || it->second.generation != generation) {
+      continue;
+    }
+    auto& demoted = it->second;
+    const bool full = demoted.rcount >= demoted.mprsf;
+    ops.push_back({row, full ? trfc_full_ : trfc_partial_, full});
+    demoted.rcount =
+        full ? std::uint8_t{0} : static_cast<std::uint8_t>(demoted.rcount + 1);
+    demoted_due_.emplace(when + demoted.period, row, generation);
+  }
+
+  // The inner policy keeps ticking even in fallback so its per-row phases
+  // stay aligned for re-entry; only its emissions are replaced by the
+  // full-rate baseline while fallback is active.
+  auto inner_ops = inner_->CollectDue(now);
+  if (in_fallback_) {
+    while (!fallback_due_.empty() && fallback_due_.top().first <= now) {
+      const auto [when, row] = fallback_due_.top();
+      fallback_due_.pop();
+      fallback_due_.emplace(when + base_window_, row);
+      if (demoted_.find(row) != demoted_.end()) {
+        continue;  // has its own, faster schedule
+      }
+      ops.push_back({row, trfc_full_, true});
+    }
+  } else {
+    for (const auto& op : inner_ops) {
+      if (demoted_.find(op.row) == demoted_.end()) {
+        ops.push_back(op);
+      }
+    }
+  }
+  return ops;
+}
+
+void AdaptiveVrlPolicy::OnRowAccess(std::size_t row) {
+  inner_->OnRowAccess(row);
+  const auto it = demoted_.find(row);
+  if (it != demoted_.end()) {
+    // The activation fully restored the row; partials are safe again.
+    it->second.rcount = 0;
+  }
+}
+
+FailureResponse AdaptiveVrlPolicy::OnSensingFailure(std::size_t row,
+                                                    Cycles now) {
+  CheckRow(row);
+  RollWindows(now);
+  ++stats_.failures_signalled;
+  ++failures_this_window_;
+  if (!in_fallback_ && params_.fallback_enter_failures > 0 &&
+      failures_this_window_ >= params_.fallback_enter_failures) {
+    EnterFallback(now);
+  }
+
+  const auto it = demoted_.find(row);
+  const std::size_t next_level =
+      (it == demoted_.end() ? 0 : it->second.level) + 1;
+  std::uint8_t mprsf = 0;
+  Cycles period = 0;
+  const bool forced_already = pending_forced_flag_[row];
+  if (!SettingAtLevel(row, next_level, &mprsf, &period)) {
+    // Ladder exhausted: nothing faster left to try.  Still force a full
+    // refresh so whatever ECC salvaged is written back promptly.
+    ++stats_.saturated_failures;
+    if (!forced_already) {
+      pending_forced_.push_back(row);
+      pending_forced_flag_[row] = true;
+    }
+    return FailureResponse::kSaturated;
+  }
+
+  DemotedRow demoted;
+  demoted.level = next_level;
+  demoted.mprsf = mprsf;
+  demoted.period = period;
+  demoted.rcount = 0;
+  demoted.generation = next_generation_++;
+  demoted.last_event_window = current_window_;
+  demoted_[row] = demoted;
+  demoted_due_.emplace(now + period, row, demoted.generation);
+  if (!forced_already) {
+    pending_forced_.push_back(row);
+    pending_forced_flag_[row] = true;
+  }
+  ++stats_.demotions;
+  return FailureResponse::kCorrected;
+}
+
+void AdaptiveVrlPolicy::OnCleanFullRefresh(std::size_t row, Cycles now) {
+  CheckRow(row);
+  RollWindows(now);
+  const auto it = demoted_.find(row);
+  if (it == demoted_.end()) {
+    return;
+  }
+  auto& demoted = it->second;
+  if (current_window_ <
+      demoted.last_event_window + params_.promote_after_clean_windows) {
+    return;
+  }
+  ++stats_.promotions;
+  if (demoted.level == 1) {
+    demoted_.erase(it);  // back to the inner policy's schedule
+    return;
+  }
+  const std::size_t new_level = demoted.level - 1;
+  std::uint8_t mprsf = 0;
+  Cycles period = 0;
+  SettingAtLevel(row, new_level, &mprsf, &period);  // lower level: never fails
+  demoted.level = new_level;
+  demoted.mprsf = mprsf;
+  demoted.period = period;
+  demoted.rcount = 0;
+  demoted.generation = next_generation_++;
+  demoted.last_event_window = current_window_;
+  demoted_due_.emplace(now + period, row, demoted.generation);
+}
+
+AdaptiveStats AdaptiveVrlPolicy::stats() const {
+  AdaptiveStats out = stats_;
+  out.rows_demoted_now = demoted_.size();
+  out.in_fallback = in_fallback_;
+  return out;
+}
+
+std::size_t AdaptiveVrlPolicy::DemotionLevel(std::size_t row) const {
+  CheckRow(row);
+  const auto it = demoted_.find(row);
+  return it == demoted_.end() ? 0 : it->second.level;
+}
+
+std::pair<std::uint8_t, Cycles> AdaptiveVrlPolicy::DemotedSetting(
+    std::size_t row) const {
+  CheckRow(row);
+  const auto it = demoted_.find(row);
+  if (it == demoted_.end()) {
+    throw ConfigError("AdaptiveVrlPolicy: row is not demoted");
+  }
+  return {it->second.mprsf, it->second.period};
+}
+
+}  // namespace vrl::fault

@@ -1,0 +1,108 @@
+#include "fault/campaign.hpp"
+
+#include "common/error.hpp"
+#include "fault/charge_tracker.hpp"
+
+namespace vrl::fault {
+
+void CampaignSetup::Validate() const {
+  if (clock_period_s <= 0.0) {
+    throw ConfigError("CampaignSetup: clock period must be positive");
+  }
+  if (t_refi == 0 || base_window < t_refi) {
+    throw ConfigError("CampaignSetup: refresh interval/window inconsistent");
+  }
+  if (windows == 0) {
+    throw ConfigError("CampaignSetup: need at least one window");
+  }
+  if (tau_post_full_s <= 0.0 || tau_post_partial_s <= 0.0) {
+    throw ConfigError("CampaignSetup: tau_post budgets must be positive");
+  }
+}
+
+double CampaignReport::RefreshOverheadFraction() const {
+  if (simulated_cycles == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(refresh_busy_cycles) /
+         static_cast<double>(simulated_cycles);
+}
+
+CampaignReport RunCampaign(const model::RefreshModel& model,
+                           const retention::RetentionProfile& truth,
+                           dram::RefreshPolicy& policy,
+                           FaultSchedule& faults,
+                           const CampaignSetup& setup) {
+  setup.Validate();
+  const std::size_t rows = truth.rows();
+  if (policy.rows() != rows) {
+    throw ConfigError("RunCampaign: policy row count mismatch");
+  }
+  auto* adaptive = dynamic_cast<AdaptiveVrlPolicy*>(&policy);
+
+  ChargeTracker tracker(model, rows);
+  CampaignReport report;
+  const Cycles horizon =
+      setup.base_window * static_cast<Cycles>(setup.windows);
+
+  for (Cycles tick = 0; tick <= horizon; tick += setup.t_refi) {
+    const double now_s = CyclesToSeconds(tick, setup.clock_period_s);
+    faults.Advance(now_s, rows);
+    for (const auto& op : policy.CollectDue(tick)) {
+      const double retention =
+          truth.RowRetention(op.row) * faults.RowScale(op.row);
+      const auto sense = tracker.Refresh(
+          op.row, now_s, retention, op.is_full,
+          op.is_full ? setup.tau_post_full_s : setup.tau_post_partial_s);
+
+      ++report.refreshes;
+      if (!op.is_full) {
+        ++report.partial_refreshes;
+      }
+      report.refresh_busy_cycles += op.trfc;
+
+      if (sense.sense_ok) {
+        if (op.is_full && adaptive != nullptr) {
+          adaptive->OnCleanFullRefresh(op.row, tick);
+        }
+        continue;
+      }
+
+      ++report.detected_failures;
+      bool corrected = false;
+      if (adaptive != nullptr) {
+        corrected = adaptive->OnSensingFailure(op.row, tick) ==
+                    FailureResponse::kCorrected;
+      }
+      if (corrected) {
+        ++report.corrected_failures;
+      } else {
+        ++report.unrecovered_failures;
+      }
+      // Corrected: the ECC write-back rewrites the row at full charge.
+      // Unrecovered: the data is gone; reset anyway (as the integrity
+      // checker does) so further failures are counted distinctly.
+      tracker.Restore(op.row, now_s);
+
+      if (report.events.size() < setup.max_logged_events) {
+        SensingFailureEvent event;
+        event.row = op.row;
+        event.at_cycle = tick;
+        event.at_s = now_s;
+        event.margin = sense.margin;
+        event.was_full = op.is_full;
+        event.corrected = corrected;
+        report.events.push_back(event);
+      }
+    }
+  }
+
+  report.min_margin = tracker.min_margin();
+  report.simulated_cycles = horizon;
+  if (adaptive != nullptr) {
+    report.adaptive = adaptive->stats();
+  }
+  return report;
+}
+
+}  // namespace vrl::fault

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/refresh_policy.hpp"
+#include "fault/adaptive_policy.hpp"
+#include "fault/injector.hpp"
+#include "model/refresh_model.hpp"
+#include "retention/profile.hpp"
+
+/// \file campaign.hpp
+/// Fault-injection campaign: the online failure monitor.
+///
+/// Replays a refresh policy tick-by-tick against the physics while a
+/// FaultSchedule perturbs the runtime retention underneath it.  Every
+/// refresh operation senses its row through the shared ChargeTracker; a
+/// failed sense is a SensingFailureEvent — the simulator analogue of an
+/// ECC scrub flagging a weak read.  When the policy is an
+/// AdaptiveVrlPolicy the event is fed back (demotion / fallback) and the
+/// ECC write-back recovers the data; a plain policy has no detection path,
+/// so every failure is silent data loss.
+
+namespace vrl::fault {
+
+/// One detected sensing failure.
+struct SensingFailureEvent {
+  std::size_t row = 0;
+  Cycles at_cycle = 0;
+  double at_s = 0.0;
+  double margin = 0.0;   ///< Charge margin at sensing time (negative).
+  bool was_full = false;  ///< Failed on a full (vs partial) refresh.
+  bool corrected = false;
+};
+
+struct CampaignSetup {
+  double clock_period_s = 2.5e-9;
+  Cycles t_refi = 3120;
+  Cycles base_window = 25'600'000;
+  std::size_t windows = 8;
+  double tau_post_full_s = 0.0;     ///< Full-refresh τpost budget [s].
+  double tau_post_partial_s = 0.0;  ///< Partial-refresh τpost budget [s].
+  std::size_t max_logged_events = 256;
+
+  void Validate() const;
+};
+
+/// Resilience report of one campaign run.
+struct CampaignReport {
+  std::size_t refreshes = 0;
+  std::size_t partial_refreshes = 0;
+  std::size_t detected_failures = 0;
+  std::size_t corrected_failures = 0;   ///< Recovered via ECC + demotion.
+  std::size_t unrecovered_failures = 0; ///< Silent or saturated: data lost.
+  double min_margin = 1.0;
+  Cycles refresh_busy_cycles = 0;
+  Cycles simulated_cycles = 0;
+  std::vector<SensingFailureEvent> events;  ///< First max_logged_events.
+  AdaptiveStats adaptive;  ///< All-zero when the policy is not adaptive.
+
+  bool DataLost() const { return unrecovered_failures > 0; }
+
+  /// Fraction of simulated time the bank spent refreshing — comparable
+  /// across policies run over the same horizon.
+  double RefreshOverheadFraction() const;
+};
+
+/// Runs `setup.windows` base windows of `policy` against `truth` (the
+/// actual per-row retention, before fault scaling) under the fault
+/// schedule.  Detection feedback is wired automatically when `policy` is an
+/// AdaptiveVrlPolicy.
+CampaignReport RunCampaign(const model::RefreshModel& model,
+                           const retention::RetentionProfile& truth,
+                           dram::RefreshPolicy& policy,
+                           FaultSchedule& faults,
+                           const CampaignSetup& setup);
+
+}  // namespace vrl::fault

@@ -1,0 +1,236 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vrl::fault {
+
+// ---------------------------------------------------------------------------
+// FaultState
+// ---------------------------------------------------------------------------
+
+FaultState::FaultState(std::size_t rows)
+    : vrt_scale_(rows, 1.0), corruption_scale_(rows, 1.0) {
+  if (rows == 0) {
+    throw ConfigError("FaultState: need at least one row");
+  }
+}
+
+double FaultState::RowScale(std::size_t row) const {
+  if (row >= vrt_scale_.size()) {
+    throw ConfigError("FaultState: row out of range");
+  }
+  return vrt_scale_[row] * corruption_scale_[row] * temperature_scale_ *
+         drift_scale_;
+}
+
+void FaultState::set_temperature_scale(double scale) {
+  if (scale <= 0.0) {
+    throw ConfigError("FaultState: temperature scale must be positive");
+  }
+  temperature_scale_ = scale;
+}
+
+void FaultState::set_drift_scale(double scale) {
+  if (scale <= 0.0) {
+    throw ConfigError("FaultState: drift scale must be positive");
+  }
+  drift_scale_ = scale;
+}
+
+// ---------------------------------------------------------------------------
+// VrtFlipInjector
+// ---------------------------------------------------------------------------
+
+VrtFlipInjector::VrtFlipInjector(const retention::VrtParams& params)
+    : params_(params) {
+  params_.Validate();
+}
+
+void VrtFlipInjector::Advance(double now_s, FaultState& state, Rng& rng) {
+  const std::size_t rows = state.rows();
+  if (!initialized_) {
+    vrt_rows_ = retention::SampleVrtRows(params_, rows, rng);
+    in_low_.assign(rows, false);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (vrt_rows_[r]) {
+        in_low_[r] = rng.Bernoulli(params_.low_state_prob);
+        state.vrt_scale()[r] = in_low_[r] ? params_.low_ratio : 1.0;
+      }
+    }
+    initialized_ = true;
+    last_now_s_ = now_s;
+    return;
+  }
+  if (vrt_rows_.size() != rows) {
+    throw ConfigError("VrtFlipInjector: row count changed between advances");
+  }
+
+  const double dt = now_s - last_now_s_;
+  last_now_s_ = now_s;
+  if (dt <= 0.0) {
+    return;
+  }
+  // Two-state Markov dwell times chosen so the stationary low-state
+  // probability equals low_state_prob and the mean low dwell is
+  // mean_dwell_s.  Degenerate probabilities pin the state.
+  const double p = params_.low_state_prob;
+  const double d_low = params_.mean_dwell_s;
+  const double p_leave_low = p >= 1.0 ? 0.0 : -std::expm1(-dt / d_low);
+  double p_enter_low = 1.0;
+  if (p <= 0.0) {
+    p_enter_low = 0.0;
+  } else if (p < 1.0) {
+    const double d_high = d_low * (1.0 - p) / p;
+    p_enter_low = -std::expm1(-dt / d_high);
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (!vrt_rows_[r]) {
+      continue;
+    }
+    const double p_flip = in_low_[r] ? p_leave_low : p_enter_low;
+    if (rng.Bernoulli(p_flip)) {
+      in_low_[r] = !in_low_[r];
+      state.vrt_scale()[r] = in_low_[r] ? params_.low_ratio : 1.0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TemperatureExcursionInjector
+// ---------------------------------------------------------------------------
+
+TemperatureExcursionInjector::TemperatureExcursionInjector(
+    const retention::TemperatureModel& model, double start_s,
+    double duration_s, double peak_celsius)
+    : model_(model), start_s_(start_s), duration_s_(duration_s) {
+  model_.Validate();
+  if (start_s < 0.0 || duration_s <= 0.0) {
+    throw ConfigError(
+        "TemperatureExcursionInjector: need start >= 0 and duration > 0");
+  }
+  scale_ = model_.RetentionScale(peak_celsius);
+}
+
+void TemperatureExcursionInjector::Advance(double now_s, FaultState& state,
+                                           Rng& rng) {
+  (void)rng;
+  const bool hot = now_s >= start_s_ && now_s < start_s_ + duration_s_;
+  state.set_temperature_scale(hot ? scale_ : 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// RetentionDriftInjector
+// ---------------------------------------------------------------------------
+
+RetentionDriftInjector::RetentionDriftInjector(double rate_per_s,
+                                               double floor_scale)
+    : rate_per_s_(rate_per_s), floor_scale_(floor_scale) {
+  if (rate_per_s < 0.0) {
+    throw ConfigError("RetentionDriftInjector: rate must be >= 0");
+  }
+  if (floor_scale <= 0.0 || floor_scale > 1.0) {
+    throw ConfigError("RetentionDriftInjector: floor scale in (0, 1]");
+  }
+}
+
+void RetentionDriftInjector::Advance(double now_s, FaultState& state,
+                                     Rng& rng) {
+  (void)rng;
+  state.set_drift_scale(
+      std::max(floor_scale_, 1.0 - rate_per_s_ * std::max(now_s, 0.0)));
+}
+
+// ---------------------------------------------------------------------------
+// ProfileCorruptionInjector
+// ---------------------------------------------------------------------------
+
+ProfileCorruptionInjector::ProfileCorruptionInjector(double row_fraction,
+                                                     double true_ratio,
+                                                     double at_s)
+    : row_fraction_(row_fraction), true_ratio_(true_ratio), at_s_(at_s) {
+  if (row_fraction < 0.0 || row_fraction > 1.0) {
+    throw ConfigError("ProfileCorruptionInjector: row_fraction in [0, 1]");
+  }
+  if (true_ratio <= 0.0 || true_ratio > 1.0) {
+    throw ConfigError("ProfileCorruptionInjector: true_ratio in (0, 1]");
+  }
+  if (at_s < 0.0) {
+    throw ConfigError("ProfileCorruptionInjector: at_s must be >= 0");
+  }
+}
+
+void ProfileCorruptionInjector::Advance(double now_s, FaultState& state,
+                                        Rng& rng) {
+  if (fired_ || now_s < at_s_) {
+    return;
+  }
+  auto& scale = state.corruption_scale();
+  for (std::size_t r = 0; r < state.rows(); ++r) {
+    if (rng.Bernoulli(row_fraction_)) {
+      scale[r] = std::min(scale[r], true_ratio_);
+    }
+  }
+  fired_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// FaultSchedule
+// ---------------------------------------------------------------------------
+
+FaultSchedule::FaultSchedule(std::uint64_t seed) : rng_(seed) {}
+
+FaultSchedule& FaultSchedule::Add(std::unique_ptr<FaultInjector> injector) {
+  if (!injector) {
+    throw ConfigError("FaultSchedule: null injector");
+  }
+  injectors_.push_back(std::move(injector));
+  return *this;
+}
+
+void FaultSchedule::Advance(double now_s, std::size_t rows) {
+  if (!state_) {
+    state_ = std::make_unique<FaultState>(rows);
+    last_now_s_ = now_s;
+  } else {
+    if (state_->rows() != rows) {
+      throw ConfigError("FaultSchedule: row count changed between advances");
+    }
+    if (now_s < last_now_s_) {
+      throw ConfigError("FaultSchedule: time must be non-decreasing");
+    }
+    last_now_s_ = now_s;
+  }
+  for (auto& injector : injectors_) {
+    injector->Advance(now_s, *state_, rng_);
+  }
+}
+
+double FaultSchedule::RowScale(std::size_t row) const {
+  if (!state_) {
+    return 1.0;
+  }
+  return state_->RowScale(row);
+}
+
+const FaultState& FaultSchedule::state() const {
+  if (!state_) {
+    throw ConfigError("FaultSchedule: not advanced yet");
+  }
+  return *state_;
+}
+
+std::string FaultSchedule::Describe() const {
+  std::string out;
+  for (const auto& injector : injectors_) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += injector->Name();
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace vrl::fault

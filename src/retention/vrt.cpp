@@ -14,6 +14,9 @@ void VrtParams::Validate() const {
   if (low_state_prob < 0.0 || low_state_prob > 1.0) {
     throw ConfigError("VrtParams: low_state_prob in [0, 1]");
   }
+  if (mean_dwell_s <= 0.0) {
+    throw ConfigError("VrtParams: mean_dwell_s must be positive");
+  }
 }
 
 std::vector<bool> SampleVrtRows(const VrtParams& params, std::size_t rows,

@@ -29,6 +29,13 @@ struct VrtParams {
   double low_ratio = 0.6;       ///< Retention in the low state / profiled.
   double low_state_prob = 0.5;  ///< P(low state) at a random instant.
 
+  /// Mean dwell time in the low state [s] — the telegraph-noise timescale
+  /// used by fault::VrtFlipInjector (retention studies report dwell times
+  /// from seconds down to sub-second at high temperature).  The mean high
+  /// dwell follows from low_state_prob so the stationary distribution
+  /// matches it.
+  double mean_dwell_s = 0.5;
+
   void Validate() const;
 };
 

@@ -436,6 +436,24 @@ TEST(VrlAccessPolicy, RejectsUnknownRow) {
   EXPECT_THROW(policy.OnRowAccess(1), ConfigError);
 }
 
+TEST(RefreshPolicyContract, CollectDueRejectsDecreasingNow) {
+  // Every policy enforces the documented non-decreasing `now` contract.
+  const auto plan = MakeRefreshPlan(MakeBinning({1.0, 1.0}), 2.5e-9, {1, 1});
+  const auto raidr_plan = MakeRefreshPlan(MakeBinning({1.0, 1.0}), 2.5e-9);
+  std::vector<std::unique_ptr<RefreshPolicy>> policies;
+  policies.push_back(std::make_unique<JedecPolicy>(2, 1600, 26));
+  policies.push_back(std::make_unique<RaidrPolicy>(raidr_plan, 26));
+  policies.push_back(std::make_unique<VrlPolicy>(plan, 26, 15));
+  policies.push_back(std::make_unique<VrlAccessPolicy>(plan, 26, 15));
+  for (auto& policy : policies) {
+    (void)policy->CollectDue(100);
+    EXPECT_NO_THROW(policy->CollectDue(100)) << policy->Name();
+    EXPECT_THROW(policy->CollectDue(99), ConfigError) << policy->Name();
+    // The clock did not move backward; later ticks still work.
+    EXPECT_NO_THROW(policy->CollectDue(200)) << policy->Name();
+  }
+}
+
 TEST(MakeRefreshPlanTest, ConvertsPeriodsToCycles) {
   const auto binning = MakeBinning({0.07, 0.26});
   const auto plan = MakeRefreshPlan(binning, 2.5e-9);

@@ -11,6 +11,7 @@
 #include "retention/leakage.hpp"
 #include "retention/mprsf.hpp"
 #include "retention/profile.hpp"
+#include "retention/vrt.hpp"
 
 namespace vrl::retention {
 namespace {
@@ -327,6 +328,42 @@ TEST_F(MprsfTest, RowMprsfMatchesPerRowComputation) {
 
 TEST_F(MprsfTest, RejectsNonPositiveTauPartial) {
   EXPECT_THROW(MprsfCalculator(model_, 0.0), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// VRT (the worst-case path guarding the fault campaign)
+// ---------------------------------------------------------------------------
+
+TEST(Vrt, SampleVrtRowsIsDeterministicGivenRngState) {
+  VrtParams params;
+  params.row_fraction = 0.1;
+  Rng a(99);
+  Rng b(99);
+  EXPECT_EQ(SampleVrtRows(params, 4096, a), SampleVrtRows(params, 4096, b));
+  Rng c(100);
+  EXPECT_NE(SampleVrtRows(params, 4096, a), SampleVrtRows(params, 4096, c));
+}
+
+TEST(Vrt, WorstCaseScalesExactlyTheVrtRows) {
+  VrtParams params;
+  params.low_ratio = 0.6;
+  const RetentionProfile profiled({0.5, 1.0, 2.0, 4.0});
+  const std::vector<bool> vrt_rows = {false, true, false, true};
+  const auto worst = WorstCaseRuntimeProfile(profiled, vrt_rows, params);
+  ASSERT_EQ(worst.rows(), 4u);
+  EXPECT_DOUBLE_EQ(worst.RowRetention(0), 0.5);
+  EXPECT_DOUBLE_EQ(worst.RowRetention(1), 1.0 * 0.6);
+  EXPECT_DOUBLE_EQ(worst.RowRetention(2), 2.0);
+  EXPECT_DOUBLE_EQ(worst.RowRetention(3), 4.0 * 0.6);
+}
+
+TEST(Vrt, ParamsValidateDwellTime) {
+  VrtParams params;
+  EXPECT_NO_THROW(params.Validate());
+  params.mean_dwell_s = 0.0;
+  EXPECT_THROW(params.Validate(), ConfigError);
+  params.mean_dwell_s = -1.0;
+  EXPECT_THROW(params.Validate(), ConfigError);
 }
 
 }  // namespace
