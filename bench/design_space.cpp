@@ -9,13 +9,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/sweep.hpp"
 
 int main() {
   using namespace vrl;
 
-  std::printf("Design-space sweep (workload: facesim, 8 x 64 ms)\n\n");
+  std::printf(
+      "Design-space sweep (workload: facesim, 8 x 64 ms, %zu threads)\n\n",
+      DefaultThreadCount());
 
   core::VrlConfig base;
   base.banks = 2;

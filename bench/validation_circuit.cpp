@@ -12,11 +12,15 @@
 // still resolves correctly — the circuit's equivalent of the model's
 // MinReadableFraction.
 
+#include <array>
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "circuit/dram_circuits.hpp"
 #include "circuit/transient.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "model/equalization.hpp"
 #include "model/presensing.hpp"
@@ -58,46 +62,56 @@ double CircuitReadableFraction(const TechnologyParams& tech,
 }  // namespace
 
 int main() {
-  std::printf("Validation — analytical model vs transient circuit\n\n");
+  std::printf(
+      "Validation — analytical model vs transient circuit (%zu threads)\n\n",
+      vrl::DefaultThreadCount());
 
   // ---- Part A: geometry sweep --------------------------------------------
+  // One task per geometry; each builds its own circuits and models and
+  // returns a finished table row into its index slot, so the table reads
+  // identically at any thread count (common/parallel.hpp).
   std::printf("A. equalization settle (to 20 mV) and charge-share swing:\n");
   TextTable part_a({"bank", "t_eq model (ns)", "t_eq circuit (ns)",
                     "dv model (mV)", "dv circuit (mV)"});
-  for (const std::size_t rows : {2048UL, 8192UL, 16384UL}) {
-    TechnologyParams tech;
-    tech.rows = rows;
-    tech.columns = 8;
-    tech.cbw_ratio = 0.0;  // see header comment
+  const std::array<std::size_t, 3> geometries = {2048, 8192, 16384};
+  const auto part_a_rows = vrl::ParallelMap(
+      geometries.size(), [&](std::size_t g) -> std::vector<std::string> {
+        TechnologyParams tech;
+        tech.rows = geometries[g];
+        tech.columns = 8;
+        tech.cbw_ratio = 0.0;  // see header comment
 
-    const model::EqualizationModel eq(tech);
-    auto eq_circuit = circuit::BuildEqualizationCircuit(tech, 0.0);
-    circuit::TransientOptions options;
-    options.t_stop_s = 6e-9;
-    options.dt_s = 2e-12;
-    const auto eq_wave =
-        circuit::RunTransient(eq_circuit.netlist, options, {eq_circuit.bl});
-    const double t_model = eq.SettleTime(model::BitlineSide::kHigh, 0.02);
-    const double t_circuit =
-        eq_wave.CrossingTime(eq_circuit.bl, tech.Veq() + 0.02, false);
+        const model::EqualizationModel eq(tech);
+        auto eq_circuit = circuit::BuildEqualizationCircuit(tech, 0.0);
+        circuit::TransientOptions options;
+        options.t_stop_s = 6e-9;
+        options.dt_s = 2e-12;
+        const auto eq_wave = circuit::RunTransient(eq_circuit.netlist,
+                                                   options, {eq_circuit.bl});
+        const double t_model = eq.SettleTime(model::BitlineSide::kHigh, 0.02);
+        const double t_circuit =
+            eq_wave.CrossingTime(eq_circuit.bl, tech.Veq() + 0.02, false);
 
-    const model::PreSensingModel pre(tech);
-    auto array = circuit::BuildChargeSharingArray(
-        tech, DataPattern::kAllOnes, 1.0, 20e-12);
-    circuit::TransientOptions share_options;
-    share_options.t_stop_s = 30e-9;
-    share_options.dt_s = 20e-12;
-    const std::size_t mid = tech.columns / 2;
-    const auto share_wave = circuit::RunTransient(
-        array.netlist, share_options, {array.bitline_nodes[mid]});
-    const double dv_model =
-        pre.SenseVoltagesForPattern(DataPattern::kAllOnes, 1.0)[mid];
-    const double dv_circuit =
-        share_wave.FinalValue(array.bitline_nodes[mid]) - tech.Veq();
+        const model::PreSensingModel pre(tech);
+        auto array = circuit::BuildChargeSharingArray(
+            tech, DataPattern::kAllOnes, 1.0, 20e-12);
+        circuit::TransientOptions share_options;
+        share_options.t_stop_s = 30e-9;
+        share_options.dt_s = 20e-12;
+        const std::size_t mid = tech.columns / 2;
+        const auto share_wave = circuit::RunTransient(
+            array.netlist, share_options, {array.bitline_nodes[mid]});
+        const double dv_model =
+            pre.SenseVoltagesForPattern(DataPattern::kAllOnes, 1.0)[mid];
+        const double dv_circuit =
+            share_wave.FinalValue(array.bitline_nodes[mid]) - tech.Veq();
 
-    part_a.AddRow({tech.GeometryLabel(), Fmt(t_model * 1e9, 2),
-                   Fmt(t_circuit * 1e9, 2), Fmt(dv_model * 1e3, 1),
-                   Fmt(dv_circuit * 1e3, 1)});
+        return {tech.GeometryLabel(), Fmt(t_model * 1e9, 2),
+                Fmt(t_circuit * 1e9, 2), Fmt(dv_model * 1e3, 1),
+                Fmt(dv_circuit * 1e3, 1)};
+      });
+  for (const auto& row : part_a_rows) {
+    part_a.AddRow(row);
   }
   part_a.Print(std::cout);
 
@@ -108,15 +122,21 @@ int main() {
   const model::RefreshModel refresh_model(tech);
   TextTable part_b({"offset (mV)", "circuit readable fraction",
                     "model readable fraction"});
-  for (const double offset_mv : {0.0, 5.0, 10.0, 20.0}) {
-    TechnologyParams margin_tech = tech;
-    // The model's margin parameter corresponds to the latch offset; a
-    // zero-offset ideal latch still needs a small residual margin.
-    margin_tech.v_sense_min = std::max(1e-3, offset_mv * 1e-3);
-    const model::RefreshModel margin_model(margin_tech);
-    part_b.AddRow({Fmt(offset_mv, 0),
-                   Fmt(CircuitReadableFraction(tech, offset_mv * 1e-3), 3),
-                   Fmt(margin_model.MinReadableFraction(), 3)});
+  const std::array<double, 4> offsets_mv = {0.0, 5.0, 10.0, 20.0};
+  const auto part_b_rows = vrl::ParallelMap(
+      offsets_mv.size(), [&](std::size_t o) -> std::vector<std::string> {
+        const double offset_mv = offsets_mv[o];
+        TechnologyParams margin_tech = tech;
+        // The model's margin parameter corresponds to the latch offset; a
+        // zero-offset ideal latch still needs a small residual margin.
+        margin_tech.v_sense_min = std::max(1e-3, offset_mv * 1e-3);
+        const model::RefreshModel margin_model(margin_tech);
+        return {Fmt(offset_mv, 0),
+                Fmt(CircuitReadableFraction(tech, offset_mv * 1e-3), 3),
+                Fmt(margin_model.MinReadableFraction(), 3)};
+      });
+  for (const auto& row : part_b_rows) {
+    part_b.AddRow(row);
   }
   part_b.Print(std::cout);
   std::printf(

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+/// \file parallel.hpp
+/// Deterministic parallel execution for embarrassingly parallel fan-outs
+/// (design-space sweeps, fault-campaign legs, Monte-Carlo grids).
+///
+/// The determinism contract (docs/PARALLEL.md) every caller must follow:
+///
+///  1. Work items are independent: no shared *mutable* state crosses items.
+///     Shared inputs must be const and internally cache-free.
+///  2. Results go into pre-sized slots indexed by the item index, so the
+///     output layout never depends on completion order.
+///  3. Any randomness inside an item comes from an Rng seeded as a pure
+///     function of the item index (TaskSeed) or of per-item configuration —
+///     never from a generator shared across items.
+///
+/// Under that contract, ParallelFor(n, body) produces bit-identical results
+/// for every thread count, including the single-thread fallback, and for
+/// every task completion order.  tests/parallel_test.cpp enforces this for
+/// the library's own fan-outs; the CI ThreadSanitizer job checks rule 1.
+///
+/// Thread-count resolution (first match wins):
+///   explicit `threads` argument > SetThreadCountOverride/ScopedThreadCount
+///   > VRL_THREADS environment variable > std::thread::hardware_concurrency.
+
+namespace vrl {
+
+/// Threads ParallelFor uses when the caller does not pass an explicit
+/// count: the process-wide override if set, else a positive integer
+/// VRL_THREADS, else hardware_concurrency (at least 1).
+std::size_t DefaultThreadCount();
+
+/// Sets (non-zero) or clears (zero) the process-wide thread-count override.
+/// Intended for program setup and tests; prefer ScopedThreadCount.
+void SetThreadCountOverride(std::size_t threads);
+
+/// RAII override of DefaultThreadCount — the reproducibility harness runs
+/// the same fan-out at 1/2/8 threads through this.
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(std::size_t threads);
+  ~ScopedThreadCount();
+  ScopedThreadCount(const ScopedThreadCount&) = delete;
+  ScopedThreadCount& operator=(const ScopedThreadCount&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
+/// True on a thread currently executing a ThreadPool task.  ParallelFor
+/// consults this to run nested parallel loops inline (rule: nesting is
+/// safe, never oversubscribed, never deadlocked).
+bool InParallelRegion();
+
+/// SplitMix64-derived seed for work item `task_index` of a fan-out rooted
+/// at `base_seed`.  Pure function of its arguments, so a task's random
+/// stream depends only on its index — not on which thread runs it or when.
+/// Distinct indices give statistically independent Rng streams.
+std::uint64_t TaskSeed(std::uint64_t base_seed, std::uint64_t task_index);
+
+/// A fixed-size worker pool draining a FIFO work queue.  The first
+/// exception thrown by any task is captured and rethrown from Wait();
+/// remaining tasks still run, so Wait() never deadlocks.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins the workers.  Pending tasks are still executed; an unretrieved
+  /// task exception (no Wait() call) is dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task.  \throws vrl::ConfigError after the pool started
+  /// shutting down (destructor entered).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first captured task exception, if any (clearing it).
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs body(0) ... body(n-1), distributing items over `threads` workers
+/// (0 = DefaultThreadCount()).  Items are claimed from an atomic work queue
+/// in index order but may complete in any order — callers must follow the
+/// determinism contract above.  Falls back to a plain serial loop when one
+/// thread suffices (n <= 1, threads == 1) or when called from inside
+/// another parallel region.  The first exception thrown by any item is
+/// rethrown after all workers stop claiming new items.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 std::size_t threads = 0);
+
+/// ParallelFor collecting fn(i) into slot i of the returned vector — the
+/// pre-sized-slot pattern of the determinism contract, packaged.  The
+/// result type must be default-constructible.
+template <typename Fn>
+auto ParallelMap(std::size_t n, Fn&& fn, std::size_t threads = 0)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> out(n);
+  ParallelFor(
+      n, [&](std::size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
+
+}  // namespace vrl

@@ -1,6 +1,9 @@
 #include "core/experiments.hpp"
 
+#include <iterator>
+
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace vrl::core {
 
@@ -46,10 +49,14 @@ WorkloadResult RunWorkload(const VrlSystem& system,
 std::vector<WorkloadResult> RunEvaluationSuite(
     const VrlSystem& system, std::size_t windows,
     const power::EnergyParams& energy) {
-  std::vector<WorkloadResult> results;
-  for (const auto& workload : trace::EvaluationSuite()) {
-    results.push_back(RunWorkload(system, workload, windows, energy));
-  }
+  // One task per workload: RunWorkload builds all of its mutable state
+  // (trace RNG, controller, power model) locally and only reads the shared
+  // const system, so the suite parallelizes bit-identically.
+  const auto suite = trace::EvaluationSuite();
+  std::vector<WorkloadResult> results(suite.size());
+  ParallelFor(suite.size(), [&](std::size_t i) {
+    results[i] = RunWorkload(system, suite[i], windows, energy);
+  });
   return results;
 }
 
@@ -63,28 +70,33 @@ ResilienceResult RunResilienceComparison(const VrlSystem& system,
         "RunResilienceComparison: pick a retention-aware policy to compare "
         "against the JEDEC baseline");
   }
-  const auto make_schedule = [&] {
-    fault::FaultSchedule schedule(fault_seed);
-    schedule.Add(std::make_unique<fault::VrtFlipInjector>(vrt));
-    return schedule;
-  };
-  // Every leg advances the schedule on the same tick sequence, so the same
-  // seed reproduces the identical fault trace for all three.
-  FaultCampaignOptions options;
-  options.windows = windows;
-
+  // Every leg owns its own FaultSchedule seeded identically and advances it
+  // on the same tick sequence, so the same seed reproduces the identical
+  // fault trace for all three — which also makes the legs independent
+  // tasks.  Each leg builds its own FaultCampaignOptions: the legs used to
+  // mutate one shared options struct between runs (set adaptive=false, run
+  // two legs, set adaptive=true), an ordering dependency that would race
+  // once the legs overlap.
   ResilienceResult result;
-  auto jedec_faults = make_schedule();
-  options.adaptive = false;
-  result.jedec =
-      system.RunFaultCampaign(PolicyKind::kJedec, jedec_faults, options);
-
-  auto plain_faults = make_schedule();
-  result.plain = system.RunFaultCampaign(kind, plain_faults, options);
-
-  auto adaptive_faults = make_schedule();
-  options.adaptive = true;
-  result.adaptive = system.RunFaultCampaign(kind, adaptive_faults, options);
+  struct Leg {
+    PolicyKind kind;
+    bool adaptive;
+    fault::CampaignReport* out;
+  };
+  const Leg legs[] = {
+      {PolicyKind::kJedec, false, &result.jedec},
+      {kind, false, &result.plain},
+      {kind, true, &result.adaptive},
+  };
+  ParallelFor(std::size(legs), [&](std::size_t i) {
+    const Leg& leg = legs[i];
+    fault::FaultSchedule faults(fault_seed);
+    faults.Add(std::make_unique<fault::VrtFlipInjector>(vrt));
+    FaultCampaignOptions options;
+    options.windows = windows;
+    options.adaptive = leg.adaptive;
+    *leg.out = system.RunFaultCampaign(leg.kind, faults, options);
+  });
   return result;
 }
 

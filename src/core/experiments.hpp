@@ -39,7 +39,8 @@ WorkloadResult RunWorkload(const VrlSystem& system,
                            const power::EnergyParams& energy);
 
 /// Runs the full evaluation suite (Fig. 4): every PARSEC workload plus
-/// bgsave.
+/// bgsave.  Workloads run in parallel (common/parallel.hpp) with
+/// bit-identical results at any thread count.
 std::vector<WorkloadResult> RunEvaluationSuite(const VrlSystem& system,
                                                std::size_t windows,
                                                const power::EnergyParams& energy);
@@ -77,7 +78,9 @@ struct ResilienceResult {
 
 /// Runs the three-way comparison under VRT telegraph-noise injection.
 /// Extra injectors can be layered by building campaigns directly via
-/// VrlSystem::RunFaultCampaign.
+/// VrlSystem::RunFaultCampaign.  The three legs run as parallel tasks, each
+/// owning its schedule, options and report slot; results are bit-identical
+/// across thread counts and leg completion orders.
 ResilienceResult RunResilienceComparison(const VrlSystem& system,
                                          PolicyKind kind,
                                          const retention::VrtParams& vrt,

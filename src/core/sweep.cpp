@@ -4,6 +4,7 @@
 
 #include "area/area_model.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "trace/address.hpp"
 
 namespace vrl::core {
@@ -23,9 +24,14 @@ std::vector<SweepResult> RunSweep(
   }
   const area::AreaModel area_model;
 
-  std::vector<SweepResult> results;
-  results.reserve(points.size());
-  for (const SweepPoint& point : points) {
+  // One task per point, results in pre-sized slots: every point builds its
+  // own VrlSystem and Rng from per-point configuration, and the shared
+  // inputs (base, workload, area model) are const — the parallel sweep is
+  // bit-identical to the serial one at any thread count (determinism
+  // contract, common/parallel.hpp).
+  std::vector<SweepResult> results(points.size());
+  ParallelFor(points.size(), [&](std::size_t index) {
+    const SweepPoint& point = points[index];
     VrlConfig config = base;
     config.nbits = point.nbits;
     config.spec.partial_target = point.partial_target;
@@ -62,8 +68,8 @@ std::vector<SweepResult> RunSweep(
     result.mean_mprsf =
         mprsf_sum / static_cast<double>(system.row_mprsf().size());
     result.clamped_rows = system.guardband_clamped_rows();
-    results.push_back(result);
-  }
+    results[index] = result;
+  });
   return results;
 }
 

@@ -43,6 +43,12 @@ struct SweepResult {
 
 /// Evaluates every point under `workload` for `windows` base refresh
 /// windows, against a base configuration (geometry, seed, banks).
+///
+/// Points are evaluated in parallel (common/parallel.hpp; thread count from
+/// VRL_THREADS / ScopedThreadCount, default hardware concurrency).  The
+/// result is bit-identical across thread counts: each point derives its RNG
+/// streams from its own configuration, writes only its own result slot, and
+/// shares nothing mutable with other points.
 std::vector<SweepResult> RunSweep(const VrlConfig& base,
                                   const std::vector<SweepPoint>& points,
                                   const trace::SyntheticWorkloadParams& workload,
