@@ -16,25 +16,26 @@
 #include <cstdio>
 #include <iostream>
 
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "core/integrity.hpp"
 #include "core/vrl_system.hpp"
 #include "retention/temperature.hpp"
 #include "retention/vrt.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
-  std::printf(
-      "Ablation — retention guardband vs. temperature + worst-case VRT\n\n");
+  const auto report_options = bench::ParseReportArgs(argc, argv);
+  bench::Report report("ablation_guardband");
 
   const retention::TemperatureModel temperature;
   const retention::VrtParams vrt;
   constexpr std::size_t kWindows = 16;
 
-  TextTable table({"guardband", "VRL overhead vs ungated RAIDR",
-                   "clamped rows", "fail @45C", "fail @50C", "fail @55C",
-                   "fail @65C+VRT", "max safe temp"});
+  TextTable& table = report.AddTable(
+      "sweep", {"guardband", "VRL overhead vs ungated RAIDR", "clamped rows",
+                "fail @45C", "fail @50C", "fail @55C", "fail @65C+VRT",
+                "max safe temp"});
 
   // Reference overhead: RAIDR planned without any guardband.
   double raidr_reference = 0.0;
@@ -95,14 +96,15 @@ int main() {
     row.push_back(Fmt(temperature.MaxSafeCelsius(guard), 1) + " C");
     table.AddRow(std::move(row));
   }
-  table.Print(std::cout);
-
-  std::printf(
-      "\nno guardband: safe only at profiling conditions; each 10 C costs a "
-      "2x retention derating, so a 2x guardband buys ~10 C of headroom at a "
-      "modest overhead premium.\nresidual failures at covered temperatures "
-      "come from the clamped rows (guarded retention below the 64 ms base "
-      "period) — those need faster-than-base refresh or remapping, which is "
-      "outside VRL-DRAM's scope.\n");
+  report.AddMeta("paper_note",
+                 "no guardband: safe only at profiling conditions; each 10 C "
+                 "costs a 2x retention derating, so a 2x guardband buys ~10 C "
+                 "of headroom at a modest overhead premium");
+  report.AddMeta("residual_note",
+                 "residual failures at covered temperatures come from the "
+                 "clamped rows (guarded retention below the 64 ms base "
+                 "period) — those need faster-than-base refresh or remapping, "
+                 "which is outside VRL-DRAM's scope");
+  report.Emit(report_options, std::cout);
   return 0;
 }

@@ -8,17 +8,18 @@
 #include <iostream>
 
 #include "area/area_model.hpp"
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "core/vrl_system.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
-  std::printf("Ablation — counter width nbits\n\n");
-
+  const auto report_options = bench::ParseReportArgs(argc, argv);
+  bench::Report report("ablation_nbits");
   const area::AreaModel area_model;
-  TextTable table({"nbits", "MPRSF cap", "VRL overhead vs RAIDR",
-                   "logic area (um^2)", "% bank area"});
+  TextTable& table = report.AddTable(
+      "sweep", {"nbits", "MPRSF cap", "VRL overhead vs RAIDR",
+                "logic area (um^2)", "% bank area"});
 
   for (std::size_t nbits = 1; nbits <= 4; ++nbits) {
     core::VrlConfig config;
@@ -40,10 +41,10 @@ int main() {
                                                 config.tech.columns),
                     2)});
   }
-  table.Print(std::cout);
-  std::printf(
-      "\nbeyond nbits=2 the overhead barely improves (compounded restore "
-      "truncation limits MPRSF), while area keeps growing — the paper's "
-      "low-cost choice.\n");
+  report.AddMeta("paper_note",
+                 "beyond nbits=2 the overhead barely improves (compounded "
+                 "restore truncation limits MPRSF), while area keeps growing "
+                 "— the paper's low-cost choice");
+  report.Emit(report_options, std::cout);
   return 0;
 }

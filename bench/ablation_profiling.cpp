@@ -12,17 +12,18 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/reporting.hpp"
 #include "common/rng.hpp"
-#include "common/table.hpp"
 #include "retention/distribution.hpp"
 #include "retention/profiler.hpp"
 #include "retention/vrt.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
   using namespace vrl::retention;
 
-  std::printf("Ablation — profiling rounds x derating vs VRT misses\n\n");
+  const auto report_options = bench::ParseReportArgs(argc, argv);
+  bench::Report report("ablation_profiling");
 
   Rng rng(2024);
   const RetentionDistribution dist;
@@ -35,8 +36,8 @@ int main() {
   const auto vrt_rows = SampleVrtRows(vrt, truth.rows(), rng);
   const auto worst = WorstCaseRuntimeProfile(truth, vrt_rows, vrt);
 
-  TextTable table({"rounds", "derating", "optimistic miss rate",
-                   "missed rows"});
+  TextTable& table = report.AddTable(
+      "sweep", {"rounds", "derating", "optimistic miss rate", "missed rows"});
   for (const std::size_t rounds : {std::size_t{1}, std::size_t{2},
                                    std::size_t{4}, std::size_t{8}}) {
     for (const double derating : {1.0, 1.0 / 0.6}) {
@@ -53,12 +54,12 @@ int main() {
                         miss * static_cast<double>(truth.rows()) + 0.5))});
     }
   }
-  table.Print(std::cout);
-
-  std::printf(
-      "\nwith no derating, each extra round halves the chance a VRT row is "
-      "only seen in its high state, but can never reach zero; derating by "
-      "the VRT low ratio (1/0.6) makes even a single round safe — REAPER's "
-      "'profiling at aggressive conditions'.\n");
+  report.AddMeta("paper_note",
+                 "with no derating, each extra round halves the chance a VRT "
+                 "row is only seen in its high state, but can never reach "
+                 "zero; derating by the VRT low ratio (1/0.6) makes even a "
+                 "single round safe — REAPER's 'profiling at aggressive "
+                 "conditions'");
+  report.Emit(report_options, std::cout);
   return 0;
 }

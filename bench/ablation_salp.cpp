@@ -13,14 +13,15 @@
 #include <cstdio>
 #include <iostream>
 
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "core/vrl_system.hpp"
 #include "trace/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
-  std::printf("Ablation — subarray-level parallelism x refresh policy\n\n");
+  const auto report_options = bench::ParseReportArgs(argc, argv);
+  bench::Report report("ablation_salp");
 
   // A hot workload so refresh stalls are visible in the latency.
   trace::SyntheticWorkloadParams hot;
@@ -31,8 +32,9 @@ int main() {
   hot.streams = 4;
   hot.seed_salt = 77;
 
-  TextTable table({"subarrays", "policy", "avg latency (cyc)",
-                   "refresh cyc/bank"});
+  TextTable& table = report.AddTable(
+      "sweep", {"subarrays", "policy", "avg latency (cyc)",
+                "refresh cyc/bank"});
   for (const std::size_t subarrays :
        {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
     for (const auto kind :
@@ -53,9 +55,9 @@ int main() {
                     Fmt(stats.RefreshOverheadPerBank(), 0)});
     }
   }
-  table.Print(std::cout);
-  std::printf(
-      "\nSALP hides refresh behind accesses to other subarrays; VRL shrinks "
-      "what remains visible.  The two mechanisms compose.\n");
+  report.AddMeta("paper_note",
+                 "SALP hides refresh behind accesses to other subarrays; VRL "
+                 "shrinks what remains visible.  The two mechanisms compose");
+  report.Emit(report_options, std::cout);
   return 0;
 }

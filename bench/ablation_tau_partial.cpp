@@ -12,16 +12,17 @@
 #include <iostream>
 #include <map>
 
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "core/vrl_system.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
-  std::printf("Ablation — partial-refresh restore target (tau_partial)\n\n");
-
-  TextTable table({"restore target", "tau_partial (cyc)", "tau_full (cyc)",
-                   "avg MPRSF", "VRL overhead vs RAIDR"});
+  const auto report_options = bench::ParseReportArgs(argc, argv);
+  bench::Report report("ablation_tau_partial");
+  TextTable& table = report.AddTable(
+      "sweep", {"restore target", "tau_partial (cyc)", "tau_full (cyc)",
+                "avg MPRSF", "VRL overhead vs RAIDR"});
 
   for (const double target : {0.88, 0.90, 0.92, 0.95, 0.97, 0.99}) {
     core::VrlConfig config;
@@ -47,9 +48,9 @@ int main() {
                   std::to_string(system.TauFullCycles()), Fmt(avg_mprsf, 2),
                   Fmt(vrl / raidr, 3)});
   }
-  table.Print(std::cout);
-  std::printf(
-      "\nthe minimum overhead marks the best tau_partial; the paper selects "
-      "the 95%% truncation point.\n");
+  report.AddMeta("paper_note",
+                 "the minimum overhead marks the best tau_partial; the paper "
+                 "selects the 95% truncation point");
+  report.Emit(report_options, std::cout);
   return 0;
 }

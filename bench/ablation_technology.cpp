@@ -10,17 +10,18 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/reporting.hpp"
 #include "common/nodes.hpp"
-#include "common/table.hpp"
 #include "core/vrl_system.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
-  std::printf("Ablation — technology nodes\n\n");
-
-  TextTable table({"node", "Vdd", "tau_full (cyc)", "tau_partial (cyc)",
-                   "ratio", "VRL vs RAIDR", "min readable"});
+  const auto report_options = bench::ParseReportArgs(argc, argv);
+  bench::Report report("ablation_technology");
+  TextTable& table = report.AddTable(
+      "nodes", {"node", "Vdd", "tau_full (cyc)", "tau_partial (cyc)", "ratio",
+                "VRL vs RAIDR", "min readable"});
 
   for (const auto& node : AllNodes()) {
     core::VrlConfig config;
@@ -45,10 +46,10 @@ int main() {
          Fmt(vrl / raidr, 3),
          FmtPercent(system.refresh_model().MinReadableFraction(), 1)});
   }
-  table.Print(std::cout);
-  std::printf(
-      "\nthe restore-tail structure survives scaling: partial/full stays "
-      "near 0.6 and VRL's savings band carries over, as the paper's §4 "
-      "anticipates.\n");
+  report.AddMeta("paper_note",
+                 "the restore-tail structure survives scaling: partial/full "
+                 "stays near 0.6 and VRL's savings band carries over, as the "
+                 "paper's §4 anticipates");
+  report.Emit(report_options, std::cout);
   return 0;
 }

@@ -9,24 +9,27 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/reporting.hpp"
 #include "common/parallel.hpp"
-#include "common/table.hpp"
 #include "core/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
-  std::printf(
-      "Design-space sweep (workload: facesim, 8 x 64 ms, %zu threads)\n\n",
-      DefaultThreadCount());
+  const auto report_options = bench::ParseReportArgs(argc, argv);
+  bench::Report report("design_space");
+  report.AddMeta("workload", "facesim");
+  report.AddMeta("windows", std::size_t{8});
+  report.AddMeta("threads", DefaultThreadCount());
 
   core::VrlConfig base;
   base.banks = 2;
   const auto results = core::RunSweep(base, core::DefaultGrid(),
                                       trace::SuiteWorkload("facesim"), 8);
 
-  TextTable table({"point", "VRL", "VRL-Access", "area um^2", "% bank",
-                   "mean MPRSF", "clamped"});
+  TextTable& table = report.AddTable(
+      "sweep", {"point", "VRL", "VRL-Access", "area um^2", "% bank",
+                "mean MPRSF", "clamped"});
   for (const auto& r : results) {
     table.AddRow({r.point.Label(), Fmt(r.vrl_normalized, 3),
                   Fmt(r.vrl_access_normalized, 3),
@@ -34,9 +37,10 @@ int main() {
                   FmtPercent(r.area_fraction, 2), Fmt(r.mean_mprsf, 2),
                   std::to_string(r.clamped_rows)});
   }
-  table.Print(std::cout);
-  std::printf(
-      "\npoint key: n=nbits, t=partial restore target, g=guardband, "
-      "s=subarrays.  Overheads normalized to RAIDR at the same guardband.\n");
+  report.AddMeta("point_key",
+                 "n=nbits, t=partial restore target, g=guardband, "
+                 "s=subarrays.  Overheads normalized to RAIDR at the same "
+                 "guardband");
+  report.Emit(report_options, std::cout);
   return 0;
 }

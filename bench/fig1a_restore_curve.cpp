@@ -10,22 +10,23 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/reporting.hpp"
 #include "circuit/dram_circuits.hpp"
 #include "circuit/transient.hpp"
-#include "common/table.hpp"
 #include "model/refresh_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
+  const auto report_options = bench::ParseReportArgs(argc, argv);
   const TechnologyParams tech;
   const model::RefreshModel refresh_model(tech);
   const auto curve = refresh_model.RestoreCurve();
   const auto full = refresh_model.FullRefreshTimings();
   const auto partial = refresh_model.PartialRefreshTimings();
 
-  std::printf("Fig. 1a — charge restoration vs. fraction of tRFC (%s)\n\n",
-              tech.GeometryLabel().c_str());
+  bench::Report report("fig1a_restore_curve");
+  report.AddMeta("bank", tech.GeometryLabel());
 
   // Circuit cross-check: simulate the refresh path and sample the cell.
   // The circuit has no command-decode/fixed delay, so the wordline event is
@@ -44,7 +45,8 @@ int main() {
   const double v0 = wave.ValueAt(path.cell, 0.0);
   const double v_end = wave.FinalValue(path.cell);
 
-  TextTable table({"% of tRFC", "% charge (model)", "% charge (circuit)"});
+  TextTable& table = report.AddTable(
+      "restore_curve", {"% of tRFC", "% charge (model)", "% charge (circuit)"});
   for (int pct = 0; pct <= 100; pct += 5) {
     const double x = pct / 100.0;
     const double circuit_frac =
@@ -52,13 +54,12 @@ int main() {
     table.AddRow({std::to_string(pct), Fmt(curve(x) * 100.0, 1),
                   Fmt(circuit_frac * 100.0, 1)});
   }
-  table.Print(std::cout);
+  report.AddMeta("pct_trfc_for_95pct_charge",
+                 curve.InverseLookup(0.95) * 100.0, 0);
+  report.AddMeta("paper_pct_trfc_for_95pct_charge", "~60");
 
-  std::printf("\n95%% of charge restored at %.0f%% of tRFC (paper: ~60%%)\n",
-              curve.InverseLookup(0.95) * 100.0);
-
-  std::printf("\n§3.1 refresh latency breakdown (cycles):\n");
-  TextTable breakdown(
+  TextTable& breakdown = report.AddTable(
+      "latency_breakdown",
       {"operation", "tau_eq", "tau_pre", "tau_post", "tau_fixed", "tRFC"});
   const auto row = [](const char* name, const model::TimingBreakdown& t) {
     return std::vector<std::string>{
@@ -71,10 +72,11 @@ int main() {
   };
   breakdown.AddRow(row("full refresh", full));
   breakdown.AddRow(row("partial refresh", partial));
-  breakdown.Print(std::cout);
-  std::printf(
-      "paper: partial = 11 cycles (1/2/4/4), full = 19 cycles (1/2/12/4); "
-      "ratio 0.58\nours : ratio %.2f\n",
-      static_cast<double>(partial.trfc()) / static_cast<double>(full.trfc()));
+  report.AddMeta(
+      "partial_full_ratio",
+      static_cast<double>(partial.trfc()) / static_cast<double>(full.trfc()),
+      2);
+  report.AddMeta("paper_partial_full_ratio", "0.58");
+  report.Emit(report_options, std::cout);
   return 0;
 }

@@ -11,13 +11,14 @@
 #include <cstdio>
 #include <iostream>
 
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "model/refresh_model.hpp"
 #include "retention/mprsf.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
+  const auto report_options = bench::ParseReportArgs(argc, argv);
   const TechnologyParams tech;
   const model::RefreshModel refresh_model(tech);
   const retention::MprsfCalculator calc(
@@ -26,15 +27,16 @@ int main() {
   const double retention_s = 0.067;  // slightly above the 64 ms period
   const double period_s = 0.064;
 
-  std::printf("Fig. 1b — cell with retention %.0f ms refreshed every %.0f ms\n",
-              retention_s * 1e3, period_s * 1e3);
-  std::printf("readable threshold: %.1f%% of full charge\n\n",
-              refresh_model.MinReadableFraction() * 100.0);
+  bench::Report report("fig1b_partial_refresh");
+  report.AddMeta("cell_retention_ms", retention_s * 1e3, 0);
+  report.AddMeta("refresh_period_ms", period_s * 1e3, 0);
+  report.AddMeta("readable_threshold_pct",
+                 refresh_model.MinReadableFraction() * 100.0, 1);
 
-  const auto print_schedule = [&](const char* title,
-                                  std::size_t partials_between_fulls) {
-    std::printf("%s\n", title);
-    TextTable table({"time (ms)", "event", "% charge", "data"});
+  const auto add_schedule = [&](const char* name,
+                                std::size_t partials_between_fulls) {
+    TextTable& table =
+        report.AddTable(name, {"time (ms)", "event", "% charge", "data"});
     const auto traj = calc.SimulateSchedule(retention_s, period_s,
                                             partials_between_fulls, 3);
     for (const auto& p : traj) {
@@ -46,23 +48,21 @@ int main() {
                     Fmt(p.fraction * 100.0, 1),
                     p.sense_ok ? "retained" : "LOST"});
     }
-    table.Print(std::cout);
-    std::printf("\n");
   };
 
-  print_schedule("(1) full refresh every period:", 0);
-  print_schedule("(2) partial refreshes between fulls:", 3);
+  add_schedule("full_schedule", 0);
+  add_schedule("partial_schedule", 3);
 
-  std::printf("MPRSF of this cell: %zu (paper: needs a full refresh in the "
-              "period after a partial)\n",
-              calc.ComputeMprsf(retention_s, period_s, 8));
+  report.AddMeta("cell_mprsf", calc.ComputeMprsf(retention_s, period_s, 8));
+  report.AddMeta("paper_note",
+                 "needs a full refresh in the period after a partial");
 
   // Sampled decay trajectory for re-plotting the figure.
-  std::printf("\ndecay trajectory samples (partial schedule):\n");
-  TextTable samples({"time (ms)", "% charge"});
+  TextTable& samples =
+      report.AddTable("decay_samples", {"time (ms)", "% charge"});
   for (const auto& p : calc.SimulateSchedule(retention_s, period_s, 3, 3)) {
     samples.AddRow({Fmt(p.time_s * 1e3, 1), Fmt(p.fraction * 100.0, 1)});
   }
-  samples.PrintCsv(std::cout);
+  report.Emit(report_options, std::cout);
   return 0;
 }

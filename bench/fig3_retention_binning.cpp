@@ -8,27 +8,31 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/reporting.hpp"
 #include "common/rng.hpp"
-#include "common/table.hpp"
 #include "retention/distribution.hpp"
 #include "retention/profile.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
   using namespace vrl::retention;
 
+  const auto report_options = bench::ParseReportArgs(argc, argv);
   Rng rng(42);
   const RetentionDistribution dist;
 
+  bench::Report report("fig3_retention_binning");
+  report.AddMeta("cells", std::size_t{8192 * 32});
+
   // ---- Fig. 3a: cell retention histogram over the paper's window --------
-  std::printf("Fig. 3a — retention time distribution (262144 cells)\n\n");
   constexpr std::size_t kBuckets = 21;
   constexpr double kLo = 0.065;
   constexpr double kHi = 4.681;
   const auto hist = BuildRetentionHistogram(dist, rng, 8192 * 32, kLo, kHi,
                                             kBuckets, /*clamp_overflow=*/true);
   const auto peak = *std::max_element(hist.begin(), hist.end());
-  TextTable fig3a({"retention (ms)", "cells", "histogram"});
+  TextTable& fig3a =
+      report.AddTable("fig3a", {"retention (ms)", "cells", "histogram"});
   for (std::size_t b = 0; b < kBuckets; ++b) {
     const double center =
         (kLo + (static_cast<double>(b) + 0.5) * (kHi - kLo) / kBuckets) * 1e3;
@@ -37,20 +41,19 @@ int main() {
     fig3a.AddRow({Fmt(center, 0), std::to_string(hist[b]),
                   std::string(bar_len, '#')});
   }
-  fig3a.Print(std::cout);
 
   // ---- Fig. 3b: row binning ----------------------------------------------
-  std::printf("\nFig. 3b — refresh rates after binning of rows in a bank\n\n");
   Rng profile_rng(42);
   const auto profile =
       RetentionProfile::Generate(dist, 8192, 32, profile_rng);
   const auto bins = BinRows(profile, StandardBinPeriods());
-  TextTable fig3b({"refresh period (ms)", "rows (ours)", "rows (paper)"});
+  TextTable& fig3b = report.AddTable(
+      "fig3b", {"refresh period (ms)", "rows (ours)", "rows (paper)"});
   const char* paper[] = {"68", "101", "145", "7878"};
   for (std::size_t b = 0; b < bins.periods_s.size(); ++b) {
     fig3b.AddRow({Fmt(bins.periods_s[b] * 1e3, 0),
                   std::to_string(bins.rows_per_bin[b]), paper[b]});
   }
-  fig3b.Print(std::cout);
+  report.Emit(report_options, std::cout);
   return 0;
 }

@@ -9,38 +9,42 @@
 #include <cstdio>
 #include <iostream>
 
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "core/experiments.hpp"
 #include "core/vrl_system.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
+  const auto report_options = bench::ParseReportArgs(argc, argv);
   core::VrlConfig config;
   core::VrlSystem system(config);
+  system.EnableTelemetry();
 
-  std::printf("Fig. 4 — refresh overhead normalized to RAIDR\n");
-  std::printf("bank %s, tau_full=%llu cycles, tau_partial=%llu cycles\n\n",
-              config.tech.GeometryLabel().c_str(),
-              static_cast<unsigned long long>(system.TauFullCycles()),
-              static_cast<unsigned long long>(system.TauPartialCycles()));
+  bench::Report report("fig4_refresh_overhead");
+  report.AddMeta("bank", config.tech.GeometryLabel());
+  report.AddMeta("tau_full_cycles", static_cast<std::size_t>(system.TauFullCycles()));
+  report.AddMeta("tau_partial_cycles",
+                 static_cast<std::size_t>(system.TauPartialCycles()));
 
-  const power::EnergyParams energy;
-  constexpr std::size_t kWindows = 16;  // 16 x 64 ms of simulated time
-  const auto results = core::RunEvaluationSuite(system, kWindows, energy);
+  core::ExperimentOptions options;
+  options.windows = 16;  // 16 x 64 ms of simulated time
+  const auto results = core::RunEvaluationSuite(system, options);
 
-  TextTable table({"benchmark", "RAIDR", "VRL", "VRL-Access"});
+  TextTable& table =
+      report.AddTable("overhead", {"benchmark", "RAIDR", "VRL", "VRL-Access"});
   for (const auto& r : results) {
     table.AddRow({r.workload, "1.000", Fmt(r.VrlNormalized(), 3),
                   Fmt(r.VrlAccessNormalized(), 3)});
   }
   const auto avg = core::Average(results);
   table.AddRow({"average", "1.000", Fmt(avg.vrl, 3), Fmt(avg.vrl_access, 3)});
-  table.Print(std::cout);
 
-  std::printf(
-      "\npaper: VRL -23%% vs RAIDR (app-independent), VRL-Access -34%% avg\n");
-  std::printf("ours : VRL %+.1f%%, VRL-Access %+.1f%%\n",
-              (avg.vrl - 1.0) * 100.0, (avg.vrl_access - 1.0) * 100.0);
+  report.AddMeta("paper_vrl_vs_raidr_pct", "-23");
+  report.AddMeta("paper_vrl_access_vs_raidr_pct", "-34");
+  report.AddMeta("vrl_vs_raidr_pct", (avg.vrl - 1.0) * 100.0, 1);
+  report.AddMeta("vrl_access_vs_raidr_pct", (avg.vrl_access - 1.0) * 100.0, 1);
+  report.AddTelemetry(system.telemetry()->Snapshot());
+  report.Emit(report_options, std::cout);
   return 0;
 }

@@ -14,15 +14,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/reporting.hpp"
 #include "circuit/dram_circuits.hpp"
 #include "circuit/transient.hpp"
-#include "common/table.hpp"
 #include "model/equalization.hpp"
 #include "model/single_cell.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
+  const auto report_options = bench::ParseReportArgs(argc, argv);
   const TechnologyParams tech;
   const model::EqualizationModel two_phase(tech);
   const model::SingleCellModel single_cell(tech);
@@ -34,11 +35,12 @@ int main() {
   const auto wave =
       circuit::RunTransient(circuit.netlist, options, {circuit.bl, circuit.blb});
 
-  std::printf("Fig. 5 — equalization voltage response (%s bank)\n\n",
-              tech.GeometryLabel().c_str());
+  bench::Report report("fig5_equalization");
+  report.AddMeta("bank", tech.GeometryLabel());
 
-  TextTable table({"time (ns)", "B:Li", "B:2-phase", "B:SPICE-sub", "Bb:model",
-                   "Bb:SPICE-sub"});
+  TextTable& table = report.AddTable(
+      "voltage_response", {"time (ns)", "B:Li", "B:2-phase", "B:SPICE-sub",
+                           "Bb:model", "Bb:SPICE-sub"});
   double err_two_phase = 0.0;
   double err_single = 0.0;
   int samples = 0;
@@ -54,14 +56,14 @@ int main() {
     err_single += std::abs(li - spice);
     ++samples;
   }
-  table.Print(std::cout);
 
-  std::printf(
-      "\nmean |error| vs circuit: 2-phase model %.1f mV, single-cell model "
-      "%.1f mV\n",
-      err_two_phase / samples * 1e3, err_single / samples * 1e3);
-  std::printf(
-      "paper: the 2-phase model tracks SPICE closely on the falling bitline; "
-      "the single-cell model diverges.\n");
+  report.AddMeta("mean_abs_error_two_phase_mV",
+                 err_two_phase / samples * 1e3, 1);
+  report.AddMeta("mean_abs_error_single_cell_mV",
+                 err_single / samples * 1e3, 1);
+  report.AddMeta("paper_note",
+                 "the 2-phase model tracks SPICE closely on the falling "
+                 "bitline; the single-cell model diverges");
+  report.Emit(report_options, std::cout);
   return 0;
 }

@@ -11,14 +11,15 @@
 #include <cstdio>
 #include <iostream>
 
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "core/vrl_system.hpp"
 #include "trace/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
-  std::printf("Request-latency impact of refresh policy x scheduler\n\n");
+  const auto report_options = bench::ParseReportArgs(argc, argv);
+  bench::Report report("latency_impact");
 
   constexpr std::size_t kWindows = 8;
 
@@ -38,9 +39,9 @@ int main() {
       stress};
 
   for (const auto& workload : workloads) {
-    std::printf("%s:\n", workload.name.c_str());
-    TextTable table({"scheduler", "policy", "avg latency (cyc)",
-                     "row hit rate", "refresh cyc/bank"});
+    TextTable& table = report.AddTable(
+        workload.name, {"scheduler", "policy", "avg latency (cyc)",
+                        "row hit rate", "refresh cyc/bank"});
 
     for (const auto scheduler :
          {dram::SchedulerKind::kFcfs, dram::SchedulerKind::kFrFcfs}) {
@@ -69,15 +70,14 @@ int main() {
                       Fmt(stats.RefreshOverheadPerBank(), 0)});
       }
     }
-    table.Print(std::cout);
-    std::printf("\n");
   }
 
   // Page-policy comparison on the random-access workload: closed-page
   // turns conflicts into row-empty activations (precharge happens in the
   // shadow of the previous access), which wins when hits are rare.
-  std::printf("page policy on canneal (VRL-Access, FCFS):\n");
-  TextTable page_table({"page policy", "avg latency (cyc)", "row hit rate"});
+  TextTable& page_table = report.AddTable(
+      "page_policy_canneal", {"page policy", "avg latency (cyc)",
+                              "row hit rate"});
   for (const auto page :
        {dram::RowBufferPolicy::kOpenPage, dram::RowBufferPolicy::kClosedPage}) {
     core::VrlConfig config;
@@ -99,6 +99,6 @@ int main() {
          Fmt(stats.AverageRequestLatency(), 1),
          FmtPercent(accesses > 0 ? hits / accesses : 0.0, 1)});
   }
-  page_table.Print(std::cout);
+  report.Emit(report_options, std::cout);
   return 0;
 }

@@ -14,10 +14,12 @@
 #include "common/rng.hpp"
 #include "common/technology.hpp"
 #include "common/tridiagonal.hpp"
+#include "core/vrl_system.hpp"
 #include "dram/refresh_policy.hpp"
 #include "model/refresh_model.hpp"
 #include "retention/mprsf.hpp"
 #include "retention/profile.hpp"
+#include "telemetry/recorder.hpp"
 #include "trace/synthetic.hpp"
 
 namespace {
@@ -103,6 +105,66 @@ void BM_VrlPolicyCollectDue(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VrlPolicyCollectDue);
+
+// Instrumentation overhead on the scheduling hot path: the same CollectDue
+// loop with a telemetry recorder attached (cells resolved once, one
+// counter add + optional ring write per op).  Compare against
+// BM_VrlPolicyCollectDue; docs/TELEMETRY.md records the measured delta
+// (budget: <= 3%).
+void BM_VrlPolicyCollectDueTelemetry(benchmark::State& state) {
+  const retention::RetentionProfile profile(
+      std::vector<double>(8192, 1.0));
+  const auto binning =
+      retention::BinRows(profile, retention::StandardBinPeriods());
+  const auto plan = dram::MakeRefreshPlan(
+      binning, 2.5e-9, std::vector<std::size_t>(8192, 2));
+  dram::VrlPolicy policy(plan, 26, 15);
+  telemetry::RecorderOptions options;
+  options.trace_refresh_ops = static_cast<bool>(state.range(0));
+  telemetry::Recorder recorder(options);
+  policy.set_telemetry(&recorder);
+  Cycles now = 0;
+  for (auto _ : state) {
+    now += 3120;  // one tREFI tick
+    benchmark::DoNotOptimize(policy.CollectDue(now));
+  }
+}
+BENCHMARK(BM_VrlPolicyCollectDueTelemetry)
+    ->Arg(0)   // counters + histograms only
+    ->Arg(1);  // plus per-op trace events
+
+// End-to-end instrumentation overhead: one full 64 ms window of the
+// single-bank system under the streamcluster workload, detached vs.
+// attached.  The refresh-only idle window (no requests) is the worst case
+// — nearly all per-op work is telemetry — so it is measured too.
+void BM_SimulateWindow(benchmark::State& state) {
+  core::VrlConfig config;
+  config.banks = 1;
+  core::VrlSystem system(config);
+  if (state.range(0) != 0) {
+    system.EnableTelemetry();
+  }
+  const Cycles horizon = system.HorizonForWindows(1);
+  std::vector<dram::Request> requests;
+  if (state.range(1) != 0) {
+    Rng rng(3);
+    const auto records = trace::GenerateTrace(
+        trace::SuiteWorkload("streamcluster"), system.Geometry(), horizon,
+        rng);
+    requests =
+        trace::MapToRequests(records, trace::AddressMapper(system.Geometry()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        system.Simulate(core::PolicyKind::kVrlAccess, requests, horizon));
+  }
+}
+BENCHMARK(BM_SimulateWindow)
+    ->Args({0, 1})  // loaded, telemetry off
+    ->Args({1, 1})  // loaded, telemetry on
+    ->Args({0, 0})  // idle worst case, telemetry off
+    ->Args({1, 0})  // idle worst case, telemetry on
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GenerateTrace(benchmark::State& state) {
   const trace::AddressGeometry geometry;

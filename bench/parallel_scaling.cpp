@@ -13,8 +13,8 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/reporting.hpp"
 #include "common/parallel.hpp"
-#include "common/table.hpp"
 #include "core/sweep.hpp"
 
 namespace {
@@ -41,12 +41,14 @@ bool BitIdentical(const std::vector<core::SweepResult>& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto report_options = bench::ParseReportArgs(argc, argv);
   const std::size_t hw = DefaultThreadCount();
-  std::printf(
-      "Parallel scaling — RunSweep(DefaultGrid()), facesim, 8 x 64 ms "
-      "(hardware/default threads: %zu)\n\n",
-      hw);
+  bench::Report report("parallel_scaling");
+  report.AddMeta("sweep", "RunSweep(DefaultGrid())");
+  report.AddMeta("workload", "facesim");
+  report.AddMeta("windows", std::size_t{8});
+  report.AddMeta("hardware_threads", hw);
 
   core::VrlConfig base;
   base.banks = 2;
@@ -60,7 +62,8 @@ int main() {
 
   std::vector<core::SweepResult> serial;
   double wall_serial = 0.0;
-  TextTable table({"threads", "wall (s)", "speedup", "bit-identical"});
+  TextTable& table = report.AddTable(
+      "scaling", {"threads", "wall (s)", "speedup", "bit-identical"});
   for (const std::size_t threads : counts) {
     const ScopedThreadCount scoped(threads);
     const auto t0 = std::chrono::steady_clock::now();
@@ -84,10 +87,10 @@ int main() {
       return 1;
     }
   }
-  table.Print(std::cout);
-  std::printf(
-      "\ndeterminism contract: identical results at every thread count "
-      "(docs/PARALLEL.md); speedup tracks physical cores for this "
-      "coarse-grained sweep.\n");
+  report.AddMeta("determinism_contract",
+                 "identical results at every thread count "
+                 "(docs/PARALLEL.md); speedup tracks physical cores for this "
+                 "coarse-grained sweep");
+  report.Emit(report_options, std::cout);
   return 0;
 }

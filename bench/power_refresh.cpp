@@ -7,23 +7,27 @@
 #include <cstdio>
 #include <iostream>
 
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "core/experiments.hpp"
 #include "core/vrl_system.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
+  const auto report_options = bench::ParseReportArgs(argc, argv);
   core::VrlConfig config;
   core::VrlSystem system(config);
-  const power::EnergyParams energy;
 
-  std::printf("Refresh power vs. RAIDR (DRAMPower-substitute model)\n\n");
+  bench::Report report("power_refresh");
+  report.AddMeta("model", "DRAMPower-substitute");
 
-  const auto results = core::RunEvaluationSuite(system, 16, energy);
+  core::ExperimentOptions options;
+  options.windows = 16;
+  const auto results = core::RunEvaluationSuite(system, options);
 
-  TextTable table({"benchmark", "RAIDR (mW)", "VRL (mW)", "VRL-Access (mW)",
-                   "VRL norm", "VRL-Access norm"});
+  TextTable& table = report.AddTable(
+      "refresh_power", {"benchmark", "RAIDR (mW)", "VRL (mW)",
+                        "VRL-Access (mW)", "VRL norm", "VRL-Access norm"});
   for (const auto& r : results) {
     table.AddRow({r.workload, Fmt(r.raidr_refresh_power_mw, 3),
                   Fmt(r.vrl_refresh_power_mw, 3),
@@ -32,18 +36,16 @@ int main() {
                   Fmt(r.vrl_access_refresh_power_mw / r.raidr_refresh_power_mw,
                       3)});
   }
-  table.Print(std::cout);
 
   const auto avg = core::Average(results);
-  std::printf("\npaper: VRL-DRAM reduces refresh power by 12%% over RAIDR\n");
-  std::printf("ours : VRL %+.1f%%, VRL-Access %+.1f%%\n",
-              (avg.vrl_power - 1.0) * 100.0,
-              (avg.vrl_access_power - 1.0) * 100.0);
+  report.AddMeta("paper_vrl_power_vs_raidr_pct", "-12");
+  report.AddMeta("vrl_power_vs_raidr_pct", (avg.vrl_power - 1.0) * 100.0, 1);
+  report.AddMeta("vrl_access_power_vs_raidr_pct",
+                 (avg.vrl_access_power - 1.0) * 100.0, 1);
 
   // Context: total device energy, where background power dominates — the
   // honest caveat on any refresh-energy headline.
-  std::printf("\ntotal energy context (streamcluster):\n");
-  const power::PowerModel power_model(energy,
+  const power::PowerModel power_model(options.energy,
                                       system.config().tech.clock_period_s);
   const Cycles horizon = system.HorizonForWindows(16);
   Rng rng(3);
@@ -51,8 +53,10 @@ int main() {
       trace::SuiteWorkload("streamcluster"), system.Geometry(), horizon, rng);
   const auto requests =
       trace::MapToRequests(records, trace::AddressMapper(system.Geometry()));
-  TextTable totals({"policy", "refresh (uJ)", "activate (uJ)", "r/w (uJ)",
-                    "background (uJ)", "total (uJ)"});
+  TextTable& totals = report.AddTable(
+      "total_energy_streamcluster",
+      {"policy", "refresh (uJ)", "activate (uJ)", "r/w (uJ)",
+       "background (uJ)", "total (uJ)"});
   for (const auto kind : {core::PolicyKind::kRaidr, core::PolicyKind::kVrl,
                           core::PolicyKind::kVrlAccess}) {
     const auto breakdown =
@@ -63,6 +67,6 @@ int main() {
                    Fmt(breakdown.background_nj * 1e-3, 1),
                    Fmt(breakdown.Total() * 1e-3, 1)});
   }
-  totals.Print(std::cout);
+  report.Emit(report_options, std::cout);
   return 0;
 }

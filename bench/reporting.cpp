@@ -1,0 +1,208 @@
+#include "bench/reporting.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "telemetry/export.hpp"
+
+namespace vrl::bench {
+namespace {
+
+void WriteCsvRow(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    const std::string& cell = cells[i];
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (const char c : cell) {
+        if (c == '"') {
+          os << '"';
+        }
+        os << c;
+      }
+      os << '"';
+    } else {
+      os << cell;
+    }
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+ReportOptions ParseReportArgs(int argc, char** argv) {
+  ReportOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg == "--csv") {
+      if (i + 1 >= argc) {
+        throw ConfigError("ParseReportArgs: " + arg + " needs a path");
+      }
+      (arg == "--json" ? options.json_path : options.csv_path) = argv[++i];
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return options;
+}
+
+Report::Report(std::string name) : name_(std::move(name)) {}
+
+void Report::AddMeta(std::string key, std::string value) {
+  meta_.emplace_back(std::move(key), std::move(value));
+}
+
+void Report::AddMeta(std::string key, double value, int decimals) {
+  AddMeta(std::move(key), Fmt(value, decimals));
+}
+
+void Report::AddMeta(std::string key, std::size_t value) {
+  AddMeta(std::move(key), std::to_string(value));
+}
+
+TextTable& Report::AddTable(std::string name,
+                            std::vector<std::string> headers) {
+  tables_.emplace_back(std::move(name), TextTable(std::move(headers)));
+  return tables_.back().second;
+}
+
+void Report::AddTelemetry(const telemetry::MetricsSnapshot& snapshot,
+                          bool include_timers) {
+  TextTable& table =
+      AddTable("telemetry", {"name", "kind", "field", "value"});
+  for (const auto& [name, value] : snapshot.metrics) {
+    switch (value.kind) {
+      case telemetry::MetricKind::kCounter:
+        table.AddRow({name, "counter", "count", std::to_string(value.count)});
+        break;
+      case telemetry::MetricKind::kGauge:
+        table.AddRow(
+            {name, "gauge", "value", telemetry::FormatDouble(value.value)});
+        break;
+      case telemetry::MetricKind::kHistogram: {
+        table.AddRow(
+            {name, "histogram", "count", std::to_string(value.count)});
+        table.AddRow({name, "histogram", "sum",
+                      telemetry::FormatDouble(value.value)});
+        for (std::size_t i = 0; i < value.counts.size(); ++i) {
+          const std::string facet =
+              i < value.edges.size()
+                  ? "le_" + telemetry::FormatDouble(value.edges[i])
+                  : std::string("le_inf");
+          table.AddRow({name, "histogram", facet,
+                        std::to_string(value.counts[i])});
+        }
+        break;
+      }
+      case telemetry::MetricKind::kTimer:
+        if (include_timers) {
+          table.AddRow({name, "timer", "count", std::to_string(value.count)});
+          table.AddRow({name, "timer", "total_s",
+                        telemetry::FormatDouble(value.value)});
+        }
+        break;
+    }
+  }
+}
+
+void Report::PrintText(std::ostream& os) const {
+  os << name_ << '\n';
+  for (const auto& [key, value] : meta_) {
+    os << "  " << key << ": " << value << '\n';
+  }
+  for (const auto& [name, table] : tables_) {
+    os << '\n';
+    if (tables_.size() > 1 || name != "results") {
+      os << "-- " << name << " --\n";
+    }
+    table.Print(os);
+  }
+}
+
+void Report::WriteJson(std::ostream& os) const {
+  using telemetry::JsonEscape;
+  os << "{\"name\":\"" << JsonEscape(name_) << "\",\"meta\":{";
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << '"' << JsonEscape(meta_[i].first) << "\":\""
+       << JsonEscape(meta_[i].second) << '"';
+  }
+  os << "},\"tables\":{";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const auto& [name, table] = tables_[t];
+    if (t > 0) {
+      os << ',';
+    }
+    os << '"' << JsonEscape(name) << "\":{\"headers\":[";
+    const auto& headers = table.headers();
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      if (i > 0) {
+        os << ',';
+      }
+      os << '"' << JsonEscape(headers[i]) << '"';
+    }
+    os << "],\"rows\":[";
+    const auto& rows = table.rows();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r > 0) {
+        os << ',';
+      }
+      os << '{';
+      for (std::size_t i = 0; i < headers.size(); ++i) {
+        if (i > 0) {
+          os << ',';
+        }
+        os << '"' << JsonEscape(headers[i]) << "\":\""
+           << JsonEscape(rows[r][i]) << '"';
+      }
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << "}}\n";
+}
+
+void Report::WriteCsv(std::ostream& os) const {
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const auto& [name, table] = tables_[t];
+    if (t > 0) {
+      os << '\n';
+    }
+    os << "# " << name_ << '.' << name << '\n';
+    WriteCsvRow(os, table.headers());
+    for (const auto& row : table.rows()) {
+      WriteCsvRow(os, row);
+    }
+  }
+}
+
+void Report::Emit(const ReportOptions& options, std::ostream& text_out) const {
+  const auto write_to = [this](const std::string& path, bool json,
+                               std::ostream& stdout_os) {
+    if (path == "-") {
+      json ? WriteJson(stdout_os) : WriteCsv(stdout_os);
+      return;
+    }
+    std::ofstream file(path);
+    if (!file) {
+      throw ConfigError("Report::Emit: cannot open '" + path + "'");
+    }
+    json ? WriteJson(file) : WriteCsv(file);
+  };
+  if (options.json_path != "-" && options.csv_path != "-") {
+    PrintText(text_out);
+  }
+  if (!options.json_path.empty()) {
+    write_to(options.json_path, true, text_out);
+  }
+  if (!options.csv_path.empty()) {
+    write_to(options.csv_path, false, text_out);
+  }
+}
+
+}  // namespace vrl::bench

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+#include "telemetry/metrics.hpp"
+
+/// \file reporting.hpp
+/// Shared result reporting for the bench/ and examples/ binaries.
+///
+/// Every binary used to hand-roll its own printf + TextTable output; this
+/// wraps the common shape — a named report carrying key/value metadata and
+/// one or more tables — behind uniform CLI flags:
+///
+///   --json <path>   write the report as one JSON document ("-" = stdout)
+///   --csv <path>    write the report as CSV sections ("-" = stdout)
+///
+/// The aligned-text rendering always goes to stdout (unless --json/--csv
+/// targets stdout, which replaces it), so default invocations look exactly
+/// as before.  JSON schema (validated by the CI report-schema job):
+///
+///   {"name": "<report>",
+///    "meta": {"<key>": "<value>", ...},
+///    "tables": {"<table>": {"headers": [...],
+///                           "rows": [{"<col>": "<cell>", ...}, ...]}}}
+///
+/// All values are JSON strings, formatted exactly as the text rendering
+/// formats them, so the three outputs always agree.  CSV output emits one
+/// RFC-4180-ish section per table, each preceded by `# <report>.<table>`.
+///
+/// The google-benchmark kernels (bench/microbench.cpp) keep benchmark's own
+/// --benchmark_out flags instead.
+
+namespace vrl::bench {
+
+/// Uniform CLI options of the reporting binaries.
+struct ReportOptions {
+  std::string json_path;  ///< Empty = no JSON; "-" = stdout.
+  std::string csv_path;   ///< Empty = no CSV; "-" = stdout.
+  /// Arguments left after removing --json/--csv, in order (argv[0]
+  /// excluded) — the binary's own positional arguments.
+  std::vector<std::string> positional;
+};
+
+/// Parses `--json <path>` / `--csv <path>` out of argv.
+/// \throws vrl::ConfigError when a flag is missing its path argument.
+ReportOptions ParseReportArgs(int argc, char** argv);
+
+/// A named report: ordered metadata plus ordered named tables.
+class Report {
+ public:
+  explicit Report(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Appends a metadata key/value pair (insertion order is preserved in
+  /// every rendering).
+  void AddMeta(std::string key, std::string value);
+  void AddMeta(std::string key, double value, int decimals);
+  void AddMeta(std::string key, std::size_t value);
+
+  /// Appends a table and returns it for row filling.  The reference stays
+  /// valid until the Report is destroyed.
+  TextTable& AddTable(std::string name, std::vector<std::string> headers);
+
+  /// Flattens a telemetry snapshot into a "telemetry" table (name, kind,
+  /// field, value — the exporters' long CSV format).  Timers are excluded
+  /// unless `include_timers`, mirroring telemetry::ExportOptions.
+  void AddTelemetry(const telemetry::MetricsSnapshot& snapshot,
+                    bool include_timers = false);
+
+  // -- Rendering -------------------------------------------------------------
+  void PrintText(std::ostream& os) const;  ///< meta lines + aligned tables
+  void WriteJson(std::ostream& os) const;
+  void WriteCsv(std::ostream& os) const;
+
+  /// One-call sink: text to `text_out` (skipped when --json/--csv already
+  /// writes to stdout), JSON/CSV to the paths in `options`.
+  /// \throws vrl::ConfigError when an output file cannot be opened.
+  void Emit(const ReportOptions& options, std::ostream& text_out) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, TextTable>> tables_;
+};
+
+}  // namespace vrl::bench

@@ -19,9 +19,9 @@
 #include <iostream>
 #include <string>
 
+#include "bench/reporting.hpp"
 #include "circuit/dram_circuits.hpp"
 #include "circuit/transient.hpp"
-#include "common/table.hpp"
 #include "model/refresh_model.hpp"
 #include "model/single_cell.hpp"
 
@@ -93,15 +93,17 @@ Cycles CircuitPreSensingCycles(const TechnologyParams& tech, double* runtime) {
 
 }  // namespace
 
-int main() {
-  std::printf("Table 1 — accuracy trade-offs of the analytical model\n");
-  std::printf("(pre-sensing cycles to guarantee a 95%% restore)\n\n");
+int main(int argc, char** argv) {
+  const auto report_options = bench::ParseReportArgs(argc, argv);
+  bench::Report report("table1_accuracy");
+  report.AddMeta("criterion", "pre-sensing cycles to guarantee a 95% restore");
 
   const std::size_t geometries[6][2] = {{2048, 32},  {2048, 128}, {8192, 32},
                                         {8192, 128}, {16384, 32}, {16384, 128}};
 
-  TextTable table({"bank size", "circuit", "single-cell", "ours",
-                   "t(circuit)", "t(single)", "t(ours)"});
+  TextTable& table = report.AddTable(
+      "accuracy", {"bank size", "circuit", "single-cell", "ours", "t(circuit)",
+                   "t(single)", "t(ours)"});
   for (const auto& g : geometries) {
     const TechnologyParams tech = TechnologyParams{}.WithGeometry(g[0], g[1]);
 
@@ -123,16 +125,17 @@ int main() {
                   std::to_string(single_cycles), std::to_string(ours_cycles),
                   FmtTime(t_circuit), FmtTime(t_single), FmtTime(t_ours)});
   }
-  table.Print(std::cout);
-
-  std::printf(
-      "\npaper: SPICE grows 7->16 cycles with bank size; ours tracks it "
-      "within 0-12.5%%; single-cell flat at 6 (up to 62.5%% off); SPICE "
-      "takes hours, ours seconds.\n"
-      "note : our lumped transient circuit settles with the fast "
-      "cell-bitline constant (Rpre*Cs) and therefore does NOT reproduce the "
-      "paper's SPICE geometry scaling — that scaling comes from Eq. 3's "
-      "slow Rpre*Cbl mode, which the analytical model ('ours' column) "
-      "implements faithfully.  See EXPERIMENTS.md.\n");
+  report.AddMeta("paper_note",
+                 "SPICE grows 7->16 cycles with bank size; ours tracks it "
+                 "within 0-12.5%; single-cell flat at 6 (up to 62.5% off); "
+                 "SPICE takes hours, ours seconds");
+  report.AddMeta("model_note",
+                 "our lumped transient circuit settles with the fast "
+                 "cell-bitline constant (Rpre*Cs) and therefore does NOT "
+                 "reproduce the paper's SPICE geometry scaling — that scaling "
+                 "comes from Eq. 3's slow Rpre*Cbl mode, which the analytical "
+                 "model ('ours' column) implements faithfully.  See "
+                 "EXPERIMENTS.md");
+  report.Emit(report_options, std::cout);
   return 0;
 }

@@ -8,21 +8,25 @@
 #include <iostream>
 
 #include "area/area_model.hpp"
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vrl;
 
+  const auto report_options = bench::ParseReportArgs(argc, argv);
   const area::AreaModel model;
   constexpr std::size_t kRows = 8192;
   constexpr std::size_t kColumns = 32;
 
-  std::printf("Table 2 — area overhead of VRL-DRAM at 90 nm (%zux%zu bank, "
-              "bank area %.0f um^2)\n\n",
-              kRows, kColumns, model.BankAreaUm2(kRows, kColumns));
+  bench::Report report("table2_area");
+  report.AddMeta("technology_nm", std::size_t{90});
+  report.AddMeta("rows", kRows);
+  report.AddMeta("columns", kColumns);
+  report.AddMeta("bank_area_um2", model.BankAreaUm2(kRows, kColumns), 0);
 
-  TextTable table({"nbits", "logic area (um^2)", "% bank area",
-                   "paper (um^2 / %)"});
+  TextTable& table = report.AddTable(
+      "area_overhead",
+      {"nbits", "logic area (um^2)", "% bank area", "paper (um^2 / %)"});
   const char* paper[] = {"105 / 0.97%", "152 / 1.4%", "200 / 1.85%"};
   for (std::size_t nbits = 2; nbits <= 4; ++nbits) {
     table.AddRow({std::to_string(nbits),
@@ -30,16 +34,15 @@ int main() {
                   FmtPercent(model.OverheadFraction(nbits, kRows, kColumns), 2),
                   paper[nbits - 2]});
   }
-  table.Print(std::cout);
 
   // Extrapolation beyond the paper's table.
-  std::printf("\nextrapolation:\n");
-  TextTable extra({"nbits", "logic area (um^2)", "% bank area"});
+  TextTable& extra = report.AddTable(
+      "extrapolation", {"nbits", "logic area (um^2)", "% bank area"});
   for (std::size_t nbits = 1; nbits <= 8; ++nbits) {
     extra.AddRow({std::to_string(nbits), Fmt(model.LogicAreaUm2(nbits), 0),
                   FmtPercent(model.OverheadFraction(nbits, kRows, kColumns),
                              2)});
   }
-  extra.Print(std::cout);
+  report.Emit(report_options, std::cout);
   return 0;
 }

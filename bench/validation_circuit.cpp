@@ -18,10 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "bench/reporting.hpp"
 #include "circuit/dram_circuits.hpp"
 #include "circuit/transient.hpp"
 #include "common/parallel.hpp"
-#include "common/table.hpp"
 #include "model/equalization.hpp"
 #include "model/presensing.hpp"
 #include "model/refresh_model.hpp"
@@ -61,18 +61,19 @@ double CircuitReadableFraction(const TechnologyParams& tech,
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "Validation — analytical model vs transient circuit (%zu threads)\n\n",
-      vrl::DefaultThreadCount());
+int main(int argc, char** argv) {
+  const auto report_options = bench::ParseReportArgs(argc, argv);
+  bench::Report report("validation_circuit");
+  report.AddMeta("threads", vrl::DefaultThreadCount());
 
   // ---- Part A: geometry sweep --------------------------------------------
   // One task per geometry; each builds its own circuits and models and
   // returns a finished table row into its index slot, so the table reads
   // identically at any thread count (common/parallel.hpp).
-  std::printf("A. equalization settle (to 20 mV) and charge-share swing:\n");
-  TextTable part_a({"bank", "t_eq model (ns)", "t_eq circuit (ns)",
-                    "dv model (mV)", "dv circuit (mV)"});
+  TextTable& part_a = report.AddTable(
+      "equalization_and_swing",
+      {"bank", "t_eq model (ns)", "t_eq circuit (ns)", "dv model (mV)",
+       "dv circuit (mV)"});
   const std::array<std::size_t, 3> geometries = {2048, 8192, 16384};
   const auto part_a_rows = vrl::ParallelMap(
       geometries.size(), [&](std::size_t g) -> std::vector<std::string> {
@@ -113,15 +114,13 @@ int main() {
   for (const auto& row : part_a_rows) {
     part_a.AddRow(row);
   }
-  part_a.Print(std::cout);
 
   // ---- Part B: SA offset vs readable threshold -----------------------------
-  std::printf(
-      "\nB. sense-amplifier offset vs lowest readable charge fraction:\n");
   const TechnologyParams tech;
   const model::RefreshModel refresh_model(tech);
-  TextTable part_b({"offset (mV)", "circuit readable fraction",
-                    "model readable fraction"});
+  TextTable& part_b = report.AddTable(
+      "sa_offset_vs_readable",
+      {"offset (mV)", "circuit readable fraction", "model readable fraction"});
   const std::array<double, 4> offsets_mv = {0.0, 5.0, 10.0, 20.0};
   const auto part_b_rows = vrl::ParallelMap(
       offsets_mv.size(), [&](std::size_t o) -> std::vector<std::string> {
@@ -138,9 +137,10 @@ int main() {
   for (const auto& row : part_b_rows) {
     part_b.AddRow(row);
   }
-  part_b.Print(std::cout);
-  std::printf(
-      "\nthe model's v_sense_min=5mV default corresponds to a ~5mV latch "
-      "offset; both put the readable threshold a few points above 50%%.\n");
+  report.AddMeta("paper_note",
+                 "the model's v_sense_min=5mV default corresponds to a ~5mV "
+                 "latch offset; both put the readable threshold a few points "
+                 "above 50%");
+  report.Emit(report_options, std::cout);
   return 0;
 }

@@ -1,7 +1,7 @@
 // Circuit waveform dumper: runs one of the paper's Fig. 2 circuits through
 // the transient engine and writes the waveform as CSV for plotting.
 //
-//   ./circuit_waveform eq|share|refresh [output.csv]
+//   ./circuit_waveform eq|share|refresh [output.csv] [--json PATH] [--csv PATH]
 //   ./circuit_waveform deck eq|share|refresh [output.sp]
 //
 //   eq      — Fig. 2a equalization circuit (bitline pair to Veq)
@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/reporting.hpp"
 #include "circuit/dram_circuits.hpp"
 #include "circuit/spice_export.hpp"
 #include "circuit/transient.hpp"
@@ -61,15 +62,25 @@ void DumpCsv(const circuit::Waveform& wave, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string which = argc > 1 ? argv[1] : "refresh";
-  const std::string path = argc > 2 ? argv[2] : "/tmp/vrl_waveform.csv";
+  bench::ReportOptions report_options;
+  try {
+    report_options = bench::ParseReportArgs(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  const auto& args = report_options.positional;
+  const std::string which = !args.empty() ? args[0] : "refresh";
+  const std::string path =
+      args.size() > 1 ? args[1] : "/tmp/vrl_waveform.csv";
 
   const TechnologyParams tech;
   circuit::TransientOptions options;
 
   if (which == "deck") {
-    const std::string circuit_name = argc > 2 ? argv[2] : "refresh";
-    const std::string deck_path = argc > 3 ? argv[3] : "/tmp/vrl_deck.sp";
+    const std::string circuit_name = args.size() > 1 ? args[1] : "refresh";
+    const std::string deck_path =
+        args.size() > 2 ? args[2] : "/tmp/vrl_deck.sp";
     try {
       const auto netlist = BuildByName(circuit_name, tech);
       circuit::SpiceExportOptions deck_options;
@@ -120,10 +131,15 @@ int main(int argc, char** argv) {
   }
 
   DumpCsv(wave, path);
-  std::printf("wrote %zu samples x %zu signals to %s\n", wave.sample_count(),
-              wave.signal_count(), path.c_str());
+  bench::Report report("circuit_waveform");
+  report.AddMeta("circuit", which);
+  report.AddMeta("samples", wave.sample_count());
+  report.AddMeta("signals", wave.signal_count());
+  report.AddMeta("waveform_csv", path);
+  TextTable& finals = report.AddTable("final_values", {"signal", "final (V)"});
   for (const auto& name : wave.signal_names()) {
-    std::printf("  %-6s final %.3f V\n", name.c_str(), wave.FinalValue(name));
+    finals.AddRow({name, Fmt(wave.FinalValue(name), 3)});
   }
+  report.Emit(report_options, std::cout);
   return 0;
 }

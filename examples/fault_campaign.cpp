@@ -6,18 +6,20 @@
 //                    [--windows N] [--seed S]
 //                    [--row-fraction F] [--low-ratio R] [--dwell-s D]
 //                    [--temp-excursion C] [--drift RATE] [--corruption F]
+//                    [--json PATH] [--csv PATH]
 //
 // Three legs run under the identical fault realization: the JEDEC
 // full-rate baseline, the plain policy (no detection — silent loss), and
 // the adaptive wrapper (detection + demotion / fallback).  Exit code 0
 // when the adaptive leg ends with zero unrecovered failures.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
 
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "core/config_io.hpp"
 #include "core/experiments.hpp"
 #include "core/vrl_system.hpp"
@@ -28,13 +30,6 @@
 namespace {
 
 using namespace vrl;
-
-core::PolicyKind ParsePolicy(const std::string& name) {
-  if (name == "raidr") return core::PolicyKind::kRaidr;
-  if (name == "vrl") return core::PolicyKind::kVrl;
-  if (name == "vrl-access") return core::PolicyKind::kVrlAccess;
-  throw ConfigError("unknown policy '" + name + "' (jedec is the baseline)");
-}
 
 void AddReportRow(TextTable& table, const std::string& name,
                   const fault::CampaignReport& report,
@@ -62,9 +57,17 @@ int main(int argc, char** argv) {
   double drift_rate = 0.0;
   double corruption_fraction = 0.0;
 
-  for (int i = 1; i + 1 < argc; i += 2) {
-    const std::string flag = argv[i];
-    const std::string value = argv[i + 1];
+  bench::ReportOptions report_options;
+  try {
+    report_options = bench::ParseReportArgs(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  const auto& args = report_options.positional;
+  for (std::size_t i = 0; i + 1 < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    const std::string& value = args[i + 1];
     try {
       if (flag == "--config") {
         config = core::LoadVrlConfigFile(value);
@@ -99,7 +102,11 @@ int main(int argc, char** argv) {
 
   try {
     const core::VrlSystem system(config);
-    const auto kind = ParsePolicy(policy_name);
+    const auto kind = core::PolicyFromName(policy_name);
+    if (kind == core::PolicyKind::kJedec) {
+      throw ConfigError("pick a retention-aware policy (jedec is the"
+                        " baseline every leg compares against)");
+    }
     const double window_s =
         CyclesToSeconds(config.timing.t_refw, config.tech.clock_period_s);
 
@@ -124,16 +131,20 @@ int main(int argc, char** argv) {
       return schedule;
     };
 
-    std::printf(
-        "Fault campaign: %s, %zu x 64 ms, VRT rows %.1f%% (low ratio %.2f, "
-        "dwell %.2fs)\n",
-        core::PolicyName(kind).c_str(), windows, vrt.row_fraction * 100.0,
-        vrt.low_ratio, vrt.mean_dwell_s);
+    bench::Report report("fault_campaign");
+    report.AddMeta("policy", core::PolicyName(kind));
+    report.AddMeta("windows", windows);
+    report.AddMeta("vrt_row_fraction", vrt.row_fraction, 4);
+    report.AddMeta("vrt_low_ratio", vrt.low_ratio, 2);
+    report.AddMeta("vrt_dwell_s", vrt.mean_dwell_s, 2);
     {
       auto probe = make_schedule();
-      std::printf("injectors: %s\n\n", probe.Describe().c_str());
+      report.AddMeta("injectors", probe.Describe());
     }
 
+    // The adaptive leg feeds a telemetry recorder; its metrics (campaign.*,
+    // adaptive.*, policy.*) land in the report's telemetry table.
+    telemetry::Recorder recorder;
     core::FaultCampaignOptions options;
     options.windows = windows;
 
@@ -145,38 +156,42 @@ int main(int argc, char** argv) {
     const auto plain = system.RunFaultCampaign(kind, plain_faults, options);
     auto adaptive_faults = make_schedule();
     options.adaptive = true;
+    options.telemetry = &recorder;
     const auto adaptive =
         system.RunFaultCampaign(kind, adaptive_faults, options);
 
-    TextTable table({"policy", "refreshes", "partials", "detected",
-                     "corrected", "unrecovered", "min margin", "ovh/JEDEC"});
+    TextTable& table = report.AddTable(
+        "legs", {"policy", "refreshes", "partials", "detected", "corrected",
+                 "unrecovered", "min margin", "ovh/JEDEC"});
     AddReportRow(table, "JEDEC", jedec, jedec);
     AddReportRow(table, core::PolicyName(kind), plain, jedec);
     AddReportRow(table, "Adaptive(" + core::PolicyName(kind) + ")", adaptive,
                  jedec);
-    table.Print(std::cout);
 
     const auto& sm = adaptive.adaptive;
-    std::printf(
-        "\ndegradation state machine: %zu demotions, %zu promotions, "
-        "%zu forced fulls, %zu fallback entries, %zu fallback exits, "
-        "%zu rows demoted at end%s\n",
-        sm.demotions, sm.promotions, sm.forced_full_refreshes,
-        sm.fallback_entries, sm.fallback_exits, sm.rows_demoted_now,
-        sm.in_fallback ? " (bank in fallback)" : "");
+    report.AddMeta("demotions", sm.demotions);
+    report.AddMeta("promotions", sm.promotions);
+    report.AddMeta("forced_full_refreshes", sm.forced_full_refreshes);
+    report.AddMeta("fallback_entries", sm.fallback_entries);
+    report.AddMeta("fallback_exits", sm.fallback_exits);
+    report.AddMeta("rows_demoted_at_end", sm.rows_demoted_now);
+    report.AddMeta("in_fallback", sm.in_fallback ? "yes" : "no");
 
     if (!adaptive.events.empty()) {
-      std::printf("\nfirst detected failures:\n");
-      const std::size_t shown = std::min<std::size_t>(5,
-                                                      adaptive.events.size());
+      TextTable& failures = report.AddTable(
+          "first_failures", {"t (ms)", "row", "margin", "op", "outcome"});
+      const std::size_t shown =
+          std::min<std::size_t>(5, adaptive.events.size());
       for (std::size_t i = 0; i < shown; ++i) {
         const auto& event = adaptive.events[i];
-        std::printf("  t=%7.1f ms  row %5zu  margin %+.4f  %s  %s\n",
-                    event.at_s * 1e3, event.row, event.margin,
-                    event.was_full ? "full" : "partial",
-                    event.corrected ? "corrected" : "UNRECOVERED");
+        failures.AddRow({Fmt(event.at_s * 1e3, 1), std::to_string(event.row),
+                         Fmt(event.margin, 4),
+                         event.was_full ? "full" : "partial",
+                         event.corrected ? "corrected" : "UNRECOVERED"});
       }
     }
+    report.AddTelemetry(recorder.Snapshot());
+    report.Emit(report_options, std::cout);
 
     std::printf("\nverdict: plain %s loses %zu rows' worth of data; "
                 "adaptive ends with %zu unrecovered failures at %.1f%% of "

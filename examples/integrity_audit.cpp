@@ -4,6 +4,7 @@
 //
 //   ./integrity_audit [--config FILE] [--policy raidr|vrl|vrl-access]
 //                     [--windows N] [--max-celsius T] [--vrt]
+//                     [--json PATH] [--csv PATH]
 //
 // Exit code 0 when the policy is loss-free at the profiling temperature,
 // 1 otherwise — usable as a regression gate for configuration changes.
@@ -12,28 +13,16 @@
 #include <iostream>
 #include <string>
 
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "core/config_io.hpp"
 #include "core/integrity.hpp"
 #include "core/vrl_system.hpp"
 #include "retention/temperature.hpp"
 #include "retention/vrt.hpp"
 
-namespace {
-
-using namespace vrl;
-
-core::PolicyKind ParsePolicy(const std::string& name) {
-  if (name == "raidr") return core::PolicyKind::kRaidr;
-  if (name == "vrl") return core::PolicyKind::kVrl;
-  if (name == "vrl-access") return core::PolicyKind::kVrlAccess;
-  if (name == "jedec") return core::PolicyKind::kJedec;
-  throw ConfigError("unknown policy '" + name + "'");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace vrl;
+
   core::VrlConfig config;
   config.banks = 1;
   std::string policy_name = "vrl";
@@ -41,17 +30,25 @@ int main(int argc, char** argv) {
   double max_celsius = 65.0;
   bool with_vrt = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
+  bench::ReportOptions report_options;
+  try {
+    report_options = bench::ParseReportArgs(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  const auto& args = report_options.positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
     if (flag == "--vrt") {
       with_vrt = true;
       continue;
     }
-    if (i + 1 >= argc) {
+    if (i + 1 >= args.size()) {
       std::fprintf(stderr, "missing value for %s\n", flag.c_str());
       return 2;
     }
-    const std::string value = argv[++i];
+    const std::string& value = args[++i];
     try {
       if (flag == "--config") {
         config = core::LoadVrlConfigFile(value);
@@ -74,14 +71,15 @@ int main(int argc, char** argv) {
 
   try {
     const core::VrlSystem system(config);
-    const auto policy = ParsePolicy(policy_name);
+    const auto policy = core::PolicyFromName(policy_name);
     const retention::TemperatureModel temperature;
 
-    std::printf("Integrity audit: %s, %zu x 64 ms, guardband %.2f, "
-                "spares %zu%s\n",
-                core::PolicyName(policy).c_str(), windows,
-                config.retention_guardband, config.spare_rows,
-                with_vrt ? ", worst-case VRT" : "");
+    bench::Report report("integrity_audit");
+    report.AddMeta("policy", core::PolicyName(policy));
+    report.AddMeta("windows", windows);
+    report.AddMeta("guardband", config.retention_guardband, 2);
+    report.AddMeta("spare_rows", config.spare_rows);
+    report.AddMeta("worst_case_vrt", with_vrt ? "yes" : "no");
     if (system.guardband_clamped_rows() > 0) {
       std::printf("warning: %zu rows not protected by the guardband "
                   "(consider spare_rows)\n",
@@ -89,9 +87,9 @@ int main(int argc, char** argv) {
     }
 
     retention::VrtParams vrt;
-    std::printf("\n");
-    TextTable table({"temperature", "refreshes", "partials", "failures",
-                     "min margin"});
+    TextTable& table = report.AddTable(
+        "sweep", {"temperature", "refreshes", "partials", "failures",
+                  "min margin"});
     bool base_ok = true;
     for (double celsius = temperature.profiling_celsius;
          celsius <= max_celsius + 1e-9; celsius += 5.0) {
@@ -117,10 +115,8 @@ int main(int argc, char** argv) {
                     std::to_string(report.failures),
                     Fmt(report.min_margin, 4)});
     }
-    table.Print(std::cout);
-
-    std::printf("\nverdict at profiling conditions: %s\n",
-                base_ok ? "LOSS-FREE" : "DATA LOSS");
+    report.AddMeta("verdict", base_ok ? "LOSS-FREE" : "DATA LOSS");
+    report.Emit(report_options, std::cout);
     return base_ok ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -4,40 +4,37 @@
 //   ./policy_explorer [--workload NAME] [--policy jedec|raidr|vrl|vrl-access]
 //                     [--windows N] [--nbits N] [--banks N] [--seed S]
 //                     [--config FILE]   (key=value file, see core/config_io.hpp)
+//                     [--json PATH] [--csv PATH]
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "core/config_io.hpp"
 #include "core/vrl_system.hpp"
 #include "power/power_model.hpp"
 #include "trace/synthetic.hpp"
 
-namespace {
-
-using namespace vrl;
-
-core::PolicyKind ParsePolicy(const std::string& name) {
-  if (name == "jedec") return core::PolicyKind::kJedec;
-  if (name == "raidr") return core::PolicyKind::kRaidr;
-  if (name == "vrl") return core::PolicyKind::kVrl;
-  if (name == "vrl-access") return core::PolicyKind::kVrlAccess;
-  throw ConfigError("unknown policy '" + name + "'");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace vrl;
+
   std::string workload_name = "facesim";
   std::string policy_name = "vrl-access";
   std::size_t windows = 8;
   core::VrlConfig config;
 
-  for (int i = 1; i + 1 < argc; i += 2) {
-    const std::string flag = argv[i];
-    const std::string value = argv[i + 1];
+  bench::ReportOptions report_options;
+  try {
+    report_options = bench::ParseReportArgs(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  const auto& args = report_options.positional;
+  for (std::size_t i = 0; i + 1 < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    const std::string& value = args[i + 1];
     if (flag == "--workload") {
       workload_name = value;
     } else if (flag == "--policy") {
@@ -64,8 +61,9 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const core::VrlSystem system(config);
-    const auto policy = ParsePolicy(policy_name);
+    core::VrlSystem system(config);
+    system.EnableTelemetry();
+    const auto policy = core::PolicyFromName(policy_name);
     const auto workload = trace::SuiteWorkload(workload_name);
 
     const Cycles horizon = system.HorizonForWindows(windows);
@@ -80,11 +78,20 @@ int main(int argc, char** argv) {
                                         config.tech.clock_period_s);
     const auto energy = power_model.Compute(stats);
 
-    std::printf("%s on %s, %zu x 64 ms, nbits=%zu\n\n",
-                core::PolicyName(policy).c_str(), workload.name.c_str(),
-                windows, config.nbits);
+    bench::Report report("policy_explorer");
+    report.AddMeta("policy", core::PolicyName(policy));
+    report.AddMeta("workload", workload.name);
+    report.AddMeta("windows", windows);
+    report.AddMeta("nbits", config.nbits);
+    report.AddMeta("refresh_overhead_per_bank",
+                   stats.RefreshOverheadPerBank(), 0);
+    report.AddMeta("avg_request_latency_cycles",
+                   stats.AverageRequestLatency(), 1);
+    report.AddMeta("refresh_power_mw", energy.refresh_power_mw, 2);
+    report.AddMeta("total_energy_uj", energy.Total() * 1e-3, 2);
 
-    TextTable table({"bank", "reads", "writes", "row hits", "row misses",
+    TextTable& table = report.AddTable(
+        "per_bank", {"bank", "reads", "writes", "row hits", "row misses",
                      "fulls", "partials", "refresh cyc"});
     for (std::size_t b = 0; b < stats.per_bank.size(); ++b) {
       const auto& s = stats.per_bank[b];
@@ -95,15 +102,8 @@ int main(int argc, char** argv) {
                     std::to_string(s.partial_refreshes),
                     std::to_string(s.refresh_busy_cycles)});
     }
-    table.Print(std::cout);
-
-    std::printf("\nrefresh overhead/bank : %.0f cycles\n",
-                stats.RefreshOverheadPerBank());
-    std::printf("avg request latency   : %.1f cycles\n",
-                stats.AverageRequestLatency());
-    std::printf("refresh power         : %.2f mW\n", energy.refresh_power_mw);
-    std::printf("total energy          : %.2f uJ (refresh %.2f uJ)\n",
-                energy.Total() * 1e-3, energy.refresh_nj * 1e-3);
+    report.AddTelemetry(system.telemetry()->Snapshot());
+    report.Emit(report_options, std::cout);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

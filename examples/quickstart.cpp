@@ -2,13 +2,14 @@
 // configuration, run one workload under all four refresh policies, and
 // print a summary.
 //
-//   ./quickstart [workload]     (default: streamcluster)
+//   ./quickstart [workload] [--json PATH] [--csv PATH]
+//   (default workload: streamcluster)
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 
-#include "common/table.hpp"
+#include "bench/reporting.hpp"
 #include "core/vrl_system.hpp"
 #include "power/power_model.hpp"
 #include "trace/synthetic.hpp"
@@ -16,22 +17,32 @@
 int main(int argc, char** argv) {
   using namespace vrl;
 
-  const std::string workload_name = argc > 1 ? argv[1] : "streamcluster";
+  bench::ReportOptions report_options;
+  try {
+    report_options = bench::ParseReportArgs(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  const std::string workload_name = report_options.positional.empty()
+                                        ? "streamcluster"
+                                        : report_options.positional.front();
 
   // 1. Configure the system.  Defaults follow the paper: an 8192x32 bank at
   //    90 nm, retention bins 64/128/192/256 ms, nbits = 2 counters.
   core::VrlConfig config;
   core::VrlSystem system(config);
+  system.EnableTelemetry();
 
-  std::printf("VRL-DRAM quickstart\n");
-  std::printf("  bank            : %s, %zu banks\n",
-              config.tech.GeometryLabel().c_str(), config.banks);
-  std::printf("  tau_full        : %llu cycles\n",
-              static_cast<unsigned long long>(system.TauFullCycles()));
-  std::printf("  tau_partial     : %llu cycles\n",
-              static_cast<unsigned long long>(system.TauPartialCycles()));
-  std::printf("  min readable    : %.1f%% of full charge\n",
-              system.refresh_model().MinReadableFraction() * 100.0);
+  bench::Report report("quickstart");
+  report.AddMeta("bank", config.tech.GeometryLabel());
+  report.AddMeta("banks", config.banks);
+  report.AddMeta("tau_full_cycles",
+                 static_cast<std::size_t>(system.TauFullCycles()));
+  report.AddMeta("tau_partial_cycles",
+                 static_cast<std::size_t>(system.TauPartialCycles()));
+  report.AddMeta("min_readable_fraction",
+                 system.refresh_model().MinReadableFraction(), 3);
 
   // 2. Generate a synthetic workload trace (or load one with trace::ReadTextFile).
   const auto workload = trace::SuiteWorkload(workload_name);
@@ -41,14 +52,19 @@ int main(int argc, char** argv) {
       trace::GenerateTrace(workload, system.Geometry(), horizon, rng);
   const auto requests =
       trace::MapToRequests(records, trace::AddressMapper(system.Geometry()));
-  std::printf("  workload        : %s (%zu requests over %.0f ms)\n\n",
-              workload.name.c_str(), requests.size(),
-              CyclesToSeconds(horizon, config.tech.clock_period_s) * 1e3);
+  report.AddMeta("workload", workload.name);
+  report.AddMeta("requests", requests.size());
+  report.AddMeta("simulated_ms",
+                 CyclesToSeconds(horizon, config.tech.clock_period_s) * 1e3,
+                 0);
 
-  // 3. Simulate each refresh policy and compare.
+  // 3. Simulate each refresh policy and compare.  Every run feeds the
+  //    system telemetry recorder (EnableTelemetry above); its merged
+  //    metrics land in the report's telemetry table.
   const power::PowerModel power_model(power::EnergyParams{},
                                       config.tech.clock_period_s);
-  TextTable table({"policy", "refresh cycles/bank", "fulls", "partials",
+  TextTable& table = report.AddTable(
+      "policies", {"policy", "refresh cycles/bank", "fulls", "partials",
                    "refresh power (mW)", "avg latency (cyc)"});
   for (const auto kind :
        {core::PolicyKind::kJedec, core::PolicyKind::kRaidr,
@@ -62,6 +78,7 @@ int main(int argc, char** argv) {
                   Fmt(energy.refresh_power_mw, 2),
                   Fmt(stats.AverageRequestLatency(), 1)});
   }
-  table.Print(std::cout);
+  report.AddTelemetry(system.telemetry()->Snapshot());
+  report.Emit(report_options, std::cout);
   return 0;
 }

@@ -1,7 +1,7 @@
 // Retention profiler: Monte-Carlo profile of a DRAM bank, RAIDR binning,
 // and the per-row MPRSF table VRL-DRAM programs into the controller.
 //
-//   ./retention_profiler [rows] [cells_per_row] [seed]
+//   ./retention_profiler [rows] [cells_per_row] [seed] [--json PATH] [--csv PATH]
 //
 // Prints the binning summary and an MPRSF histogram, and writes the per-row
 // profile as CSV to stdout-adjacent file /tmp/vrl_profile.csv.
@@ -12,8 +12,8 @@
 #include <map>
 #include <string>
 
+#include "bench/reporting.hpp"
 #include "common/rng.hpp"
-#include "common/table.hpp"
 #include "model/refresh_model.hpp"
 #include "retention/distribution.hpp"
 #include "retention/mprsf.hpp"
@@ -23,25 +23,35 @@ int main(int argc, char** argv) {
   using namespace vrl;
   using namespace vrl::retention;
 
-  const std::size_t rows = argc > 1 ? std::stoul(argv[1]) : 8192;
-  const std::size_t cells = argc > 2 ? std::stoul(argv[2]) : 32;
-  const std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 42;
+  bench::ReportOptions report_options;
+  try {
+    report_options = bench::ParseReportArgs(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  const auto& args = report_options.positional;
+  const std::size_t rows = args.size() > 0 ? std::stoul(args[0]) : 8192;
+  const std::size_t cells = args.size() > 1 ? std::stoul(args[1]) : 32;
+  const std::uint64_t seed = args.size() > 2 ? std::stoull(args[2]) : 42;
 
   Rng rng(seed);
   const RetentionDistribution dist;
   const auto profile = RetentionProfile::Generate(dist, rows, cells, rng);
   const auto bins = BinRows(profile, StandardBinPeriods());
 
-  std::printf("Retention profile: %zu rows x %zu cells (seed %llu)\n",
-              rows, cells, static_cast<unsigned long long>(seed));
-  std::printf("weakest row: %.1f ms\n\n", profile.MinRetention() * 1e3);
+  bench::Report report("retention_profiler");
+  report.AddMeta("rows", rows);
+  report.AddMeta("cells_per_row", cells);
+  report.AddMeta("seed", static_cast<std::size_t>(seed));
+  report.AddMeta("weakest_row_ms", profile.MinRetention() * 1e3, 1);
 
-  TextTable bin_table({"refresh period (ms)", "rows"});
+  TextTable& bin_table =
+      report.AddTable("bins", {"refresh period (ms)", "rows"});
   for (std::size_t b = 0; b < bins.periods_s.size(); ++b) {
     bin_table.AddRow({Fmt(bins.periods_s[b] * 1e3, 0),
                       std::to_string(bins.rows_per_bin[b])});
   }
-  bin_table.Print(std::cout);
 
   // MPRSF for each row, using the default technology's analytical model.
   TechnologyParams tech;
@@ -56,15 +66,15 @@ int main(int argc, char** argv) {
   for (const auto m : mprsf) {
     ++histogram[m];
   }
-  std::printf("\nMPRSF histogram (counter cap 3):\n");
-  TextTable mprsf_table({"MPRSF", "rows", "share"});
+  TextTable& mprsf_table =
+      report.AddTable("mprsf_histogram", {"MPRSF", "rows", "share"});
   for (const auto& [value, count] : histogram) {
     mprsf_table.AddRow(
         {std::to_string(value), std::to_string(count),
          FmtPercent(static_cast<double>(count) / static_cast<double>(rows),
                     1)});
   }
-  mprsf_table.Print(std::cout);
+  report.Emit(report_options, std::cout);
 
   const std::string csv_path = "/tmp/vrl_profile.csv";
   std::ofstream csv(csv_path);

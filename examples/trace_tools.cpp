@@ -5,14 +5,15 @@
 //   ./trace_tools stats    <input.trace>
 //   ./trace_tools list
 //
+// `list` and `stats` accept the uniform --json/--csv report flags.
 // Trace files use the text format: "<cycle> <R|W> <hex address>".
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "bench/reporting.hpp"
 #include "common/rng.hpp"
-#include "common/table.hpp"
 #include "common/technology.hpp"
 #include "trace/io.hpp"
 #include "trace/stats.hpp"
@@ -35,55 +36,68 @@ int Usage(const char* prog) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  bench::ReportOptions report_options;
+  try {
+    report_options = bench::ParseReportArgs(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  const auto& args = report_options.positional;
+  if (args.empty()) {
     return Usage(argv[0]);
   }
-  const std::string command = argv[1];
+  const std::string command = args[0];
   const trace::AddressGeometry geometry;  // 8 banks x 8192 x 32
   const TechnologyParams tech;
 
   try {
     if (command == "list") {
-      TextTable table({"workload", "mean gap (cyc)", "footprint", "seq",
-                       "writes"});
+      bench::Report report("trace_tools_list");
+      TextTable& table = report.AddTable(
+          "workloads",
+          {"workload", "mean gap (cyc)", "footprint", "seq", "writes"});
       for (const auto& w : trace::EvaluationSuite()) {
         table.AddRow({w.name, Fmt(w.mean_gap_cycles, 0),
                       FmtPercent(w.footprint_fraction, 0),
                       FmtPercent(w.sequential_prob, 0),
                       FmtPercent(w.write_fraction, 0)});
       }
-      table.Print(std::cout);
+      report.Emit(report_options, std::cout);
       return 0;
     }
 
-    if (command == "generate" && argc == 5) {
-      const auto workload = trace::SuiteWorkload(argv[2]);
-      const double ms = std::stod(argv[3]);
+    if (command == "generate" && args.size() == 4) {
+      const auto workload = trace::SuiteWorkload(args[1]);
+      const double ms = std::stod(args[2]);
       const auto duration =
           SecondsToCyclesCeil(ms * 1e-3, tech.clock_period_s);
       Rng rng(7);
       const auto records =
           trace::GenerateTrace(workload, geometry, duration, rng);
-      trace::WriteTextFile(argv[4], records);
+      trace::WriteTextFile(args[3], records);
       std::printf("wrote %zu records (%.1f ms of %s) to %s\n", records.size(),
-                  ms, workload.name.c_str(), argv[4]);
+                  ms, workload.name.c_str(), args[3].c_str());
       return 0;
     }
 
-    if (command == "stats" && argc == 3) {
-      const auto records = trace::ReadTextFile(argv[2]);
+    if (command == "stats" && args.size() == 2) {
+      const auto records = trace::ReadTextFile(args[1]);
       const auto stats = trace::ComputeStats(records, geometry);
-      std::printf("trace          : %s\n", argv[2]);
-      std::printf("requests       : %zu (%.1f%% writes)\n", stats.requests,
-                  stats.WriteFraction() * 100.0);
-      std::printf("span           : %llu cycles (%.2f ms)\n",
-                  static_cast<unsigned long long>(stats.span_cycles),
-                  CyclesToSeconds(stats.span_cycles, tech.clock_period_s) *
-                      1e3);
-      std::printf("intensity      : %.2f requests/kcycle\n",
-                  stats.requests_per_kilocycle);
-      std::printf("rows touched   : %zu of %zu (%.1f%%)\n", stats.unique_rows,
-                  stats.total_rows, stats.RowCoverage() * 100.0);
+      bench::Report report("trace_tools_stats");
+      report.AddMeta("trace", args[1]);
+      report.AddMeta("requests", stats.requests);
+      report.AddMeta("write_fraction", FmtPercent(stats.WriteFraction(), 1));
+      report.AddMeta("span_cycles",
+                     static_cast<std::size_t>(stats.span_cycles));
+      report.AddMeta(
+          "span_ms",
+          CyclesToSeconds(stats.span_cycles, tech.clock_period_s) * 1e3, 2);
+      report.AddMeta("requests_per_kilocycle",
+                     stats.requests_per_kilocycle, 2);
+      report.AddMeta("unique_rows", stats.unique_rows);
+      report.AddMeta("row_coverage", FmtPercent(stats.RowCoverage(), 1));
+      report.Emit(report_options, std::cout);
       return 0;
     }
   } catch (const std::exception& error) {

@@ -6,65 +6,126 @@
 #include "common/parallel.hpp"
 
 namespace vrl::core {
+namespace {
 
-WorkloadResult RunWorkload(const VrlSystem& system,
-                           const trace::SyntheticWorkloadParams& workload,
-                           std::size_t windows,
-                           const power::EnergyParams& energy) {
-  if (windows == 0) {
+/// Aggregate sink the drivers feed: an explicit options sink wins over the
+/// system recorder; null means telemetry is off for the run.
+telemetry::Recorder* ResolveSink(const VrlSystem& system,
+                                 const ExperimentOptions& options) {
+  return options.telemetry != nullptr ? options.telemetry
+                                      : system.telemetry();
+}
+
+/// RunWorkload body with an explicit recorder, so the parallel suite can
+/// hand each task its own shard.  `recorder` may be null (telemetry off).
+WorkloadResult RunWorkloadInto(const VrlSystem& system,
+                               const trace::SyntheticWorkloadParams& workload,
+                               const ExperimentOptions& options,
+                               telemetry::Recorder* recorder) {
+  if (options.windows == 0) {
     throw ConfigError("RunWorkload: need at least one refresh window");
   }
-  const Cycles horizon = system.HorizonForWindows(windows);
+  const telemetry::ScopedTimer workload_timer(recorder, "time.workload_run");
+  const Cycles horizon = system.HorizonForWindows(options.windows);
   Rng rng(system.config().seed ^ 0xABCD'1234ULL);
   const auto records =
       trace::GenerateTrace(workload, system.Geometry(), horizon, rng);
   const trace::AddressMapper mapper(system.Geometry());
   const auto requests = trace::MapToRequests(records, mapper);
 
-  const power::PowerModel power_model(energy,
+  const power::PowerModel power_model(options.energy,
                                       system.config().tech.clock_period_s);
 
   WorkloadResult result;
   result.workload = workload.name;
 
   const auto raidr =
-      system.Simulate(PolicyKind::kRaidr, requests, horizon);
+      system.Simulate(PolicyKind::kRaidr, requests, horizon, recorder);
   result.raidr_overhead = raidr.RefreshOverheadPerBank();
   result.raidr_refresh_power_mw =
       power_model.Compute(raidr).refresh_power_mw;
 
-  const auto vrl = system.Simulate(PolicyKind::kVrl, requests, horizon);
+  const auto vrl =
+      system.Simulate(PolicyKind::kVrl, requests, horizon, recorder);
   result.vrl_overhead = vrl.RefreshOverheadPerBank();
   result.vrl_refresh_power_mw = power_model.Compute(vrl).refresh_power_mw;
 
   const auto vrl_access =
-      system.Simulate(PolicyKind::kVrlAccess, requests, horizon);
+      system.Simulate(PolicyKind::kVrlAccess, requests, horizon, recorder);
   result.vrl_access_overhead = vrl_access.RefreshOverheadPerBank();
   result.vrl_access_refresh_power_mw =
       power_model.Compute(vrl_access).refresh_power_mw;
 
+  if (recorder != nullptr) {
+    recorder->counter("suite.workloads").Add();
+  }
   return result;
+}
+
+}  // namespace
+
+WorkloadResult RunWorkload(const VrlSystem& system,
+                           const trace::SyntheticWorkloadParams& workload,
+                           const ExperimentOptions& options) {
+  return RunWorkloadInto(system, workload, options,
+                         ResolveSink(system, options));
+}
+
+WorkloadResult RunWorkload(const VrlSystem& system,
+                           const trace::SyntheticWorkloadParams& workload,
+                           std::size_t windows,
+                           const power::EnergyParams& energy) {
+  ExperimentOptions options;
+  options.windows = windows;
+  options.energy = energy;
+  return RunWorkload(system, workload, options);
+}
+
+std::vector<WorkloadResult> RunEvaluationSuite(
+    const VrlSystem& system, const ExperimentOptions& options) {
+  // One task per workload: RunWorkload builds all of its mutable state
+  // (trace RNG, controller, power model) locally and only reads the shared
+  // const system, so the suite parallelizes bit-identically.  Telemetry
+  // follows the same contract: task i writes only shard i, and the shards
+  // merge into the sink in index order after the fan-out.
+  const auto suite = trace::EvaluationSuite();
+  std::vector<WorkloadResult> results(suite.size());
+  telemetry::Recorder* sink = ResolveSink(system, options);
+  if (sink == nullptr) {
+    ParallelFor(
+        suite.size(),
+        [&](std::size_t i) {
+          results[i] = RunWorkloadInto(system, suite[i], options, nullptr);
+        },
+        options.threads);
+    return results;
+  }
+  const telemetry::ScopedTimer suite_timer(sink, "time.evaluation_suite");
+  telemetry::ShardedRecorder shards(suite.size(), sink->options());
+  ParallelFor(
+      suite.size(),
+      [&](std::size_t i) {
+        results[i] = RunWorkloadInto(system, suite[i], options,
+                                     &shards.shard(i));
+      },
+      options.threads);
+  shards.MergeInto(*sink);
+  return results;
 }
 
 std::vector<WorkloadResult> RunEvaluationSuite(
     const VrlSystem& system, std::size_t windows,
     const power::EnergyParams& energy) {
-  // One task per workload: RunWorkload builds all of its mutable state
-  // (trace RNG, controller, power model) locally and only reads the shared
-  // const system, so the suite parallelizes bit-identically.
-  const auto suite = trace::EvaluationSuite();
-  std::vector<WorkloadResult> results(suite.size());
-  ParallelFor(suite.size(), [&](std::size_t i) {
-    results[i] = RunWorkload(system, suite[i], windows, energy);
-  });
-  return results;
+  ExperimentOptions options;
+  options.windows = windows;
+  options.energy = energy;
+  return RunEvaluationSuite(system, options);
 }
 
 ResilienceResult RunResilienceComparison(const VrlSystem& system,
                                          PolicyKind kind,
                                          const retention::VrtParams& vrt,
-                                         std::size_t windows,
-                                         std::uint64_t fault_seed) {
+                                         const ExperimentOptions& options) {
   if (kind == PolicyKind::kJedec) {
     throw ConfigError(
         "RunResilienceComparison: pick a retention-aware policy to compare "
@@ -76,7 +137,8 @@ ResilienceResult RunResilienceComparison(const VrlSystem& system,
   // tasks.  Each leg builds its own FaultCampaignOptions: the legs used to
   // mutate one shared options struct between runs (set adaptive=false, run
   // two legs, set adaptive=true), an ordering dependency that would race
-  // once the legs overlap.
+  // once the legs overlap.  Telemetry is per-leg sharded and merged in leg
+  // order, like the suite.
   ResilienceResult result;
   struct Leg {
     PolicyKind kind;
@@ -88,16 +150,40 @@ ResilienceResult RunResilienceComparison(const VrlSystem& system,
       {kind, false, &result.plain},
       {kind, true, &result.adaptive},
   };
-  ParallelFor(std::size(legs), [&](std::size_t i) {
-    const Leg& leg = legs[i];
-    fault::FaultSchedule faults(fault_seed);
-    faults.Add(std::make_unique<fault::VrtFlipInjector>(vrt));
-    FaultCampaignOptions options;
-    options.windows = windows;
-    options.adaptive = leg.adaptive;
-    *leg.out = system.RunFaultCampaign(leg.kind, faults, options);
-  });
+  telemetry::Recorder* sink = ResolveSink(system, options);
+  std::unique_ptr<telemetry::ShardedRecorder> shards;
+  if (sink != nullptr) {
+    shards = std::make_unique<telemetry::ShardedRecorder>(std::size(legs),
+                                                          sink->options());
+  }
+  ParallelFor(
+      std::size(legs),
+      [&](std::size_t i) {
+        const Leg& leg = legs[i];
+        fault::FaultSchedule faults(options.fault_seed);
+        faults.Add(std::make_unique<fault::VrtFlipInjector>(vrt));
+        FaultCampaignOptions campaign;
+        campaign.windows = options.windows;
+        campaign.adaptive = leg.adaptive;
+        campaign.telemetry = shards ? &shards->shard(i) : nullptr;
+        *leg.out = system.RunFaultCampaign(leg.kind, faults, campaign);
+      },
+      options.threads);
+  if (shards) {
+    shards->MergeInto(*sink);
+  }
   return result;
+}
+
+ResilienceResult RunResilienceComparison(const VrlSystem& system,
+                                         PolicyKind kind,
+                                         const retention::VrtParams& vrt,
+                                         std::size_t windows,
+                                         std::uint64_t fault_seed) {
+  ExperimentOptions options;
+  options.windows = windows;
+  options.fault_seed = fault_seed;
+  return RunResilienceComparison(system, kind, vrt, options);
 }
 
 SuiteAverages Average(const std::vector<WorkloadResult>& results) {

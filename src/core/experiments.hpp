@@ -14,6 +14,33 @@
 
 namespace vrl::core {
 
+/// Options shared by the experiment drivers below.  One struct instead of
+/// positional parameters so call sites stay readable as knobs accumulate;
+/// the legacy positional overloads delegate here unchanged.
+struct ExperimentOptions {
+  /// Base refresh windows (64 ms each) each simulation covers.
+  std::size_t windows = 8;
+
+  /// Energy calibration for the refresh-power numbers (RunWorkload /
+  /// RunEvaluationSuite).
+  power::EnergyParams energy;
+
+  /// Fault-schedule seed (RunResilienceComparison).
+  std::uint64_t fault_seed = 0x5EED'F417ULL;
+
+  /// Worker threads for the parallel drivers; 0 = DefaultThreadCount()
+  /// (VRL_THREADS / hardware).  Results are bit-identical either way.
+  std::size_t threads = 0;
+
+  /// Aggregate telemetry sink.  Parallel drivers give every task its own
+  /// shard (telemetry::ShardedRecorder) and merge the shards into this
+  /// recorder in task-index order, so the merged snapshot — and any export
+  /// of it — is bit-identical at every thread count.  When null, the
+  /// drivers fall back to the system recorder (VrlSystem::EnableTelemetry)
+  /// with the same sharding; with neither set, telemetry is off.
+  telemetry::Recorder* telemetry = nullptr;
+};
+
 /// Result of running one workload under the three Fig. 4 policies.
 struct WorkloadResult {
   std::string workload;
@@ -31,8 +58,13 @@ struct WorkloadResult {
   }
 };
 
-/// Runs one workload under RAIDR, VRL and VRL-Access for `windows` base
-/// refresh windows and reports overheads plus refresh power.
+/// Runs one workload under RAIDR, VRL and VRL-Access for options.windows
+/// base refresh windows and reports overheads plus refresh power.
+WorkloadResult RunWorkload(const VrlSystem& system,
+                           const trace::SyntheticWorkloadParams& workload,
+                           const ExperimentOptions& options);
+
+/// Legacy positional overload; delegates to the ExperimentOptions form.
 WorkloadResult RunWorkload(const VrlSystem& system,
                            const trace::SyntheticWorkloadParams& workload,
                            std::size_t windows,
@@ -40,7 +72,12 @@ WorkloadResult RunWorkload(const VrlSystem& system,
 
 /// Runs the full evaluation suite (Fig. 4): every PARSEC workload plus
 /// bgsave.  Workloads run in parallel (common/parallel.hpp) with
-/// bit-identical results at any thread count.
+/// bit-identical results — including the merged telemetry — at any thread
+/// count.
+std::vector<WorkloadResult> RunEvaluationSuite(
+    const VrlSystem& system, const ExperimentOptions& options);
+
+/// Legacy positional overload; delegates to the ExperimentOptions form.
 std::vector<WorkloadResult> RunEvaluationSuite(const VrlSystem& system,
                                                std::size_t windows,
                                                const power::EnergyParams& energy);
@@ -76,11 +113,18 @@ struct ResilienceResult {
   }
 };
 
-/// Runs the three-way comparison under VRT telegraph-noise injection.
-/// Extra injectors can be layered by building campaigns directly via
-/// VrlSystem::RunFaultCampaign.  The three legs run as parallel tasks, each
-/// owning its schedule, options and report slot; results are bit-identical
-/// across thread counts and leg completion orders.
+/// Runs the three-way comparison under VRT telegraph-noise injection
+/// (options.fault_seed, options.windows).  Extra injectors can be layered
+/// by building campaigns directly via VrlSystem::RunFaultCampaign.  The
+/// three legs run as parallel tasks, each owning its schedule, options,
+/// telemetry shard and report slot; results are bit-identical across
+/// thread counts and leg completion orders.
+ResilienceResult RunResilienceComparison(const VrlSystem& system,
+                                         PolicyKind kind,
+                                         const retention::VrtParams& vrt,
+                                         const ExperimentOptions& options);
+
+/// Legacy positional overload; delegates to the ExperimentOptions form.
 ResilienceResult RunResilienceComparison(const VrlSystem& system,
                                          PolicyKind kind,
                                          const retention::VrtParams& vrt,

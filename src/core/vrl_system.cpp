@@ -1,6 +1,7 @@
 #include "core/vrl_system.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/error.hpp"
 
@@ -18,6 +19,33 @@ std::string PolicyName(PolicyKind kind) {
       return "VRL-Access";
   }
   return "?";
+}
+
+PolicyKind PolicyFromName(std::string_view name) {
+  // Canonicalize: lower-case, separators ('-', '_') dropped.
+  std::string canon;
+  canon.reserve(name.size());
+  for (const char c : name) {
+    if (c == '-' || c == '_') {
+      continue;
+    }
+    canon.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (canon == "jedec") {
+    return PolicyKind::kJedec;
+  }
+  if (canon == "raidr") {
+    return PolicyKind::kRaidr;
+  }
+  if (canon == "vrl") {
+    return PolicyKind::kVrl;
+  }
+  if (canon == "vrlaccess") {
+    return PolicyKind::kVrlAccess;
+  }
+  throw ConfigError("PolicyFromName: unknown policy '" + std::string(name) +
+                    "' (expected JEDEC, RAIDR, VRL or VRL-Access)");
 }
 
 void VrlConfig::Validate() const {
@@ -176,12 +204,24 @@ dram::PolicyFactory VrlSystem::MakePolicyFactory(PolicyKind kind) const {
 
 dram::SimulationStats VrlSystem::Simulate(
     PolicyKind kind, const std::vector<dram::Request>& requests,
-    Cycles horizon) const {
+    Cycles horizon, telemetry::Recorder* recorder) const {
   dram::MemoryController controller(config_.banks, config_.tech.rows,
                                     config_.timing, MakePolicyFactory(kind),
                                     config_.scheduler, config_.page_policy,
                                     config_.subarrays);
+  if (recorder == nullptr) {
+    recorder = telemetry_.get();
+  }
+  if (recorder != nullptr) {
+    controller.AttachTelemetry(recorder);
+  }
   return controller.Run(requests, horizon);
+}
+
+telemetry::Recorder* VrlSystem::EnableTelemetry(
+    telemetry::RecorderOptions options) {
+  telemetry_ = std::make_unique<telemetry::Recorder>(options);
+  return telemetry_.get();
 }
 
 Cycles VrlSystem::HorizonForWindows(std::size_t windows) const {
@@ -199,6 +239,8 @@ fault::CampaignReport VrlSystem::RunFaultCampaign(
   setup.tau_post_full_s = tau_full_.tau_post_s;
   setup.tau_post_partial_s = tau_partial_.tau_post_s;
   setup.max_logged_events = options.max_logged_events;
+  setup.telemetry =
+      options.telemetry != nullptr ? options.telemetry : telemetry_.get();
 
   auto policy = MakePolicyFactory(kind)();
   if (!options.adaptive) {

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -18,6 +19,7 @@
 #include "retention/distribution.hpp"
 #include "retention/mprsf.hpp"
 #include "retention/profile.hpp"
+#include "telemetry/recorder.hpp"
 #include "trace/address.hpp"
 
 /// \file vrl_system.hpp
@@ -48,10 +50,21 @@ struct FaultCampaignOptions {
   bool adaptive = true;
   fault::AdaptiveParams adaptive_params;
   std::size_t max_logged_events = 256;
+
+  /// Recorder the campaign feeds (`campaign.*`, `policy.*`, `adaptive.*`
+  /// metrics and failure events).  When null the system's own recorder
+  /// (VrlSystem::EnableTelemetry) is used, if enabled.  Parallel drivers
+  /// must pass an explicit per-task recorder (telemetry::ShardedRecorder).
+  telemetry::Recorder* telemetry = nullptr;
 };
 
 /// Human-readable policy name.
 std::string PolicyName(PolicyKind kind);
+
+/// Round-trip inverse of PolicyName.  Case-insensitive; '-' and '_' are
+/// interchangeable ("VRL-Access", "vrl_access" and "vrlaccess" all parse).
+/// \throws vrl::ConfigError on an unknown name.
+PolicyKind PolicyFromName(std::string_view name);
 
 /// Everything needed to build a VrlSystem.  Defaults reproduce the paper's
 /// evaluation setup: an 8192x32 bank at 90 nm, 64/128/192/256 ms retention
@@ -140,10 +153,23 @@ class VrlSystem {
   dram::PolicyFactory MakePolicyFactory(PolicyKind kind) const;
 
   /// Runs a full simulation of `requests` (arrival-sorted) under a policy
-  /// for `horizon` cycles.
+  /// for `horizon` cycles.  `recorder` overrides the telemetry sink for
+  /// this run; when null the system recorder (EnableTelemetry) is used, if
+  /// enabled.  Parallel drivers must pass an explicit per-task recorder —
+  /// never share one across threads (telemetry::ShardedRecorder).
   dram::SimulationStats Simulate(PolicyKind kind,
                                  const std::vector<dram::Request>& requests,
-                                 Cycles horizon) const;
+                                 Cycles horizon,
+                                 telemetry::Recorder* recorder = nullptr) const;
+
+  /// Enables the system-owned telemetry recorder: subsequent Simulate /
+  /// RunFaultCampaign calls without an explicit recorder feed it.  Returns
+  /// the recorder (also available via telemetry()).  Calling again resets
+  /// the recorder with the new options.
+  telemetry::Recorder* EnableTelemetry(telemetry::RecorderOptions options = {});
+
+  /// The system-owned recorder, or null when EnableTelemetry was not called.
+  telemetry::Recorder* telemetry() const { return telemetry_.get(); }
 
   /// Convenience: simulation horizon covering `windows` base refresh
   /// windows (64 ms each).
@@ -173,6 +199,7 @@ class VrlSystem {
   std::size_t remapped_rows_ = 0;
   model::TimingBreakdown tau_full_;
   model::TimingBreakdown tau_partial_;
+  std::unique_ptr<telemetry::Recorder> telemetry_;
 };
 
 }  // namespace vrl::core

@@ -86,7 +86,9 @@ Cycles Bank::ServiceRequest(const Request& request) {
     ++stats_.reads;
   }
   stats_.access_busy_cycles += completion - start;
-  stats_.total_request_latency += completion - request.arrival;
+  const Cycles latency = completion - request.arrival;
+  stats_.total_request_latency += latency;
+  ++stats_.latency_hist[telemetry::LatencyBucketIndex(latency)];
   stats_.last_completion = std::max(stats_.last_completion, completion);
   sa.busy_until = completion;
 

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -8,6 +10,7 @@
 #include "dram/refresh_policy.hpp"
 #include "dram/request.hpp"
 #include "dram/timing.hpp"
+#include "telemetry/metrics.hpp"
 
 /// \file bank.hpp
 /// One DRAM bank: row-buffer state machine plus busy-time bookkeeping.
@@ -49,6 +52,12 @@ struct BankStats {
   Cycles access_busy_cycles = 0;   ///< Total cycles servicing accesses.
 
   Cycles total_request_latency = 0;  ///< Sum of (completion - arrival).
+  /// Request-latency distribution over telemetry::LatencyBucketEdges().
+  /// Always-on like the rest of BankStats — an unconditional fixed-array
+  /// bump here (where the latency is already at hand) is cheaper than a
+  /// telemetry-gated recount in the controller, and the controller exports
+  /// the run's delta as `dram.request_latency_cycles`.
+  std::array<std::uint64_t, telemetry::kLatencyBucketCount> latency_hist{};
   Cycles last_completion = 0;
 
   std::size_t refreshes() const { return full_refreshes + partial_refreshes; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace vrl::dram {
 
@@ -115,6 +116,13 @@ MemoryController::MemoryController(std::size_t banks, std::size_t rows,
   }
 }
 
+void MemoryController::AttachTelemetry(telemetry::Recorder* recorder) {
+  telemetry_ = recorder;
+  for (const auto& policy : policies_) {
+    policy->set_telemetry(recorder);
+  }
+}
+
 SimulationStats MemoryController::Run(const std::vector<Request>& requests,
                                       Cycles horizon) {
   if (!std::is_sorted(requests.begin(), requests.end(),
@@ -122,6 +130,21 @@ SimulationStats MemoryController::Run(const std::vector<Request>& requests,
                         return a.arrival < b.arrival;
                       })) {
     throw ConfigError("MemoryController::Run: requests must be arrival-sorted");
+  }
+
+  const telemetry::ScopedTimer run_timer(telemetry_, "time.controller_run");
+  // The service loop is only tens of nanoseconds per request, so the
+  // telemetry-gated per-request work is kept to this one accumulator;
+  // everything else exported below is a delta of the banks' always-on
+  // stats (docs/TELEMETRY.md).
+  std::uint64_t reordered_picks_n = 0;
+  // Run() absorbs only this run's deltas, so re-running a controller does
+  // not double-count the cumulative BankStats.
+  SimulationStats before;
+  if (telemetry_ != nullptr) {
+    for (const Bank& bank : banks_) {
+      before.per_bank.push_back(bank.stats());
+    }
   }
 
   // Split requests per bank, preserving order.
@@ -166,6 +189,11 @@ SimulationStats MemoryController::Run(const std::vector<Request>& requests,
         const std::size_t pick = SelectNextRequest(scheduler_, pending, bank);
         bank.ServiceRequest(pending[pick]);
         policy.OnRowAccess(pending[pick].row);
+        if (telemetry_ != nullptr) {
+          // `pending` stays arrival-ordered, so any pick other than the
+          // front is the scheduler reordering for row locality.
+          reordered_picks_n += pick != 0 ? 1 : 0;
+        }
         pending.erase(pending.begin() +
                       static_cast<std::ptrdiff_t>(pick));
       }
@@ -186,11 +214,59 @@ SimulationStats MemoryController::Run(const std::vector<Request>& requests,
     end = std::max(end, bank.stats().last_completion);
   }
 
+  // Fold the policies' batched per-op telemetry into the recorder before
+  // any caller snapshots it.
+  for (const auto& policy : policies_) {
+    policy->FlushTelemetry();
+  }
+
   SimulationStats stats;
   stats.simulated_cycles = end;
   stats.per_bank.reserve(banks_.size());
   for (const Bank& bank : banks_) {
     stats.per_bank.push_back(bank.stats());
+  }
+
+  if (telemetry_ != nullptr) {
+    // Everything below is a delta of the banks' always-on stats, so a
+    // repeated Run() of the same controller exports only its own work.
+    std::vector<std::uint64_t> latency_counts(telemetry::kLatencyBucketCount,
+                                              0);
+    Cycles latency_total = 0;
+    std::uint64_t picks_n = 0;
+    for (std::size_t b = 0; b < stats.per_bank.size(); ++b) {
+      const BankStats& now = stats.per_bank[b];
+      const BankStats& then = before.per_bank[b];
+      for (std::size_t i = 0; i < latency_counts.size(); ++i) {
+        latency_counts[i] += now.latency_hist[i] - then.latency_hist[i];
+      }
+      latency_total += now.total_request_latency - then.total_request_latency;
+      picks_n += (now.reads + now.writes) - (then.reads + then.writes);
+    }
+    telemetry_->counter("scheduler.picks").Add(picks_n);
+    telemetry_->counter("scheduler.reordered_picks").Add(reordered_picks_n);
+    telemetry_
+        ->histogram("dram.request_latency_cycles",
+                    telemetry::LatencyBucketEdges())
+        .MergeCounts(latency_counts, static_cast<double>(latency_total));
+    const auto add = [&](std::string_view name, std::size_t now_total,
+                         std::size_t before_total) {
+      telemetry_->counter(name).Add(
+          static_cast<std::uint64_t>(now_total - before_total));
+    };
+    add("dram.reads", stats.TotalReads(), before.TotalReads());
+    add("dram.writes", stats.TotalWrites(), before.TotalWrites());
+    add("dram.row_hits", stats.TotalRowHits(), before.TotalRowHits());
+    add("dram.row_misses", stats.TotalRowMisses(), before.TotalRowMisses());
+    add("dram.activations", stats.TotalActivations(),
+        before.TotalActivations());
+    add("dram.full_refreshes", stats.TotalFullRefreshes(),
+        before.TotalFullRefreshes());
+    add("dram.partial_refreshes", stats.TotalPartialRefreshes(),
+        before.TotalPartialRefreshes());
+    telemetry_->counter("dram.refresh_busy_cycles")
+        .Add(stats.TotalRefreshBusyCycles() - before.TotalRefreshBusyCycles());
+    telemetry_->counter("dram.simulated_cycles").Add(end);
   }
   return stats;
 }

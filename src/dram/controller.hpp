@@ -67,6 +67,15 @@ class MemoryController {
   /// least until the last request completes).
   SimulationStats Run(const std::vector<Request>& requests, Cycles horizon);
 
+  /// Attaches a telemetry recorder to the controller and every bank's
+  /// refresh policy (docs/TELEMETRY.md): Run() then feeds the `dram.*`
+  /// counters, the request-latency histogram and the scheduler pick
+  /// counters, and the policies feed `policy.*`.  nullptr detaches.  The
+  /// recorder is single-threaded — give each concurrently running
+  /// controller its own (see telemetry::ShardedRecorder).
+  void AttachTelemetry(telemetry::Recorder* recorder);
+  telemetry::Recorder* telemetry() const { return telemetry_; }
+
   std::size_t banks() const { return banks_.size(); }
 
  private:
@@ -74,6 +83,7 @@ class MemoryController {
   SchedulerKind scheduler_;
   std::vector<Bank> banks_;
   std::vector<std::unique_ptr<RefreshPolicy>> policies_;
+  telemetry::Recorder* telemetry_ = nullptr;
 };
 
 }  // namespace vrl::dram

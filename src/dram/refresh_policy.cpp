@@ -1,8 +1,10 @@
 #include "dram/refresh_policy.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace vrl::dram {
 namespace {
@@ -23,6 +25,75 @@ DeadlineQueue StaggeredDeadlines(const std::vector<Cycles>& periods) {
 }
 
 }  // namespace
+
+void RefreshPolicy::set_telemetry(telemetry::Recorder* recorder) {
+  FlushTelemetry();  // Batched state belongs to the previous recorder.
+  telemetry_ = recorder;
+  if (recorder == nullptr) {
+    full_ops_ = nullptr;
+    partial_ops_ = nullptr;
+    busy_cycles_ = nullptr;
+    mprsf_resets_ = nullptr;
+    slack_ = nullptr;
+    trace_ops_ = false;
+  } else {
+    full_ops_ = &recorder->counter("policy.full_refreshes");
+    partial_ops_ = &recorder->counter("policy.partial_refreshes");
+    busy_cycles_ = &recorder->counter("policy.refresh_busy_cycles");
+    mprsf_resets_ = &recorder->counter("policy.mprsf_resets");
+    slack_ = &recorder->histogram("policy.refresh_slack_cycles",
+                                  telemetry::SlackBucketEdges());
+    trace_ops_ = recorder->options().trace_refresh_ops;
+    pending_slack_.assign(telemetry::SlackBucketEdges().size() + 1, 0);
+  }
+  OnTelemetryAttached();
+}
+
+void RefreshPolicy::FlushTelemetry() {
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  full_ops_->Add(pending_full_);
+  partial_ops_->Add(pending_partial_);
+  busy_cycles_->Add(pending_busy_);
+  mprsf_resets_->Add(pending_mprsf_resets_);
+  slack_->MergeCounts(pending_slack_,
+                      static_cast<double>(pending_slack_sum_));
+  pending_full_ = 0;
+  pending_partial_ = 0;
+  pending_busy_ = 0;
+  pending_mprsf_resets_ = 0;
+  pending_slack_sum_ = 0;
+  std::fill(pending_slack_.begin(), pending_slack_.end(), 0);
+}
+
+void RefreshPolicy::RecordOpSlow(const RefreshOp& op, Cycles now,
+                                 Cycles due) {
+  const Cycles slack = now - due;
+  // Branchless: the full/partial mix is data-dependent, so a branch here
+  // mispredicts on VRL's interleaved schedules.
+  pending_full_ += op.is_full ? 1 : 0;
+  pending_partial_ += op.is_full ? 0 : 1;
+  pending_busy_ += op.trfc;
+  ++pending_slack_[telemetry::SlackBucketIndex(slack)];
+  pending_slack_sum_ += slack;
+  if (trace_ops_) {
+    telemetry_->Record({op.is_full ? telemetry::EventKind::kFullRefresh
+                                   : telemetry::EventKind::kPartialRefresh,
+                        now, static_cast<std::uint64_t>(op.row),
+                        static_cast<std::int64_t>(slack), 0.0});
+  }
+}
+
+void RefreshPolicy::RecordMprsfResetSlow(std::size_t row,
+                                         std::uint8_t old_count) {
+  // Under VRL-Access a reset happens on nearly every row activation, so
+  // the ring write rides the same high-frequency gate as the per-op
+  // refresh events; the pending_mprsf_resets_ count is always exact.
+  telemetry_->Record({telemetry::EventKind::kMprsfReset, last_now_,
+                      static_cast<std::uint64_t>(row),
+                      static_cast<std::int64_t>(old_count), 0.0});
+}
 
 void RefreshPolicy::RequireMonotonicNow(Cycles now) {
   if (now < last_now_) {
@@ -82,6 +153,7 @@ std::vector<RefreshOp> JedecPolicy::CollectDue(Cycles now) {
     const auto [when, row] = due_.top();
     due_.pop();
     ops.push_back({row, trfc_full_, true});
+    RecordOp(ops.back(), now, when);
     due_.emplace(when + window_, row);
   }
   return ops;
@@ -106,6 +178,7 @@ std::vector<RefreshOp> RaidrPolicy::CollectDue(Cycles now) {
     const auto [when, row] = due_.top();
     due_.pop();
     ops.push_back({row, trfc_full_, true});
+    RecordOp(ops.back(), now, when);
     due_.emplace(when + plan_.period_cycles[row], row);
   }
   return ops;
@@ -156,6 +229,7 @@ std::vector<RefreshOp> VrlPolicy::CollectDue(Cycles now) {
       ops.push_back({row, trfc_partial_, false});
       ++rcount_[row];
     }
+    RecordOp(ops.back(), now, when);
     due_.emplace(when + plan_.period_cycles[row], row);
   }
   return ops;
@@ -171,6 +245,7 @@ void VrlAccessPolicy::OnRowAccess(std::size_t row) {
   }
   // A row activation fully restores the charge of the row, so the next
   // refreshes may again be partial: reset the counter (§3.2).
+  RecordMprsfReset(row, rcount_[row]);
   rcount_[row] = 0;
 }
 

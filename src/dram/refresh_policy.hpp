@@ -11,6 +11,12 @@
 #include "common/units.hpp"
 #include "retention/profile.hpp"
 
+namespace vrl::telemetry {
+class Counter;
+class Histogram;
+class Recorder;
+}  // namespace vrl::telemetry
+
 /// \file refresh_policy.hpp
 /// Refresh scheduling policies for one DRAM bank.
 ///
@@ -62,6 +68,23 @@ class RefreshPolicy {
   void set_max_ops_per_tick(std::size_t cap) { max_ops_per_tick_ = cap; }
   std::size_t max_ops_per_tick() const { return max_ops_per_tick_; }
 
+  /// Attaches a telemetry recorder (docs/TELEMETRY.md): every emitted
+  /// refresh op updates the `policy.*` counters and slack histogram and —
+  /// when the recorder traces refresh ops — appends a full/partial event.
+  /// nullptr detaches.  The recorder must outlive the policy's use; one
+  /// recorder may be shared by all banks' policies of a (single-threaded)
+  /// simulation.  Flushes any batched per-op state into the previous
+  /// recorder before switching.
+  void set_telemetry(telemetry::Recorder* recorder);
+  telemetry::Recorder* telemetry() const { return telemetry_; }
+
+  /// Folds the batched per-op updates (see RecordOp) into the attached
+  /// recorder's cells.  The simulation drivers (MemoryController::Run,
+  /// fault::RunCampaign) call this before returning; anything driving
+  /// CollectDue directly must call it before snapshotting the recorder.
+  /// No-op when detached.
+  void FlushTelemetry();
+
  protected:
   bool AtCap(std::size_t emitted) const {
     return max_ops_per_tick_ != 0 && emitted >= max_ops_per_tick_;
@@ -72,9 +95,59 @@ class RefreshPolicy {
   /// this first.  \throws vrl::ConfigError on a decreasing `now`.
   void RequireMonotonicNow(Cycles now);
 
+  /// The most recent CollectDue tick (event timestamps for notifications
+  /// that arrive without their own clock, e.g. OnRowAccess).
+  Cycles last_now() const { return last_now_; }
+
+  /// Hook invoked after set_telemetry so wrappers can propagate the
+  /// attachment (AdaptiveVrlPolicy forwards to its inner policy).
+  virtual void OnTelemetryAttached() {}
+
+  /// Records one emitted refresh op: full/partial counter, busy cycles,
+  /// slack histogram (now - due) and, when traced, the issue event.  Per-op
+  /// updates batch into policy-local accumulators (flushed by
+  /// FlushTelemetry) so an op costs a handful of plain increments instead
+  /// of registry-cell updates.  One branch when telemetry is detached.
+  void RecordOp(const RefreshOp& op, Cycles now, Cycles due) {
+    if (telemetry_ != nullptr) {
+      RecordOpSlow(op, now, due);
+    }
+  }
+
+  /// Records an MPRSF counter reset caused by a row activation
+  /// (VRL-Access §3.2); `old_count` is the counter value before the reset.
+  void RecordMprsfReset(std::size_t row, std::uint8_t old_count) {
+    if (telemetry_ != nullptr && old_count != 0) {
+      ++pending_mprsf_resets_;
+      if (trace_ops_) {
+        RecordMprsfResetSlow(row, old_count);
+      }
+    }
+  }
+
  private:
+  void RecordOpSlow(const RefreshOp& op, Cycles now, Cycles due);
+  void RecordMprsfResetSlow(std::size_t row, std::uint8_t old_count);
+
   std::size_t max_ops_per_tick_ = 0;
   Cycles last_now_ = 0;
+
+  telemetry::Recorder* telemetry_ = nullptr;
+  // Cells resolved once at attachment; FlushTelemetry updates through
+  // these pointers.
+  telemetry::Counter* full_ops_ = nullptr;
+  telemetry::Counter* partial_ops_ = nullptr;
+  telemetry::Counter* busy_cycles_ = nullptr;
+  telemetry::Counter* mprsf_resets_ = nullptr;
+  telemetry::Histogram* slack_ = nullptr;
+  bool trace_ops_ = false;
+  // Batched per-op state, folded into the cells by FlushTelemetry().
+  std::uint64_t pending_full_ = 0;
+  std::uint64_t pending_partial_ = 0;
+  std::uint64_t pending_busy_ = 0;
+  std::uint64_t pending_mprsf_resets_ = 0;
+  std::uint64_t pending_slack_sum_ = 0;
+  std::vector<std::uint64_t> pending_slack_;  ///< Per-slack-bucket counts.
 };
 
 /// Per-row refresh period table shared by the retention-aware policies.

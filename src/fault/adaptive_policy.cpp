@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace vrl::fault {
 
@@ -55,6 +56,20 @@ void AdaptiveVrlPolicy::CheckRow(std::size_t row) const {
   }
 }
 
+void AdaptiveVrlPolicy::OnTelemetryAttached() {
+  if (telemetry() == nullptr) {
+    demotions_ = nullptr;
+    promotions_ = nullptr;
+    forced_fulls_ = nullptr;
+    saturated_ = nullptr;
+    return;
+  }
+  demotions_ = &telemetry()->counter("adaptive.demotions");
+  promotions_ = &telemetry()->counter("adaptive.promotions");
+  forced_fulls_ = &telemetry()->counter("adaptive.forced_full_refreshes");
+  saturated_ = &telemetry()->counter("adaptive.saturated_failures");
+}
+
 void AdaptiveVrlPolicy::RollWindows(Cycles now) {
   const auto window = static_cast<std::size_t>(now / base_window_);
   while (current_window_ < window) {
@@ -65,6 +80,12 @@ void AdaptiveVrlPolicy::RollWindows(Cycles now) {
           in_fallback_ = false;
           ++stats_.fallback_exits;
           fallback_due_ = dram::DeadlineQueue();
+          if (telemetry() != nullptr) {
+            telemetry()->counter("adaptive.fallback_exits").Add();
+            telemetry()->Record(
+                {telemetry::EventKind::kFallbackExit, now, 0,
+                 static_cast<std::int64_t>(clean_fallback_windows_), 0.0});
+          }
         }
       } else {
         clean_fallback_windows_ = 0;
@@ -98,6 +119,12 @@ bool AdaptiveVrlPolicy::SettingAtLevel(std::size_t row, std::size_t level,
 void AdaptiveVrlPolicy::EnterFallback(Cycles now) {
   in_fallback_ = true;
   ++stats_.fallback_entries;
+  if (telemetry() != nullptr) {
+    telemetry()->counter("adaptive.fallback_entries").Add();
+    telemetry()->Record(
+        {telemetry::EventKind::kFallbackEnter, now, 0,
+         static_cast<std::int64_t>(failures_this_window_), 0.0});
+  }
   clean_fallback_windows_ = 0;
   fallback_due_ = dram::DeadlineQueue();
   const auto n = static_cast<Cycles>(inner_->rows());
@@ -119,6 +146,12 @@ std::vector<dram::RefreshOp> AdaptiveVrlPolicy::CollectDue(Cycles now) {
     ops.push_back({row, trfc_full_, true});
     pending_forced_flag_[row] = false;
     ++stats_.forced_full_refreshes;
+    RecordOp(ops.back(), now, now);
+    if (telemetry() != nullptr) {
+      forced_fulls_->Add();
+      telemetry()->Record({telemetry::EventKind::kForcedFullRefresh, now,
+                           static_cast<std::uint64_t>(row), 0, 0.0});
+    }
   }
   pending_forced_.clear();
 
@@ -136,6 +169,7 @@ std::vector<dram::RefreshOp> AdaptiveVrlPolicy::CollectDue(Cycles now) {
     ops.push_back({row, full ? trfc_full_ : trfc_partial_, full});
     demoted.rcount =
         full ? std::uint8_t{0} : static_cast<std::uint8_t>(demoted.rcount + 1);
+    RecordOp(ops.back(), now, when);
     demoted_due_.emplace(when + demoted.period, row, generation);
   }
 
@@ -152,11 +186,16 @@ std::vector<dram::RefreshOp> AdaptiveVrlPolicy::CollectDue(Cycles now) {
         continue;  // has its own, faster schedule
       }
       ops.push_back({row, trfc_full_, true});
+      RecordOp(ops.back(), now, when);
     }
   } else {
     for (const auto& op : inner_ops) {
       if (demoted_.find(op.row) == demoted_.end()) {
         ops.push_back(op);
+        // The detached inner policy popped its own deadline, so the due
+        // cycle is not visible here; slack 0 keeps the counters exact and
+        // only the slack histogram approximate for forwarded ops.
+        RecordOp(op, now, now);
       }
     }
   }
@@ -193,6 +232,9 @@ FailureResponse AdaptiveVrlPolicy::OnSensingFailure(std::size_t row,
     // Ladder exhausted: nothing faster left to try.  Still force a full
     // refresh so whatever ECC salvaged is written back promptly.
     ++stats_.saturated_failures;
+    if (saturated_ != nullptr) {
+      saturated_->Add();
+    }
     if (!forced_already) {
       pending_forced_.push_back(row);
       pending_forced_flag_[row] = true;
@@ -214,6 +256,12 @@ FailureResponse AdaptiveVrlPolicy::OnSensingFailure(std::size_t row,
     pending_forced_flag_[row] = true;
   }
   ++stats_.demotions;
+  if (telemetry() != nullptr) {
+    demotions_->Add();
+    telemetry()->Record({telemetry::EventKind::kDemotion, now,
+                         static_cast<std::uint64_t>(row),
+                         static_cast<std::int64_t>(next_level), 0.0});
+  }
   return FailureResponse::kCorrected;
 }
 
@@ -230,11 +278,17 @@ void AdaptiveVrlPolicy::OnCleanFullRefresh(std::size_t row, Cycles now) {
     return;
   }
   ++stats_.promotions;
+  const std::size_t new_level = demoted.level - 1;
+  if (telemetry() != nullptr) {
+    promotions_->Add();
+    telemetry()->Record({telemetry::EventKind::kPromotion, now,
+                         static_cast<std::uint64_t>(row),
+                         static_cast<std::int64_t>(new_level), 0.0});
+  }
   if (demoted.level == 1) {
     demoted_.erase(it);  // back to the inner policy's schedule
     return;
   }
-  const std::size_t new_level = demoted.level - 1;
   std::uint8_t mprsf = 0;
   Cycles period = 0;
   SettingAtLevel(row, new_level, &mprsf, &period);  // lower level: never fails

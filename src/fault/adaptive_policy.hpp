@@ -114,6 +114,13 @@ class AdaptiveVrlPolicy : public dram::RefreshPolicy {
   /// \throws vrl::ConfigError when the row is not demoted.
   std::pair<std::uint8_t, Cycles> DemotedSetting(std::size_t row) const;
 
+ protected:
+  /// The wrapper records the ops *it* returns (the executed schedule);
+  /// the inner policy stays detached so its suppressed emissions (demoted
+  /// rows, fallback) never inflate the `policy.*` metrics.  Also resolves
+  /// the `adaptive.*` cells.
+  void OnTelemetryAttached() override;
+
  private:
   struct DemotedRow {
     std::size_t level = 0;
@@ -161,6 +168,12 @@ class AdaptiveVrlPolicy : public dram::RefreshPolicy {
   std::size_t clean_fallback_windows_ = 0;
 
   AdaptiveStats stats_;
+
+  // Telemetry cells resolved by OnTelemetryAttached (null when detached).
+  telemetry::Counter* demotions_ = nullptr;
+  telemetry::Counter* promotions_ = nullptr;
+  telemetry::Counter* forced_fulls_ = nullptr;
+  telemetry::Counter* saturated_ = nullptr;
 };
 
 }  // namespace vrl::fault

@@ -2,8 +2,16 @@
 
 #include "common/error.hpp"
 #include "fault/charge_tracker.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace vrl::fault {
+
+const std::vector<double>& MarginBucketEdges() {
+  static const std::vector<double> edges = {-0.5,  -0.2,  -0.1, -0.05,
+                                            -0.02, -0.01, 0.0,  0.05,
+                                            0.1,   0.2,   0.5};
+  return edges;
+}
 
 void CampaignSetup::Validate() const {
   if (clock_period_s <= 0.0) {
@@ -40,6 +48,21 @@ CampaignReport RunCampaign(const model::RefreshModel& model,
   }
   auto* adaptive = dynamic_cast<AdaptiveVrlPolicy*>(&policy);
 
+  telemetry::Recorder* rec = setup.telemetry;
+  const telemetry::ScopedTimer campaign_timer(rec, "time.campaign_run");
+  telemetry::Counter* detected = nullptr;
+  telemetry::Counter* corrected_ctr = nullptr;
+  telemetry::Counter* unrecovered = nullptr;
+  telemetry::Histogram* margin_hist = nullptr;
+  if (rec != nullptr) {
+    policy.set_telemetry(rec);
+    detected = &rec->counter("campaign.detected_failures");
+    corrected_ctr = &rec->counter("campaign.corrected_failures");
+    unrecovered = &rec->counter("campaign.unrecovered_failures");
+    margin_hist = &rec->histogram("campaign.sense_margin",
+                                  MarginBucketEdges());
+  }
+
   ChargeTracker tracker(model, rows);
   CampaignReport report;
   const Cycles horizon =
@@ -61,6 +84,9 @@ CampaignReport RunCampaign(const model::RefreshModel& model,
       }
       report.refresh_busy_cycles += op.trfc;
 
+      if (margin_hist != nullptr) {
+        margin_hist->Observe(sense.margin);
+      }
       if (sense.sense_ok) {
         if (op.is_full && adaptive != nullptr) {
           adaptive->OnCleanFullRefresh(op.row, tick);
@@ -78,6 +104,14 @@ CampaignReport RunCampaign(const model::RefreshModel& model,
         ++report.corrected_failures;
       } else {
         ++report.unrecovered_failures;
+      }
+      if (rec != nullptr) {
+        detected->Add();
+        (corrected ? corrected_ctr : unrecovered)->Add();
+        rec->Record({telemetry::EventKind::kSensingFailure, tick,
+                     static_cast<std::uint64_t>(op.row),
+                     corrected ? std::int64_t{1} : std::int64_t{0},
+                     sense.margin});
       }
       // Corrected: the ECC write-back rewrites the row at full charge.
       // Unrecovered: the data is gone; reset anyway (as the integrity
@@ -101,6 +135,13 @@ CampaignReport RunCampaign(const model::RefreshModel& model,
   report.simulated_cycles = horizon;
   if (adaptive != nullptr) {
     report.adaptive = adaptive->stats();
+  }
+  policy.FlushTelemetry();  // Batched per-op state, before callers snapshot.
+  if (rec != nullptr) {
+    rec->counter("campaign.windows")
+        .Add(static_cast<std::uint64_t>(setup.windows));
+    rec->counter("campaign.simulated_cycles").Add(horizon);
+    rec->gauge("campaign.min_margin").Set(report.min_margin);
   }
   return report;
 }

@@ -43,8 +43,18 @@ struct CampaignSetup {
   double tau_post_partial_s = 0.0;  ///< Partial-refresh τpost budget [s].
   std::size_t max_logged_events = 256;
 
+  /// When set, RunCampaign attaches this recorder to the policy for the
+  /// duration and feeds the `campaign.*` metrics and sensing-failure events
+  /// (docs/TELEMETRY.md).  Single-threaded: give each concurrent campaign
+  /// its own recorder (telemetry::ShardedRecorder).
+  telemetry::Recorder* telemetry = nullptr;
+
   void Validate() const;
 };
+
+/// Sense-margin histogram bucket edges used by `campaign.sense_margin`
+/// (margins are fractions of full charge; negative means a failed sense).
+const std::vector<double>& MarginBucketEdges();
 
 /// Resilience report of one campaign run.
 struct CampaignReport {

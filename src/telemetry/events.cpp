@@ -1,0 +1,71 @@
+#include "telemetry/events.hpp"
+
+namespace vrl::telemetry {
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFullRefresh:
+      return "full_refresh";
+    case EventKind::kPartialRefresh:
+      return "partial_refresh";
+    case EventKind::kForcedFullRefresh:
+      return "forced_full_refresh";
+    case EventKind::kMprsfReset:
+      return "mprsf_reset";
+    case EventKind::kDemotion:
+      return "demotion";
+    case EventKind::kPromotion:
+      return "promotion";
+    case EventKind::kFallbackEnter:
+      return "fallback_enter";
+    case EventKind::kFallbackExit:
+      return "fallback_exit";
+    case EventKind::kSensingFailure:
+      return "sensing_failure";
+  }
+  return "?";
+}
+
+EventTrace::EventTrace(std::size_t capacity) : buffer_(capacity) {}
+
+void EventTrace::Record(const TraceEvent& event) {
+  ++recorded_;
+  if (buffer_.empty()) {
+    return;
+  }
+  buffer_[next_] = event;
+  // Conditional wrap instead of % — the capacity is not a power of two in
+  // general, and an integer divide per event would dominate the record cost.
+  ++next_;
+  if (next_ == buffer_.size()) {
+    next_ = 0;
+  }
+  if (size_ < buffer_.size()) {
+    ++size_;
+  }
+}
+
+std::vector<TraceEvent> EventTrace::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // When full, `next_` is also the oldest slot; when filling, events start
+  // at slot 0.
+  const std::size_t start =
+      size_ == buffer_.size() ? next_ : std::size_t{0};
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+void EventTrace::Append(const EventTrace& other) {
+  const std::uint64_t displaced_elsewhere = other.dropped();
+  for (const TraceEvent& event : other.Events()) {
+    Record(event);
+  }
+  // Record() already counted the retained events; add the ones `other`
+  // had displaced before the merge.
+  recorded_ += displaced_elsewhere;
+}
+
+}  // namespace vrl::telemetry

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+
+/// \file events.hpp
+/// Bounded structured event trace: the "why" behind the metric counters.
+///
+/// Instrumented layers append fixed-size TraceEvent records (a refresh
+/// issued, an MPRSF counter reset by an activation, an adaptive demotion, a
+/// sensing failure, ...) into a ring buffer of configurable capacity.  On
+/// overflow the *oldest* events are overwritten — the trace always holds
+/// the newest window of activity — and the number of displaced events is
+/// counted, so exporters can state exactly what was dropped
+/// (tests/telemetry_test.cpp pins this behaviour).
+
+namespace vrl::telemetry {
+
+/// What happened.  The `row`, `a` and `value` payload fields are
+/// kind-specific; see the catalogue in docs/TELEMETRY.md.
+enum class EventKind : std::uint8_t {
+  kFullRefresh,        ///< Full-latency refresh issued (a = slack cycles).
+  kPartialRefresh,     ///< Partial refresh issued (a = slack cycles).
+  kForcedFullRefresh,  ///< Recovery write-back forced by the adaptive layer.
+  kMprsfReset,         ///< Activation reset a row's partial counter (a =
+                       ///< counter value before the reset).
+  kDemotion,           ///< Adaptive demotion (a = new ladder level).
+  kPromotion,          ///< Adaptive promotion (a = new ladder level).
+  kFallbackEnter,      ///< Bank entered JEDEC fallback (a = failures).
+  kFallbackExit,       ///< Bank left fallback.
+  kSensingFailure,     ///< Refresh sensed below threshold (a = 1 when
+                       ///< corrected, value = charge margin).
+};
+
+/// Stable machine-readable kind name ("full_refresh", ...).
+std::string_view EventKindName(EventKind kind);
+
+/// One fixed-size trace record.
+struct TraceEvent {
+  EventKind kind = EventKind::kFullRefresh;
+  Cycles cycle = 0;       ///< Simulation cycle of the event.
+  std::uint64_t row = 0;  ///< Subject row (0 when not row-scoped).
+  std::int64_t a = 0;     ///< Kind-specific integer payload.
+  double value = 0.0;     ///< Kind-specific real payload.
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Fixed-capacity ring buffer of TraceEvents keeping the newest entries.
+class EventTrace {
+ public:
+  /// \param capacity maximum retained events; 0 disables retention (every
+  ///                 record is counted as dropped).
+  explicit EventTrace(std::size_t capacity);
+
+  void Record(const TraceEvent& event);
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Appends another trace's retained events in their order (ring
+  /// semantics apply) and accumulates its drop count — the shard-merge
+  /// path.
+  void Append(const EventTrace& other);
+
+  std::size_t capacity() const { return buffer_.size(); }
+  std::size_t size() const { return size_; }
+  /// Total events ever recorded (retained + dropped).
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events displaced by overflow (or rejected by zero capacity).
+  std::uint64_t dropped() const { return recorded_ - size_; }
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::size_t next_ = 0;  ///< Slot the next event lands in.
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace vrl::telemetry

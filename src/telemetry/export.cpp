@@ -1,0 +1,187 @@
+#include "telemetry/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vrl::telemetry {
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) {
+    return "null";  // JSON has no NaN; CSV readers treat null as missing.
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "1e9999" : "-1e9999";
+  }
+  // Integral values print exactly (no trailing ".0") so counters exported
+  // through double-valued fields stay readable; everything else uses the
+  // shortest representation that round-trips.
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
+  return buf;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteDoubleArray(std::ostream& os, const std::vector<double>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    os << FormatDouble(values[i]);
+  }
+  os << ']';
+}
+
+void WriteCountArray(std::ostream& os,
+                     const std::vector<std::uint64_t>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    os << values[i];
+  }
+  os << ']';
+}
+
+}  // namespace
+
+void WriteMetricsJsonl(std::ostream& os, const MetricsSnapshot& snapshot,
+                       const ExportOptions& options) {
+  for (const auto& [name, metric] : snapshot.metrics) {
+    if (metric.kind == MetricKind::kTimer && !options.include_timers) {
+      continue;
+    }
+    os << "{\"type\":\"metric\",\"name\":\"" << JsonEscape(name)
+       << "\",\"kind\":\"" << MetricKindName(metric.kind) << '"';
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        os << ",\"count\":" << metric.count;
+        break;
+      case MetricKind::kGauge:
+        os << ",\"value\":" << FormatDouble(metric.value);
+        break;
+      case MetricKind::kHistogram:
+        os << ",\"count\":" << metric.count
+           << ",\"sum\":" << FormatDouble(metric.value) << ",\"edges\":";
+        WriteDoubleArray(os, metric.edges);
+        os << ",\"counts\":";
+        WriteCountArray(os, metric.counts);
+        break;
+      case MetricKind::kTimer:
+        os << ",\"count\":" << metric.count
+           << ",\"total_s\":" << FormatDouble(metric.value);
+        break;
+    }
+    os << "}\n";
+  }
+}
+
+void WriteEventsJsonl(std::ostream& os, const EventTrace& trace) {
+  for (const TraceEvent& event : trace.Events()) {
+    os << "{\"type\":\"event\",\"kind\":\"" << EventKindName(event.kind)
+       << "\",\"cycle\":" << event.cycle << ",\"row\":" << event.row
+       << ",\"a\":" << event.a << ",\"value\":" << FormatDouble(event.value)
+       << "}\n";
+  }
+  os << "{\"type\":\"event_summary\",\"recorded\":" << trace.recorded()
+     << ",\"retained\":" << trace.size() << ",\"dropped\":" << trace.dropped()
+     << "}\n";
+}
+
+void WriteMetricsCsv(std::ostream& os, const MetricsSnapshot& snapshot,
+                     const ExportOptions& options) {
+  os << "name,kind,field,value\n";
+  for (const auto& [name, metric] : snapshot.metrics) {
+    if (metric.kind == MetricKind::kTimer && !options.include_timers) {
+      continue;
+    }
+    const auto row = [&](std::string_view field, const std::string& value) {
+      os << name << ',' << MetricKindName(metric.kind) << ',' << field << ','
+         << value << '\n';
+    };
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        row("count", std::to_string(metric.count));
+        break;
+      case MetricKind::kGauge:
+        row("value", FormatDouble(metric.value));
+        break;
+      case MetricKind::kHistogram: {
+        row("count", std::to_string(metric.count));
+        row("sum", FormatDouble(metric.value));
+        for (std::size_t i = 0; i < metric.counts.size(); ++i) {
+          const std::string facet =
+              i < metric.edges.size()
+                  ? "le_" + FormatDouble(metric.edges[i])
+                  : std::string("le_inf");
+          row(facet, std::to_string(metric.counts[i]));
+        }
+        break;
+      }
+      case MetricKind::kTimer:
+        row("count", std::to_string(metric.count));
+        row("total_s", FormatDouble(metric.value));
+        break;
+    }
+  }
+}
+
+void WriteEventsCsv(std::ostream& os, const EventTrace& trace) {
+  os << "kind,cycle,row,a,value\n";
+  for (const TraceEvent& event : trace.Events()) {
+    os << EventKindName(event.kind) << ',' << event.cycle << ',' << event.row
+       << ',' << event.a << ',' << FormatDouble(event.value) << '\n';
+  }
+  os << "_summary," << trace.recorded() << ',' << trace.size() << ','
+     << trace.dropped() << '\n';
+}
+
+}  // namespace vrl::telemetry

@@ -1,0 +1,280 @@
+#include "telemetry/metrics.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace vrl::telemetry {
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+    case MetricKind::kTimer:
+      return "timer";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.empty()) {
+    throw ConfigError("Histogram: need at least one bucket edge");
+  }
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    if (!(edges_[i - 1] < edges_[i])) {
+      throw ConfigError("Histogram: edges must be strictly increasing");
+    }
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose closing edge is >= value; the final slot catches
+  // values above the last edge.  Bucket counts are small (tens of edges),
+  // so a linear scan beats binary search on the hot path.
+  std::size_t bucket = edges_.size();
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (value <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++total_;
+  sum_ += value;
+}
+
+void Histogram::MergeCounts(const std::vector<std::uint64_t>& counts,
+                            double sum) {
+  if (counts.size() != counts_.size()) {
+    throw ConfigError("Histogram::MergeCounts: bucket count mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += counts[i];
+    total_ += counts[i];
+  }
+  sum_ += sum;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void RequireSameShape(const std::string& name, const MetricValue& a,
+                      const MetricValue& b) {
+  if (a.kind != b.kind) {
+    throw ConfigError("MetricsSnapshot: kind mismatch for '" + name + "'");
+  }
+  if (a.kind == MetricKind::kHistogram && a.edges != b.edges) {
+    throw ConfigError("MetricsSnapshot: histogram edge mismatch for '" +
+                      name + "'");
+  }
+}
+
+}  // namespace
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, theirs] : other.metrics) {
+    auto [it, inserted] = metrics.try_emplace(name, theirs);
+    if (inserted) {
+      continue;
+    }
+    MetricValue& ours = it->second;
+    RequireSameShape(name, ours, theirs);
+    switch (ours.kind) {
+      case MetricKind::kCounter:
+        ours.count += theirs.count;
+        break;
+      case MetricKind::kGauge:
+        // Last writer wins; merge order is the caller's task order.
+        ours.value = theirs.value;
+        break;
+      case MetricKind::kHistogram:
+        for (std::size_t i = 0; i < ours.counts.size(); ++i) {
+          ours.counts[i] += theirs.counts[i];
+        }
+        ours.count += theirs.count;
+        ours.value += theirs.value;
+        break;
+      case MetricKind::kTimer:
+        ours.count += theirs.count;
+        ours.value += theirs.value;
+        break;
+    }
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& before) const {
+  MetricsSnapshot out = *this;
+  for (const auto& [name, then] : before.metrics) {
+    const auto it = out.metrics.find(name);
+    if (it == out.metrics.end()) {
+      throw ConfigError("MetricsSnapshot::Diff: '" + name +
+                        "' missing from the later snapshot");
+    }
+    MetricValue& now = it->second;
+    RequireSameShape(name, now, then);
+    switch (now.kind) {
+      case MetricKind::kCounter:
+        if (now.count < then.count) {
+          throw ConfigError("MetricsSnapshot::Diff: counter '" + name +
+                            "' decreased");
+        }
+        now.count -= then.count;
+        break;
+      case MetricKind::kGauge:
+        break;  // Instantaneous: the later value is the diff.
+      case MetricKind::kHistogram:
+        for (std::size_t i = 0; i < now.counts.size(); ++i) {
+          if (now.counts[i] < then.counts[i]) {
+            throw ConfigError("MetricsSnapshot::Diff: histogram '" + name +
+                              "' bucket decreased");
+          }
+          now.counts[i] -= then.counts[i];
+        }
+        now.count -= then.count;
+        now.value -= then.value;
+        break;
+      case MetricKind::kTimer:
+        now.count -= then.count;
+        now.value -= then.value;
+        break;
+    }
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::WithoutTimers() const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : metrics) {
+    if (value.kind != MetricKind::kTimer) {
+      out.metrics.emplace(name, value);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::Cell& MetricsRegistry::FindOrCreate(std::string_view name,
+                                                     MetricKind kind) {
+  auto it = cells_.find(name);
+  if (it == cells_.end()) {
+    it = cells_.emplace(std::string(name), Cell{}).first;
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    throw ConfigError("MetricsRegistry: '" + std::string(name) +
+                      "' already registered as " +
+                      std::string(MetricKindName(it->second.kind)));
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  return FindOrCreate(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  return FindOrCreate(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> edges) {
+  Cell& cell = FindOrCreate(name, MetricKind::kHistogram);
+  if (!cell.histogram) {
+    cell.histogram = std::make_unique<Histogram>(std::move(edges));
+  } else if (cell.histogram->edges() != edges) {
+    throw ConfigError("MetricsRegistry: histogram '" + std::string(name) +
+                      "' already registered with different edges");
+  }
+  return *cell.histogram;
+}
+
+TimerStat& MetricsRegistry::GetTimer(std::string_view name) {
+  return FindOrCreate(name, MetricKind::kTimer).timer;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, cell] : cells_) {
+    MetricValue value;
+    value.kind = cell.kind;
+    switch (cell.kind) {
+      case MetricKind::kCounter:
+        value.count = cell.counter.value();
+        break;
+      case MetricKind::kGauge:
+        value.value = cell.gauge.value();
+        value.count = cell.gauge.written() ? 1 : 0;
+        break;
+      case MetricKind::kHistogram:
+        value.edges = cell.histogram->edges();
+        value.counts = cell.histogram->counts();
+        value.count = cell.histogram->total();
+        value.value = cell.histogram->sum();
+        break;
+      case MetricKind::kTimer:
+        value.count = cell.timer.count();
+        value.value = cell.timer.total_s();
+        break;
+    }
+    snap.metrics.emplace(name, std::move(value));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Absorb(const MetricsSnapshot& snapshot) {
+  for (const auto& [name, theirs] : snapshot.metrics) {
+    switch (theirs.kind) {
+      case MetricKind::kCounter:
+        GetCounter(name).Add(theirs.count);
+        break;
+      case MetricKind::kGauge: {
+        Gauge& gauge = GetGauge(name);
+        if (theirs.count != 0) {
+          gauge.Set(theirs.value);
+        }
+        break;
+      }
+      case MetricKind::kHistogram:
+        GetHistogram(name, theirs.edges)
+            .MergeCounts(theirs.counts, theirs.value);
+        break;
+      case MetricKind::kTimer:
+        GetTimer(name).Merge(theirs.count, theirs.value);
+        break;
+    }
+  }
+}
+
+std::vector<double> LatencyBucketEdges() {
+  std::vector<double> edges;
+  for (double edge = 16.0; edge <= 65536.0; edge *= 2.0) {
+    edges.push_back(edge);
+  }
+  return edges;
+}
+
+std::vector<double> SlackBucketEdges() {
+  // 0 = issued exactly at its deadline tick; then powers of two up to a
+  // full base refresh window (25.6M cycles at 2.5 ns) of postponement.
+  std::vector<double> edges{0.0};
+  for (double edge = 1024.0; edge <= 33'554'432.0; edge *= 4.0) {
+    edges.push_back(edge);
+  }
+  return edges;
+}
+
+}  // namespace vrl::telemetry

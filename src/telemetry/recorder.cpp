@@ -1,0 +1,49 @@
+#include "telemetry/recorder.hpp"
+
+namespace vrl::telemetry {
+
+Recorder::Recorder(RecorderOptions options)
+    : options_(options), events_(options.event_capacity) {}
+
+void Recorder::Absorb(const Recorder& other) {
+  metrics_.Absorb(other.metrics_.Snapshot());
+  events_.Append(other.events_);
+}
+
+ScopedTimer::ScopedTimer(Recorder* recorder, std::string_view name) {
+  if (recorder != nullptr) {
+    timer_ = &recorder->metrics().GetTimer(name);
+    start_ = std::chrono::steady_clock::now();
+  }
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (timer_ != nullptr) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    timer_->Record(elapsed.count());
+  }
+}
+
+ShardedRecorder::ShardedRecorder(std::size_t shards, RecorderOptions options) {
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Recorder>(options));
+  }
+}
+
+void ShardedRecorder::MergeInto(Recorder& sink) const {
+  for (const auto& shard : shards_) {
+    sink.Absorb(*shard);
+  }
+}
+
+MetricsSnapshot ShardedRecorder::MergedSnapshot() const {
+  MetricsSnapshot merged;
+  for (const auto& shard : shards_) {
+    merged.MergeFrom(shard->Snapshot());
+  }
+  return merged;
+}
+
+}  // namespace vrl::telemetry

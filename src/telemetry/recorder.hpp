@@ -1,0 +1,112 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/events.hpp"
+#include "telemetry/metrics.hpp"
+
+/// \file recorder.hpp
+/// Recorder — the telemetry session object the instrumented layers write
+/// into — plus ScopedTimer (RAII wall-clock regions) and ShardedRecorder
+/// (deterministic aggregation across parallel tasks).
+///
+/// A Recorder is deliberately single-threaded: determinism comes from
+/// giving every parallel task its own shard and merging shards in
+/// task-index order, never from synchronizing a shared recorder (the same
+/// pre-sized-slot rule as docs/PARALLEL.md).  All instrumentation points
+/// accept a null recorder and cost one branch when telemetry is off.
+
+namespace vrl::telemetry {
+
+struct RecorderOptions {
+  /// Event-trace ring capacity (newest events win; drops are counted).
+  std::size_t event_capacity = 1024;
+  /// Record the high-frequency events (kFullRefresh / kPartialRefresh per
+  /// refresh op, kMprsfReset per counter-resetting activation).  Low-rate
+  /// state-change events (demotions, fallback transitions, sensing
+  /// failures, ...) are always recorded.  Off by default: the per-op ring
+  /// writes are the costliest part of the instrumentation (overhead table
+  /// in docs/TELEMETRY.md), and the policy.* metrics already carry the
+  /// aggregate story.
+  bool trace_refresh_ops = false;
+};
+
+/// One telemetry session: a metrics registry plus an event trace.
+class Recorder {
+ public:
+  explicit Recorder(RecorderOptions options = {});
+
+  const RecorderOptions& options() const { return options_; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  EventTrace& events() { return events_; }
+  const EventTrace& events() const { return events_; }
+
+  // -- Convenience pass-throughs ---------------------------------------------
+  Counter& counter(std::string_view name) {
+    return metrics_.GetCounter(name);
+  }
+  Gauge& gauge(std::string_view name) { return metrics_.GetGauge(name); }
+  Histogram& histogram(std::string_view name, std::vector<double> edges) {
+    return metrics_.GetHistogram(name, std::move(edges));
+  }
+  void Record(const TraceEvent& event) { events_.Record(event); }
+
+  MetricsSnapshot Snapshot() const { return metrics_.Snapshot(); }
+
+  /// Merges another recorder's metrics and events into this one.  Callers
+  /// merging parallel work MUST absorb shards in task-index order.
+  void Absorb(const Recorder& other);
+
+ private:
+  RecorderOptions options_;
+  MetricsRegistry metrics_;
+  EventTrace events_;
+};
+
+/// RAII wall-clock region: records elapsed seconds into the kTimer metric
+/// `name` of `recorder` on destruction.  Null-recorder safe.  Timers are
+/// wall clock and therefore excluded from the determinism contract (the
+/// exporters skip them unless asked).
+class ScopedTimer {
+ public:
+  ScopedTimer(Recorder* recorder, std::string_view name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerStat* timer_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One recorder per parallel task, merged in task-index order: the bridge
+/// between telemetry and common/parallel.hpp.  Task i writes only to
+/// shard(i); after the fan-out completes, MergeInto() folds the shards
+/// into a sink in index order, so the aggregate is bit-identical for every
+/// thread count and completion order.
+class ShardedRecorder {
+ public:
+  ShardedRecorder(std::size_t shards, RecorderOptions options = {});
+
+  std::size_t size() const { return shards_.size(); }
+  Recorder& shard(std::size_t index) { return *shards_[index]; }
+  const Recorder& shard(std::size_t index) const { return *shards_[index]; }
+
+  /// Absorbs every shard into `sink`, index order.
+  void MergeInto(Recorder& sink) const;
+
+  /// Metrics of all shards merged in index order.
+  MetricsSnapshot MergedSnapshot() const;
+
+ private:
+  std::vector<std::unique_ptr<Recorder>> shards_;
+};
+
+}  // namespace vrl::telemetry

@@ -1,0 +1,358 @@
+// Tests for the telemetry subsystem (src/telemetry/, docs/TELEMETRY.md).
+//
+// Three layers:
+//  1. Unit semantics pinned by the headers: histogram bucket edges, the
+//     event ring's newest-window overflow behaviour, snapshot diff/merge
+//     algebra, exporter formatting.
+//  2. The determinism contract end to end: the merged telemetry of
+//     RunEvaluationSuite and of the fault-campaign comparison must export
+//     byte-identically at 1, 2 and 8 threads.
+//  3. The API-redesign seams: PolicyFromName inverts PolicyName, and the
+//     legacy positional experiment overloads delegate to the
+//     ExperimentOptions form with identical results.
+
+#include "telemetry/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/experiments.hpp"
+#include "core/vrl_system.hpp"
+#include "retention/vrt.hpp"
+#include "telemetry/export.hpp"
+
+namespace vrl::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1a. Histogram bucket semantics
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketCountIsEdgesPlusOverflow) {
+  const Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.counts().size(), 4u);
+}
+
+TEST(Histogram, ValueOnEdgeLandsInTheBucketTheEdgeCloses) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.0);  // closes bucket 0
+  h.Observe(2.0);  // closes bucket 1
+  h.Observe(4.0);  // closes bucket 2
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 0u);
+}
+
+TEST(Histogram, UnderflowJoinsFirstBucketOverflowGetsItsOwn) {
+  Histogram h({1.0, 2.0});
+  h.Observe(-100.0);
+  h.Observe(0.5);
+  h.Observe(1000.0);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 0u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), -100.0 + 0.5 + 1000.0);
+}
+
+TEST(Histogram, RejectsEmptyAndNonIncreasingEdges) {
+  EXPECT_THROW(Histogram({}), ConfigError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), ConfigError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), ConfigError);
+}
+
+TEST(Histogram, LatencyBucketIndexAgreesWithObserve) {
+  // The controller's per-request fast path computes the bucket with a bit
+  // scan; it must land every value exactly where Observe would.
+  const auto edges = LatencyBucketEdges();
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{15},
+        std::uint64_t{16}, std::uint64_t{17}, std::uint64_t{32},
+        std::uint64_t{33}, std::uint64_t{1000}, std::uint64_t{65536},
+        std::uint64_t{65537}, std::uint64_t{1} << 40}) {
+    Histogram reference(edges);
+    reference.Observe(static_cast<double>(v));
+    const std::size_t expected =
+        static_cast<std::size_t>(std::find(reference.counts().begin(),
+                                           reference.counts().end(), 1u) -
+                                 reference.counts().begin());
+    EXPECT_EQ(LatencyBucketIndex(v), expected) << "cycles=" << v;
+  }
+}
+
+TEST(Histogram, LatencyBucketCountMatchesEdges) {
+  // The banks' always-on accumulators are fixed-size arrays dimensioned by
+  // this constant; it must track the runtime edge list.
+  EXPECT_EQ(kLatencyBucketCount, LatencyBucketEdges().size() + 1);
+}
+
+TEST(Histogram, SlackBucketIndexAgreesWithObserve) {
+  // The policies' batched op recording computes the slack bucket with a bit
+  // scan; it must land every value exactly where Observe would —
+  // including the dedicated on-time bucket 0 and values exactly on edges.
+  const auto edges = SlackBucketEdges();
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{511},
+        std::uint64_t{1023}, std::uint64_t{1024}, std::uint64_t{1025},
+        std::uint64_t{4096}, std::uint64_t{4097}, std::uint64_t{100000},
+        std::uint64_t{16777216}, std::uint64_t{16777217},
+        std::uint64_t{1} << 40}) {
+    Histogram reference(edges);
+    reference.Observe(static_cast<double>(v));
+    const std::size_t expected =
+        static_cast<std::size_t>(std::find(reference.counts().begin(),
+                                           reference.counts().end(), 1u) -
+                                 reference.counts().begin());
+    EXPECT_EQ(SlackBucketIndex(v), expected) << "slack=" << v;
+  }
+}
+
+TEST(MetricsRegistry, HistogramEdgeMismatchThrows) {
+  MetricsRegistry registry;
+  registry.GetHistogram("h", {1.0, 2.0});
+  EXPECT_NO_THROW(registry.GetHistogram("h", {1.0, 2.0}));
+  EXPECT_THROW(registry.GetHistogram("h", {1.0, 3.0}), ConfigError);
+  EXPECT_THROW(registry.GetCounter("h"), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// 1b. Event ring overflow
+// ---------------------------------------------------------------------------
+
+TEST(EventTrace, OverflowKeepsNewestAndCountsDrops) {
+  EventTrace trace(3);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    trace.Record({EventKind::kDemotion, i, i, 0, 0.0});
+  }
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].cycle, 7u);
+  EXPECT_EQ(events[1].cycle, 8u);
+  EXPECT_EQ(events[2].cycle, 9u);
+  EXPECT_EQ(trace.recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 7u);
+}
+
+TEST(EventTrace, ZeroCapacityCountsEverythingAsDropped) {
+  EventTrace trace(0);
+  trace.Record({EventKind::kDemotion, 1, 0, 0, 0.0});
+  EXPECT_TRUE(trace.Events().empty());
+  EXPECT_EQ(trace.recorded(), 1u);
+  EXPECT_EQ(trace.dropped(), 1u);
+}
+
+TEST(EventTrace, AppendPreservesOrderAndAccumulatesDrops) {
+  EventTrace a(4);
+  a.Record({EventKind::kDemotion, 1, 0, 0, 0.0});
+  EventTrace b(1);
+  b.Record({EventKind::kPromotion, 2, 0, 0, 0.0});
+  b.Record({EventKind::kPromotion, 3, 0, 0, 0.0});  // displaces cycle 2
+  a.Append(b);
+  const auto events = a.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].cycle, 1u);
+  EXPECT_EQ(events[1].cycle, 3u);
+  EXPECT_EQ(a.dropped(), 1u);  // b's displaced event carries over
+}
+
+// ---------------------------------------------------------------------------
+// 1c. Snapshot algebra + exporters
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSnapshot, DiffInvertsMerge) {
+  Recorder before;
+  before.counter("c").Add(3);
+  before.histogram("h", {1.0, 2.0}).Observe(0.5);
+  const auto s0 = before.Snapshot();
+
+  before.counter("c").Add(4);
+  before.histogram("h", {1.0, 2.0}).Observe(5.0);
+  const auto s1 = before.Snapshot();
+
+  const auto delta = s1.Diff(s0);
+  EXPECT_EQ(delta.metrics.at("c").count, 4u);
+  EXPECT_EQ(delta.metrics.at("h").count, 1u);
+
+  auto rebuilt = s0;
+  rebuilt.MergeFrom(delta);
+  EXPECT_EQ(rebuilt, s1);
+}
+
+TEST(MetricsSnapshot, GaugeTakesLatestOnMerge) {
+  Recorder a;
+  a.gauge("g").Set(1.0);
+  Recorder b;
+  b.gauge("g").Set(2.0);
+  auto snapshot = a.Snapshot();
+  snapshot.MergeFrom(b.Snapshot());
+  EXPECT_DOUBLE_EQ(snapshot.metrics.at("g").value, 2.0);
+}
+
+TEST(Export, TimersAreSkippedByDefault) {
+  Recorder recorder;
+  recorder.counter("c").Add(1);
+  { ScopedTimer timer(&recorder, "time.t"); }
+  std::ostringstream without;
+  WriteMetricsJsonl(without, recorder.Snapshot());
+  EXPECT_EQ(without.str().find("time.t"), std::string::npos);
+  std::ostringstream with;
+  ExportOptions options;
+  options.include_timers = true;
+  WriteMetricsJsonl(with, recorder.Snapshot(), options);
+  EXPECT_NE(with.str().find("time.t"), std::string::npos);
+}
+
+TEST(Export, FormatDoubleRoundTripsAndIsStable) {
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(FormatDouble(1.0 / 3.0) == "" ? 0.0 : 1.0 / 3.0),
+            FormatDouble(1.0 / 3.0));
+}
+
+// ---------------------------------------------------------------------------
+// 2. Determinism across thread counts
+// ---------------------------------------------------------------------------
+
+/// Deterministic byte serialization of a recorder: metrics (timers
+/// excluded) followed by the event trace.
+std::string ExportBytes(const Recorder& recorder) {
+  std::ostringstream os;
+  WriteMetricsJsonl(os, recorder.Snapshot());
+  WriteEventsJsonl(os, recorder.events());
+  return os.str();
+}
+
+TEST(Determinism, EvaluationSuiteTelemetryIsByteIdenticalAcrossThreads) {
+  core::VrlConfig config;
+  config.banks = 1;
+  const core::VrlSystem system(config);
+
+  std::string reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    Recorder sink;
+    core::ExperimentOptions options;
+    options.windows = 2;
+    options.threads = threads;
+    options.telemetry = &sink;
+    const auto results = core::RunEvaluationSuite(system, options);
+    EXPECT_FALSE(results.empty());
+    const std::string bytes = ExportBytes(sink);
+    EXPECT_GT(sink.Snapshot().metrics.size(), 0u);
+    if (threads == 1) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(Determinism, FaultCampaignTelemetryIsByteIdenticalAcrossThreads) {
+  core::VrlConfig config;
+  config.banks = 1;
+  const core::VrlSystem system(config);
+  retention::VrtParams vrt;
+  vrt.row_fraction = 0.05;
+
+  std::string reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    Recorder sink;
+    core::ExperimentOptions options;
+    options.windows = 4;
+    options.threads = threads;
+    options.telemetry = &sink;
+    const auto result =
+        core::RunResilienceComparison(system, core::PolicyKind::kVrl, vrt,
+                                      options);
+    EXPECT_GT(result.jedec.refresh_busy_cycles, 0u);
+    const std::string bytes = ExportBytes(sink);
+    const auto snapshot = sink.Snapshot();
+    EXPECT_GT(snapshot.metrics.count("campaign.windows"), 0u);
+    EXPECT_GT(snapshot.metrics.count("campaign.sense_margin"), 0u);
+    if (threads == 1) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(Determinism, ShardMergeMatchesSerialRecording) {
+  // Recording the same per-task work into shards and merging in index
+  // order must equal recording it serially into one recorder.
+  Recorder serial;
+  ShardedRecorder shards(4);
+  for (std::size_t task = 0; task < 4; ++task) {
+    for (auto* r : {&serial, &shards.shard(task)}) {
+      r->counter("c").Add(task + 1);
+      r->histogram("h", {1.0, 8.0})
+          .Observe(static_cast<double>(task) * 2.0);
+      r->Record({EventKind::kMprsfReset, task, task, 0, 0.0});
+    }
+  }
+  Recorder merged;
+  shards.MergeInto(merged);
+  EXPECT_EQ(ExportBytes(merged), ExportBytes(serial));
+}
+
+// ---------------------------------------------------------------------------
+// 3. API-redesign seams
+// ---------------------------------------------------------------------------
+
+TEST(PolicyFromName, InvertsPolicyNameAndNormalizes) {
+  for (const auto kind :
+       {core::PolicyKind::kJedec, core::PolicyKind::kRaidr,
+        core::PolicyKind::kVrl, core::PolicyKind::kVrlAccess}) {
+    EXPECT_EQ(core::PolicyFromName(core::PolicyName(kind)), kind);
+  }
+  EXPECT_EQ(core::PolicyFromName("vrl_access"), core::PolicyKind::kVrlAccess);
+  EXPECT_EQ(core::PolicyFromName("VRLACCESS"), core::PolicyKind::kVrlAccess);
+  EXPECT_EQ(core::PolicyFromName("jedec"), core::PolicyKind::kJedec);
+  EXPECT_THROW(core::PolicyFromName("ddr5"), ConfigError);
+  EXPECT_THROW(core::PolicyFromName(""), ConfigError);
+}
+
+TEST(ExperimentOptions, LegacyOverloadsDelegateWithIdenticalResults) {
+  core::VrlConfig config;
+  config.banks = 1;
+  const core::VrlSystem system(config);
+  const auto workload = trace::SuiteWorkload("canneal");
+  const power::EnergyParams energy;
+
+  const auto legacy = core::RunWorkload(system, workload, 2, energy);
+  core::ExperimentOptions options;
+  options.windows = 2;
+  const auto modern = core::RunWorkload(system, workload, options);
+  EXPECT_EQ(legacy.workload, modern.workload);
+  EXPECT_DOUBLE_EQ(legacy.raidr_overhead, modern.raidr_overhead);
+  EXPECT_DOUBLE_EQ(legacy.vrl_overhead, modern.vrl_overhead);
+  EXPECT_DOUBLE_EQ(legacy.vrl_access_overhead, modern.vrl_access_overhead);
+  EXPECT_DOUBLE_EQ(legacy.vrl_refresh_power_mw, modern.vrl_refresh_power_mw);
+}
+
+TEST(VrlSystemTelemetry, SimulatePopulatesPolicyAndDramMetrics) {
+  core::VrlConfig config;
+  config.banks = 1;
+  core::VrlSystem system(config);
+  auto* recorder = system.EnableTelemetry();
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_EQ(system.telemetry(), recorder);
+
+  const auto horizon = system.HorizonForWindows(1);
+  system.Simulate(core::PolicyKind::kVrl, {}, horizon);
+  const auto snapshot = recorder->Snapshot();
+  ASSERT_GT(snapshot.metrics.count("policy.full_refreshes"), 0u);
+  EXPECT_GT(snapshot.metrics.at("policy.full_refreshes").count, 0u);
+  ASSERT_GT(snapshot.metrics.count("policy.partial_refreshes"), 0u);
+  EXPECT_GT(snapshot.metrics.at("policy.partial_refreshes").count, 0u);
+}
+
+}  // namespace
+}  // namespace vrl::telemetry
