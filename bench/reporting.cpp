@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <ostream>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "telemetry/export.hpp"
@@ -37,11 +38,15 @@ ReportOptions ParseReportArgs(int argc, char** argv) {
   ReportOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" || arg == "--csv") {
+    if (arg == "--json" || arg == "--csv" || arg == "--trace-out") {
       if (i + 1 >= argc) {
         throw ConfigError("ParseReportArgs: " + arg + " needs a path");
       }
-      (arg == "--json" ? options.json_path : options.csv_path) = argv[++i];
+      (arg == "--json"  ? options.json_path
+       : arg == "--csv" ? options.csv_path
+                        : options.trace_path) = argv[++i];
+    } else if (arg == "--profile") {
+      options.profile = true;
     } else {
       options.positional.push_back(arg);
     }
@@ -104,6 +109,41 @@ void Report::AddTelemetry(const telemetry::MetricsSnapshot& snapshot,
                         telemetry::FormatDouble(value.value)});
         }
         break;
+    }
+  }
+}
+
+void Report::AddProfile(const telemetry::MetricsSnapshot& snapshot) {
+  constexpr std::string_view kPhasePrefix = "time.phase.";
+  constexpr std::string_view kTimePrefix = "time.";
+  TextTable& table =
+      AddTable("profile", {"phase", "calls", "total_s", "share_pct"});
+  double phase_total = 0.0;
+  for (const auto& [name, value] : snapshot.metrics) {
+    if (value.kind == telemetry::MetricKind::kTimer &&
+        name.compare(0, kPhasePrefix.size(), kPhasePrefix) == 0) {
+      phase_total += value.value;
+    }
+  }
+  for (const auto& [name, value] : snapshot.metrics) {
+    if (value.kind != telemetry::MetricKind::kTimer) {
+      continue;
+    }
+    if (name.compare(0, kPhasePrefix.size(), kPhasePrefix) == 0) {
+      table.AddRow({name.substr(kPhasePrefix.size()),
+                    std::to_string(value.count), Fmt(value.value, 6),
+                    phase_total > 0.0
+                        ? Fmt(100.0 * value.value / phase_total, 1)
+                        : "-"});
+    }
+  }
+  // The driver-level timers give the unattributed remainder context.
+  for (const auto& [name, value] : snapshot.metrics) {
+    if (value.kind == telemetry::MetricKind::kTimer &&
+        name.compare(0, kPhasePrefix.size(), kPhasePrefix) != 0 &&
+        name.compare(0, kTimePrefix.size(), kTimePrefix) == 0) {
+      table.AddRow({name, std::to_string(value.count), Fmt(value.value, 6),
+                    "-"});
     }
   }
 }

@@ -15,8 +15,13 @@
 /// wraps the common shape — a named report carrying key/value metadata and
 /// one or more tables — behind uniform CLI flags:
 ///
-///   --json <path>   write the report as one JSON document ("-" = stdout)
-///   --csv <path>    write the report as CSV sections ("-" = stdout)
+///   --json <path>       write the report as one JSON document ("-" = stdout)
+///   --csv <path>        write the report as CSV sections ("-" = stdout)
+///   --trace-out <path>  export the run's Tracer (Chrome trace_event JSON,
+///                       or JSONL when the path ends in ".jsonl") — binaries
+///                       that support it enable tracing when the flag is set
+///   --profile           enable the phase self-profiler and append its
+///                       wall-time attribution table (AddProfile)
 ///
 /// The aligned-text rendering always goes to stdout (unless --json/--csv
 /// targets stdout, which replaces it), so default invocations look exactly
@@ -38,14 +43,17 @@ namespace vrl::bench {
 
 /// Uniform CLI options of the reporting binaries.
 struct ReportOptions {
-  std::string json_path;  ///< Empty = no JSON; "-" = stdout.
-  std::string csv_path;   ///< Empty = no CSV; "-" = stdout.
-  /// Arguments left after removing --json/--csv, in order (argv[0]
+  std::string json_path;   ///< Empty = no JSON; "-" = stdout.
+  std::string csv_path;    ///< Empty = no CSV; "-" = stdout.
+  std::string trace_path;  ///< Empty = no trace export (docs/TRACING.md).
+  bool profile = false;    ///< Phase self-profiler requested.
+  /// Arguments left after removing the shared flags, in order (argv[0]
   /// excluded) — the binary's own positional arguments.
   std::vector<std::string> positional;
 };
 
-/// Parses `--json <path>` / `--csv <path>` out of argv.
+/// Parses `--json <path>` / `--csv <path>` / `--trace-out <path>` /
+/// `--profile` out of argv.
 /// \throws vrl::ConfigError when a flag is missing its path argument.
 ReportOptions ParseReportArgs(int argc, char** argv);
 
@@ -71,6 +79,13 @@ class Report {
   /// unless `include_timers`, mirroring telemetry::ExportOptions.
   void AddTelemetry(const telemetry::MetricsSnapshot& snapshot,
                     bool include_timers = false);
+
+  /// Builds the `--profile` phase report: a "profile" table attributing
+  /// wall time to the `time.phase.*` timers (policy CollectDue, scheduler,
+  /// telemetry flush, circuit solve, ...) with each phase's share of the
+  /// phase total, followed by the remaining `time.*` timers as unshared
+  /// context rows.  Wall clock — not part of the determinism contract.
+  void AddProfile(const telemetry::MetricsSnapshot& snapshot);
 
   // -- Rendering -------------------------------------------------------------
   void PrintText(std::ostream& os) const;  ///< meta lines + aligned tables

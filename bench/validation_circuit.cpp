@@ -15,10 +15,12 @@
 #include <array>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/reporting.hpp"
+#include "telemetry/recorder.hpp"
 #include "circuit/dram_circuits.hpp"
 #include "circuit/transient.hpp"
 #include "common/parallel.hpp"
@@ -66,6 +68,18 @@ int main(int argc, char** argv) {
   bench::Report report("validation_circuit");
   report.AddMeta("threads", vrl::DefaultThreadCount());
 
+  // --profile: attribute wall time to the transient circuit solves — the
+  // dominant cost of this harness (docs/TRACING.md).  Every parallel task
+  // times into its own shard; shards merge in index order.
+  std::unique_ptr<telemetry::Recorder> profile_sink;
+  std::unique_ptr<telemetry::ShardedRecorder> part_a_shards;
+  std::unique_ptr<telemetry::ShardedRecorder> part_b_shards;
+  if (report_options.profile) {
+    profile_sink = std::make_unique<telemetry::Recorder>();
+    part_a_shards = std::make_unique<telemetry::ShardedRecorder>(3);
+    part_b_shards = std::make_unique<telemetry::ShardedRecorder>(4);
+  }
+
   // ---- Part A: geometry sweep --------------------------------------------
   // One task per geometry; each builds its own circuits and models and
   // returns a finished table row into its index slot, so the table reads
@@ -82,6 +96,9 @@ int main(int argc, char** argv) {
         tech.columns = 8;
         tech.cbw_ratio = 0.0;  // see header comment
 
+        const telemetry::ScopedTimer solve_timer(
+            part_a_shards ? &part_a_shards->shard(g) : nullptr,
+            "time.phase.circuit_solve");
         const model::EqualizationModel eq(tech);
         auto eq_circuit = circuit::BuildEqualizationCircuit(tech, 0.0);
         circuit::TransientOptions options;
@@ -130,6 +147,9 @@ int main(int argc, char** argv) {
         // zero-offset ideal latch still needs a small residual margin.
         margin_tech.v_sense_min = std::max(1e-3, offset_mv * 1e-3);
         const model::RefreshModel margin_model(margin_tech);
+        const telemetry::ScopedTimer solve_timer(
+            part_b_shards ? &part_b_shards->shard(o) : nullptr,
+            "time.phase.circuit_solve");
         return {Fmt(offset_mv, 0),
                 Fmt(CircuitReadableFraction(tech, offset_mv * 1e-3), 3),
                 Fmt(margin_model.MinReadableFraction(), 3)};
@@ -141,6 +161,11 @@ int main(int argc, char** argv) {
                  "the model's v_sense_min=5mV default corresponds to a ~5mV "
                  "latch offset; both put the readable threshold a few points "
                  "above 50%");
+  if (profile_sink) {
+    part_a_shards->MergeInto(*profile_sink);
+    part_b_shards->MergeInto(*profile_sink);
+    report.AddProfile(profile_sink->Snapshot());
+  }
   report.Emit(report_options, std::cout);
   return 0;
 }

@@ -7,6 +7,7 @@
 //                    [--row-fraction F] [--low-ratio R] [--dwell-s D]
 //                    [--temp-excursion C] [--drift RATE] [--corruption F]
 //                    [--json PATH] [--csv PATH]
+//                    [--trace-out PATH] [--profile]
 //
 // Three legs run under the identical fault realization: the JEDEC
 // full-rate baseline, the plain policy (no detection — silent loss), and
@@ -26,6 +27,7 @@
 #include "fault/injector.hpp"
 #include "retention/temperature.hpp"
 #include "retention/vrt.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace {
 
@@ -144,7 +146,15 @@ int main(int argc, char** argv) {
 
     // The adaptive leg feeds a telemetry recorder; its metrics (campaign.*,
     // adaptive.*, policy.*) land in the report's telemetry table.
-    telemetry::Recorder recorder;
+    // --trace-out / --profile add the campaign's span + lineage trace and
+    // the wall-time phase table (docs/TRACING.md) for the same leg.
+    telemetry::RecorderOptions recorder_options;
+    recorder_options.enable_tracing = !report_options.trace_path.empty();
+    // Full-fidelity lineage: a traced campaign wants every refresh op,
+    // not just the transitions (docs/TRACING.md).
+    recorder_options.tracing.lineage_ops = true;
+    recorder_options.profile_phases = report_options.profile;
+    telemetry::Recorder recorder(recorder_options);
     core::FaultCampaignOptions options;
     options.windows = windows;
 
@@ -191,6 +201,13 @@ int main(int argc, char** argv) {
       }
     }
     report.AddTelemetry(recorder.Snapshot());
+    if (report_options.profile) {
+      report.AddProfile(recorder.Snapshot());
+    }
+    if (!report_options.trace_path.empty()) {
+      telemetry::WriteTraceFile(report_options.trace_path,
+                                *recorder.tracer());
+    }
     report.Emit(report_options, std::cout);
 
     std::printf("\nverdict: plain %s loses %zu rows' worth of data; "

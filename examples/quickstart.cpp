@@ -3,7 +3,13 @@
 // print a summary.
 //
 //   ./quickstart [workload] [--json PATH] [--csv PATH]
+//                [--trace-out PATH] [--profile]
 //   (default workload: streamcluster)
+//
+// --trace-out exports the runs' span + refresh-lineage trace as Chrome
+// trace_event JSON (open in Perfetto / chrome://tracing), or JSONL when
+// PATH ends in ".jsonl".  --profile appends the wall-time phase table.
+// Both are documented in docs/TRACING.md.
 
 #include <cstdio>
 #include <iostream>
@@ -12,6 +18,7 @@
 #include "bench/reporting.hpp"
 #include "core/vrl_system.hpp"
 #include "power/power_model.hpp"
+#include "telemetry/trace_export.hpp"
 #include "trace/synthetic.hpp"
 
 int main(int argc, char** argv) {
@@ -32,7 +39,13 @@ int main(int argc, char** argv) {
   //    90 nm, retention bins 64/128/192/256 ms, nbits = 2 counters.
   core::VrlConfig config;
   core::VrlSystem system(config);
-  system.EnableTelemetry();
+  telemetry::RecorderOptions recorder_options;
+  recorder_options.enable_tracing = !report_options.trace_path.empty();
+  // A one-off traced run wants the complete causal record, so take the
+  // per-op lineage firehose, not the transitions-only low-overhead mode.
+  recorder_options.tracing.lineage_ops = true;
+  recorder_options.profile_phases = report_options.profile;
+  system.EnableTelemetry(recorder_options);
 
   bench::Report report("quickstart");
   report.AddMeta("bank", config.tech.GeometryLabel());
@@ -79,6 +92,13 @@ int main(int argc, char** argv) {
                   Fmt(stats.AverageRequestLatency(), 1)});
   }
   report.AddTelemetry(system.telemetry()->Snapshot());
+  if (report_options.profile) {
+    report.AddProfile(system.telemetry()->Snapshot());
+  }
+  if (!report_options.trace_path.empty()) {
+    telemetry::WriteTraceFile(report_options.trace_path,
+                              *system.telemetry()->tracer());
+  }
   report.Emit(report_options, std::cout);
   return 0;
 }

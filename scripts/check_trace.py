@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validate a trace produced by --trace-out (docs/TRACING.md).
+
+Chrome trace_event JSON (the default export):
+
+    python3 scripts/check_trace.py trace.json [--require-lineage KIND] \
+        [--expect-process NAME]
+
+JSONL export (paths ending in .jsonl):
+
+    python3 scripts/check_trace.py trace.jsonl
+
+Checks (stdlib only, no third-party deps):
+  * the file parses, and every event carries the keys its phase requires;
+  * span (`X`) events have non-negative durations and unique ids, and
+    every parent id is either 0 or a known span id (parents of retained
+    spans can only be missing when the exporter reported span drops);
+  * lineage instant (`i`) events sit on the synthetic lineage process and
+    carry row/cause/detail/value args;
+  * metadata (`M`) names every process and track that appears;
+  * JSONL traces end with span_summary/lineage_summary lines whose
+    recorded = retained + dropped accounting balances.
+
+Exit code 0 on a valid trace, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+SPAN_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+INSTANT_KEYS = {"name", "cat", "ph", "s", "ts", "pid", "tid", "args"}
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_chrome(path, require_lineage, expect_processes):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(f"{path}: no traceEvents array")
+
+    processes = {}  # pid -> name
+    named_tracks = set()  # (pid, tid)
+    span_ids = set()
+    parents = []  # (event name, parent id)
+    used_tracks = set()
+    lineage_kinds = {}
+    lineage_pids = set()
+    dropped_spans = False
+
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        where = f"{path}: event {i}"
+        if ph == "M":
+            name = event.get("name")
+            if name == "process_name":
+                processes[event["pid"]] = event["args"]["name"]
+            elif name == "thread_name":
+                named_tracks.add((event["pid"], event["tid"]))
+            else:
+                return fail(f"{where}: unexpected metadata {name!r}")
+        elif ph == "X":
+            missing = SPAN_KEYS - event.keys()
+            if missing:
+                return fail(f"{where}: span missing keys {sorted(missing)}")
+            if event["dur"] < 0:
+                return fail(f"{where}: negative duration {event['dur']}")
+            span_id = event["args"]["id"]
+            if span_id in span_ids:
+                return fail(f"{where}: duplicate span id {span_id}")
+            span_ids.add(span_id)
+            parents.append((event["name"], event["args"]["parent"]))
+            used_tracks.add((event["pid"], event["tid"]))
+        elif ph == "i":
+            missing = INSTANT_KEYS - event.keys()
+            if missing:
+                return fail(f"{where}: instant missing keys {sorted(missing)}")
+            args_missing = {"row", "cause", "detail", "value"} - event["args"].keys()
+            if args_missing:
+                return fail(f"{where}: lineage args missing {sorted(args_missing)}")
+            lineage_kinds[event["name"]] = lineage_kinds.get(event["name"], 0) + 1
+            lineage_pids.add(event["pid"])
+        else:
+            return fail(f"{where}: unexpected phase {ph!r}")
+
+    if not span_ids:
+        return fail(f"{path}: no span events")
+    for pid, tid in used_tracks:
+        if pid not in processes:
+            return fail(f"{path}: span on unnamed process pid={pid}")
+        if (pid, tid) not in named_tracks:
+            return fail(f"{path}: span on unnamed track pid={pid} tid={tid}")
+    if len(lineage_pids) > 1:
+        return fail(f"{path}: lineage spread over processes {sorted(lineage_pids)}")
+    if lineage_pids and processes.get(next(iter(lineage_pids))) != "lineage":
+        return fail(f"{path}: lineage events not on the 'lineage' process")
+
+    # Parent links: ids of spans past the cap are still allocated (so
+    # nesting stays consistent) but their records are dropped — a retained
+    # child may then point at an id with no retained record.  That only
+    # happens when ids beyond the retained set exist.
+    max_id = max(span_ids)
+    for name, parent in parents:
+        if parent != 0 and parent not in span_ids and parent <= max_id:
+            return fail(f"{path}: span {name!r} parent {parent} not exported")
+
+    for kind in require_lineage:
+        if kind not in lineage_kinds:
+            have = ", ".join(sorted(lineage_kinds)) or "none"
+            return fail(f"{path}: no {kind!r} lineage events (have: {have})")
+    for name in expect_processes:
+        if name not in processes.values():
+            return fail(f"{path}: no process named {name!r}")
+
+    kinds = ", ".join(f"{k}:{v}" for k, v in sorted(lineage_kinds.items()))
+    print(
+        f"check_trace: OK: {path}: {len(span_ids)} spans on "
+        f"{len(used_tracks)} tracks across {len(processes)} processes; "
+        f"lineage {{{kinds or 'empty'}}}"
+    )
+    return 0
+
+
+def check_jsonl(path):
+    spans = lineage = 0
+    summaries = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                return fail(f"{path}:{lineno}: {error}")
+            kind = record.get("type")
+            if kind == "span":
+                spans += 1
+            elif kind == "lineage":
+                lineage += 1
+            elif kind in ("span_summary", "lineage_summary"):
+                summaries[kind] = record
+            else:
+                return fail(f"{path}:{lineno}: unexpected type {kind!r}")
+    for name, count in (("span_summary", spans), ("lineage_summary", lineage)):
+        summary = summaries.get(name)
+        if summary is None:
+            return fail(f"{path}: missing {name} line")
+        if summary["retained"] != count:
+            return fail(
+                f"{path}: {name} says retained={summary['retained']}, "
+                f"counted {count}"
+            )
+        if summary["recorded"] != summary["retained"] + summary["dropped"]:
+            return fail(f"{path}: {name} accounting does not balance: {summary}")
+    print(f"check_trace: OK: {path}: {spans} spans, {lineage} lineage records")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace file (.json Chrome / .jsonl)")
+    parser.add_argument(
+        "--require-lineage",
+        action="append",
+        default=[],
+        metavar="KIND",
+        help="fail unless a lineage event of this kind is present "
+        "(e.g. mprsf_reset); repeatable",
+    )
+    parser.add_argument(
+        "--expect-process",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a process with this name exists; repeatable",
+    )
+    args = parser.parse_args()
+    if args.trace.endswith(".jsonl"):
+        if args.require_lineage or args.expect_process:
+            return fail("--require-lineage/--expect-process are Chrome-JSON only")
+        return check_jsonl(args.trace)
+    return check_chrome(args.trace, args.require_lineage, args.expect_process)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

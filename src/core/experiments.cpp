@@ -39,6 +39,15 @@ WorkloadResult RunWorkloadInto(const VrlSystem& system,
   WorkloadResult result;
   result.workload = workload.name;
 
+  // The workload span parents the controller runs' bank spans (the tracer's
+  // open-span stack), so the trace keeps the driver → run → bank hierarchy.
+  telemetry::Tracer* tracer = recorder == nullptr ? nullptr : recorder->tracer();
+  const telemetry::SpanId workload_span =
+      tracer == nullptr
+          ? telemetry::SpanId{0}
+          : tracer->BeginSpan("workload:" + workload.name, 0, 0, 0,
+                              static_cast<std::int64_t>(requests.size()));
+
   const auto raidr =
       system.Simulate(PolicyKind::kRaidr, requests, horizon, recorder);
   result.raidr_overhead = raidr.RefreshOverheadPerBank();
@@ -56,6 +65,9 @@ WorkloadResult RunWorkloadInto(const VrlSystem& system,
   result.vrl_access_refresh_power_mw =
       power_model.Compute(vrl_access).refresh_power_mw;
 
+  if (tracer != nullptr) {
+    tracer->EndSpan(workload_span, horizon);
+  }
   if (recorder != nullptr) {
     recorder->counter("suite.workloads").Add();
   }

@@ -1,6 +1,7 @@
 #include "dram/controller.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
 #include "telemetry/recorder.hpp"
@@ -138,6 +139,31 @@ SimulationStats MemoryController::Run(const std::vector<Request>& requests,
   // everything else exported below is a delta of the banks' always-on
   // stats (docs/TELEMETRY.md).
   std::uint64_t reordered_picks_n = 0;
+  // Spans land on a fresh track group (one Chrome "process" per run) with
+  // one track per bank; null tracer costs one compare per refresh tick.
+  telemetry::Tracer* tracer =
+      telemetry_ == nullptr ? nullptr : telemetry_->tracer();
+  std::uint32_t trace_group = 0;
+  std::uint32_t burst_label = 0;
+  if (tracer != nullptr) {
+    trace_group = tracer->NewTrackGroup("run:" + policies_[0]->Name());
+    // Interned once: the per-tick burst spans skip the label lookup.
+    burst_label = tracer->Intern("refresh_burst");
+  }
+  // Phase profiling (--profile, docs/TRACING.md): wall clock per phase,
+  // accumulated in locals and folded into time.phase.* timers once.  The
+  // two clock reads per tick are why this is opt-in.
+  const bool profile =
+      telemetry_ != nullptr && telemetry_->options().profile_phases;
+  double scheduler_s = 0.0;
+  double collect_s = 0.0;
+  const auto phase_clock = [] { return std::chrono::steady_clock::now(); };
+  const auto seconds_since =
+      [](std::chrono::steady_clock::time_point from) {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             from)
+            .count();
+      };
   // Run() absorbs only this run's deltas, so re-running a controller does
   // not double-count the cumulative BankStats.
   SimulationStats before;
@@ -199,23 +225,66 @@ SimulationStats MemoryController::Run(const std::vector<Request>& requests,
       }
     };
 
+    // Profiled wrappers; the non-profiling path calls straight through.
+    const auto run_service_until = [&](Cycles limit) {
+      if (!profile) {
+        service_until(limit);
+        return;
+      }
+      const auto t0 = phase_clock();
+      service_until(limit);
+      scheduler_s += seconds_since(t0);
+    };
+    const auto collect_due = [&](Cycles now) {
+      if (!profile) {
+        return policy.CollectDue(now);
+      }
+      const auto t0 = phase_clock();
+      auto ops = policy.CollectDue(now);
+      collect_s += seconds_since(t0);
+      return ops;
+    };
+
+    const telemetry::SpanId bank_span =
+        tracer == nullptr
+            ? telemetry::SpanId{0}
+            : tracer->BeginSpan("bank_run", 0, trace_group, b);
+
     for (Cycles tick = 0; tick <= horizon; tick += timing_.t_refi) {
       // Service requests that arrived before this refresh tick.
-      service_until(tick);
+      run_service_until(tick);
       // Execute the refresh operations due at this tick.  Each op waits
       // for its own subarray inside the bank; ops to distinct subarrays
       // overlap (SALP), ops to the same one serialize.
-      for (const RefreshOp& op : policy.CollectDue(tick)) {
+      const std::vector<RefreshOp> ops = collect_due(tick);
+      for (const RefreshOp& op : ops) {
         bank.ExecuteRefresh(op, tick);
+      }
+      if (tracer != nullptr && !ops.empty()) {
+        Cycles busy = 0;
+        std::int64_t fulls = 0;
+        for (const RefreshOp& op : ops) {
+          busy += op.trfc;
+          fulls += op.is_full ? 1 : 0;
+        }
+        // Duration aggregates the burst's tRFC cycles (subarray overlap
+        // can retire it faster; the bank stats carry the exact busy time).
+        tracer->CompleteSpan(burst_label, tick, tick + busy, trace_group,
+                             b, static_cast<std::int64_t>(ops.size()), fulls);
       }
     }
     // Drain any requests arriving up to the horizon after the last tick.
-    service_until(horizon + 1);
+    run_service_until(horizon + 1);
     end = std::max(end, bank.stats().last_completion);
+    if (tracer != nullptr) {
+      tracer->EndSpan(bank_span,
+                      std::max(horizon, bank.stats().last_completion));
+    }
   }
 
   // Fold the policies' batched per-op telemetry into the recorder before
   // any caller snapshots it.
+  const auto flush_t0 = phase_clock();
   for (const auto& policy : policies_) {
     policy->FlushTelemetry();
   }
@@ -267,6 +336,16 @@ SimulationStats MemoryController::Run(const std::vector<Request>& requests,
     telemetry_->counter("dram.refresh_busy_cycles")
         .Add(stats.TotalRefreshBusyCycles() - before.TotalRefreshBusyCycles());
     telemetry_->counter("dram.simulated_cycles").Add(end);
+  }
+  if (profile) {
+    // The flush phase covers the policy folds plus the delta export above.
+    telemetry_->metrics()
+        .GetTimer("time.phase.telemetry_flush")
+        .Record(seconds_since(flush_t0));
+    telemetry_->metrics().GetTimer("time.phase.scheduler").Record(scheduler_s);
+    telemetry_->metrics()
+        .GetTimer("time.phase.policy_collect_due")
+        .Record(collect_s);
   }
   return stats;
 }

@@ -35,7 +35,10 @@ void RefreshPolicy::set_telemetry(telemetry::Recorder* recorder) {
     busy_cycles_ = nullptr;
     mprsf_resets_ = nullptr;
     slack_ = nullptr;
+    tracer_ = nullptr;
+    cause_label_ = 0;
     trace_ops_ = false;
+    lineage_ops_ = false;
   } else {
     full_ops_ = &recorder->counter("policy.full_refreshes");
     partial_ops_ = &recorder->counter("policy.partial_refreshes");
@@ -45,6 +48,11 @@ void RefreshPolicy::set_telemetry(telemetry::Recorder* recorder) {
                                   telemetry::SlackBucketEdges());
     trace_ops_ = recorder->options().trace_refresh_ops;
     pending_slack_.assign(telemetry::SlackBucketEdges().size() + 1, 0);
+    // The lineage cause is this policy's name, interned once so the hot
+    // path records a fixed index.
+    tracer_ = recorder->tracer();
+    cause_label_ = tracer_ == nullptr ? 0 : tracer_->Intern(Name());
+    lineage_ops_ = tracer_ != nullptr && tracer_->options().lineage_ops;
   }
   OnTelemetryAttached();
 }
@@ -83,6 +91,15 @@ void RefreshPolicy::RecordOpSlow(const RefreshOp& op, Cycles now,
                         now, static_cast<std::uint64_t>(op.row),
                         static_cast<std::int64_t>(slack), 0.0});
   }
+  // Per-op refresh lineage is the firehose; transitions-only tracing
+  // (TracerOptions::lineage_ops == false) skips it to stay inside the
+  // <= 2% overhead budget.
+  if (lineage_ops_) {
+    tracer_->Lineage({op.is_full ? telemetry::EventKind::kFullRefresh
+                                 : telemetry::EventKind::kPartialRefresh,
+                      now, static_cast<std::uint64_t>(op.row), cause_label_,
+                      static_cast<std::int64_t>(slack), 0.0});
+  }
 }
 
 void RefreshPolicy::RecordMprsfResetSlow(std::size_t row,
@@ -90,9 +107,20 @@ void RefreshPolicy::RecordMprsfResetSlow(std::size_t row,
   // Under VRL-Access a reset happens on nearly every row activation, so
   // the ring write rides the same high-frequency gate as the per-op
   // refresh events; the pending_mprsf_resets_ count is always exact.
-  telemetry_->Record({telemetry::EventKind::kMprsfReset, last_now_,
-                      static_cast<std::uint64_t>(row),
+  if (trace_ops_) {
+    telemetry_->Record({telemetry::EventKind::kMprsfReset, last_now_,
+                        static_cast<std::uint64_t>(row),
+                        static_cast<std::int64_t>(old_count), 0.0});
+  }
+  // Lineage: the controller's activation fully restored the row, resetting
+  // its partial-refresh counter (the paper's VRL-Access transition).
+  // Rides the lineage_ops gate — one reset per activation is firehose
+  // volume, not a rare transition.
+  if (lineage_ops_) {
+    tracer_->Lineage({telemetry::EventKind::kMprsfReset, last_now_,
+                      static_cast<std::uint64_t>(row), cause_label_,
                       static_cast<std::int64_t>(old_count), 0.0});
+  }
 }
 
 void RefreshPolicy::RequireMonotonicNow(Cycles now) {

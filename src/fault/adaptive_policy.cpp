@@ -86,6 +86,11 @@ void AdaptiveVrlPolicy::RollWindows(Cycles now) {
                 {telemetry::EventKind::kFallbackExit, now, 0,
                  static_cast<std::int64_t>(clean_fallback_windows_), 0.0});
           }
+          if (tracer() != nullptr) {
+            tracer()->Lineage(
+                {telemetry::EventKind::kFallbackExit, now, 0, cause_label(),
+                 static_cast<std::int64_t>(clean_fallback_windows_), 0.0});
+          }
         }
       } else {
         clean_fallback_windows_ = 0;
@@ -125,6 +130,11 @@ void AdaptiveVrlPolicy::EnterFallback(Cycles now) {
         {telemetry::EventKind::kFallbackEnter, now, 0,
          static_cast<std::int64_t>(failures_this_window_), 0.0});
   }
+  if (tracer() != nullptr) {
+    tracer()->Lineage(
+        {telemetry::EventKind::kFallbackEnter, now, 0, cause_label(),
+         static_cast<std::int64_t>(failures_this_window_), 0.0});
+  }
   clean_fallback_windows_ = 0;
   fallback_due_ = dram::DeadlineQueue();
   const auto n = static_cast<Cycles>(inner_->rows());
@@ -151,6 +161,11 @@ std::vector<dram::RefreshOp> AdaptiveVrlPolicy::CollectDue(Cycles now) {
       forced_fulls_->Add();
       telemetry()->Record({telemetry::EventKind::kForcedFullRefresh, now,
                            static_cast<std::uint64_t>(row), 0, 0.0});
+    }
+    if (tracer() != nullptr) {
+      tracer()->Lineage({telemetry::EventKind::kForcedFullRefresh, now,
+                         static_cast<std::uint64_t>(row), cause_label(), 0,
+                         0.0});
     }
   }
   pending_forced_.clear();
@@ -262,6 +277,14 @@ FailureResponse AdaptiveVrlPolicy::OnSensingFailure(std::size_t row,
                          static_cast<std::uint64_t>(row),
                          static_cast<std::int64_t>(next_level), 0.0});
   }
+  if (tracer() != nullptr) {
+    // `value` carries the failure pressure (failures this window) that
+    // drove the demotion, so the lineage answers *why*, not just *what*.
+    tracer()->Lineage({telemetry::EventKind::kDemotion, now,
+                       static_cast<std::uint64_t>(row), cause_label(),
+                       static_cast<std::int64_t>(next_level),
+                       static_cast<double>(failures_this_window_)});
+  }
   return FailureResponse::kCorrected;
 }
 
@@ -284,6 +307,11 @@ void AdaptiveVrlPolicy::OnCleanFullRefresh(std::size_t row, Cycles now) {
     telemetry()->Record({telemetry::EventKind::kPromotion, now,
                          static_cast<std::uint64_t>(row),
                          static_cast<std::int64_t>(new_level), 0.0});
+  }
+  if (tracer() != nullptr) {
+    tracer()->Lineage({telemetry::EventKind::kPromotion, now,
+                       static_cast<std::uint64_t>(row), cause_label(),
+                       static_cast<std::int64_t>(new_level), 0.0});
   }
   if (demoted.level == 1) {
     demoted_.erase(it);  // back to the inner policy's schedule

@@ -68,7 +68,37 @@ CampaignReport RunCampaign(const model::RefreshModel& model,
   const Cycles horizon =
       setup.base_window * static_cast<Cycles>(setup.windows);
 
+  // Campaign spans: one track group, one "window" span per refresh window
+  // (payloads: refreshes, detected failures), plus sensing-failure lineage
+  // with the charge margin that triggered detection.
+  telemetry::Tracer* tracer = rec == nullptr ? nullptr : rec->tracer();
+  std::uint32_t trace_group = 0;
+  std::uint32_t campaign_cause = 0;
+  if (tracer != nullptr) {
+    trace_group = tracer->NewTrackGroup("campaign:" + policy.Name());
+    campaign_cause = tracer->Intern("campaign:" + policy.Name());
+  }
+  std::size_t window_index = 0;
+  std::size_t window_refreshes = 0;
+  std::size_t window_detected = 0;
+  const auto close_windows_until = [&](std::size_t w) {
+    for (; window_index < w; ++window_index) {
+      tracer->CompleteSpan(
+          "window", setup.base_window * static_cast<Cycles>(window_index),
+          setup.base_window * static_cast<Cycles>(window_index + 1),
+          trace_group, 0,
+          static_cast<std::int64_t>(report.refreshes - window_refreshes),
+          static_cast<std::int64_t>(report.detected_failures -
+                                    window_detected));
+      window_refreshes = report.refreshes;
+      window_detected = report.detected_failures;
+    }
+  };
+
   for (Cycles tick = 0; tick <= horizon; tick += setup.t_refi) {
+    if (tracer != nullptr) {
+      close_windows_until(static_cast<std::size_t>(tick / setup.base_window));
+    }
     const double now_s = CyclesToSeconds(tick, setup.clock_period_s);
     faults.Advance(now_s, rows);
     for (const auto& op : policy.CollectDue(tick)) {
@@ -112,6 +142,12 @@ CampaignReport RunCampaign(const model::RefreshModel& model,
                      static_cast<std::uint64_t>(op.row),
                      corrected ? std::int64_t{1} : std::int64_t{0},
                      sense.margin});
+        if (tracer != nullptr) {
+          tracer->Lineage({telemetry::EventKind::kSensingFailure, tick,
+                           static_cast<std::uint64_t>(op.row), campaign_cause,
+                           corrected ? std::int64_t{1} : std::int64_t{0},
+                           sense.margin});
+        }
       }
       // Corrected: the ECC write-back rewrites the row at full charge.
       // Unrecovered: the data is gone; reset anyway (as the integrity
@@ -131,6 +167,9 @@ CampaignReport RunCampaign(const model::RefreshModel& model,
     }
   }
 
+  if (tracer != nullptr) {
+    close_windows_until(setup.windows);
+  }
   report.min_margin = tracker.min_margin();
   report.simulated_cycles = horizon;
   if (adaptive != nullptr) {

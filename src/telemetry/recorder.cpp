@@ -3,11 +3,18 @@
 namespace vrl::telemetry {
 
 Recorder::Recorder(RecorderOptions options)
-    : options_(options), events_(options.event_capacity) {}
+    : options_(options), events_(options.event_capacity) {
+  if (options_.enable_tracing) {
+    tracer_ = std::make_unique<Tracer>(options_.tracing);
+  }
+}
 
 void Recorder::Absorb(const Recorder& other) {
   metrics_.Absorb(other.metrics_.Snapshot());
   events_.Append(other.events_);
+  if (tracer_ != nullptr && other.tracer_ != nullptr) {
+    tracer_->Absorb(*other.tracer_);
+  }
 }
 
 ScopedTimer::ScopedTimer(Recorder* recorder, std::string_view name) {

@@ -8,6 +8,7 @@
 
 #include "telemetry/events.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
 
 /// \file recorder.hpp
 /// Recorder — the telemetry session object the instrumented layers write
@@ -33,6 +34,19 @@ struct RecorderOptions {
   /// in docs/TELEMETRY.md), and the policy.* metrics already carry the
   /// aggregate story.
   bool trace_refresh_ops = false;
+  /// Own a Tracer (docs/TRACING.md): causal spans on the simulator clock
+  /// plus the refresh-lineage channel.  Off by default — when off,
+  /// `tracer()` is null and every tracing site costs one pointer compare;
+  /// when on, the measured overhead stays within the budget documented in
+  /// docs/TRACING.md.
+  bool enable_tracing = false;
+  /// Caps for the owned tracer (ignored unless enable_tracing).
+  TracerOptions tracing;
+  /// Accumulate wall-clock phase timers (`time.phase.*`) attributing a
+  /// run's time to policy CollectDue / scheduler / telemetry flush /
+  /// circuit solve — the `--profile` report.  Off by default: the phase
+  /// clock reads cost far more than one pointer compare (docs/TRACING.md).
+  bool profile_phases = false;
 };
 
 /// One telemetry session: a metrics registry plus an event trace.
@@ -47,6 +61,11 @@ class Recorder {
 
   EventTrace& events() { return events_; }
   const EventTrace& events() const { return events_; }
+
+  /// The owned tracer, or null when `RecorderOptions::enable_tracing` is
+  /// off — instrumentation gates on this pointer.
+  Tracer* tracer() { return tracer_.get(); }
+  const Tracer* tracer() const { return tracer_.get(); }
 
   // -- Convenience pass-throughs ---------------------------------------------
   Counter& counter(std::string_view name) {
@@ -68,6 +87,7 @@ class Recorder {
   RecorderOptions options_;
   MetricsRegistry metrics_;
   EventTrace events_;
+  std::unique_ptr<Tracer> tracer_;
 };
 
 /// RAII wall-clock region: records elapsed seconds into the kTimer metric

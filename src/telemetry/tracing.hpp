@@ -1,0 +1,280 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "telemetry/events.hpp"
+
+/// \file tracing.hpp
+/// Causal span tracing and the refresh-lineage channel.
+///
+/// Where the metric cells answer "how many" and the event ring answers
+/// "what, recently", the tracer answers **why and when**: hierarchical
+/// spans timestamped on the *simulator* clock (so traces are deterministic
+/// and thread-count independent), plus a lineage stream recording each
+/// row's refresh-state transitions — full refresh, partial refresh,
+/// activation reset, adaptive demotion/promotion — together with the
+/// policy decision that caused them.
+///
+/// Determinism follows the Recorder rules (docs/TELEMETRY.md): a Tracer is
+/// single-threaded; parallel drivers trace into per-shard tracers and
+/// Absorb() merges them in task-index order, remapping span ids, interned
+/// labels and track groups so the merged trace is byte-identical for every
+/// VRL_THREADS.  Exporters live in trace_export.hpp (Chrome trace_event
+/// JSON + JSONL).
+///
+/// Both channels are bounded.  Spans keep the oldest records past the cap
+/// (the hierarchy's roots and the head of a run are where causality
+/// starts); lineage keeps the newest (ring semantics — the incident under
+/// audit is at the end of the run).  Either way the drop count is exact,
+/// so exports state precisely what was truncated.
+
+namespace vrl::telemetry {
+
+/// Identifies one span within a Tracer.  0 means "no span" (the parent of
+/// a top-level span).  Ids are assigned sequentially and remapped on
+/// Absorb, so they are stable across thread counts but not across runs
+/// with different instrumentation.
+using SpanId = std::uint64_t;
+
+/// One closed (or still open) span.  `name` and all other label fields
+/// are indices into the owning tracer's label table (`Tracer::label`).
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;        ///< Enclosing span, 0 for top level.
+  std::uint32_t name = 0;   ///< Interned label index.
+  std::uint32_t group = 0;  ///< Track group (Chrome pid); 0 = driver.
+  std::uint64_t track = 0;  ///< Track within the group (Chrome tid; the
+                            ///< bank index for controller spans).
+  Cycles start = 0;
+  Cycles end = 0;          ///< == start until EndSpan closes it.
+  std::int64_t a = 0;      ///< Span-specific payload (e.g. op count).
+  std::int64_t b = 0;      ///< Second payload (e.g. full-refresh count).
+
+  bool operator==(const SpanRecord&) const = default;
+};
+
+/// One refresh-lineage record: a row's state transition and its cause.
+/// Kinds reuse the EventKind catalogue (docs/TELEMETRY.md) — the lineage
+/// channel is the uncapped-order, cause-attributed sibling of the event
+/// ring.
+struct LineageRecord {
+  EventKind kind = EventKind::kFullRefresh;
+  Cycles cycle = 0;
+  std::uint64_t row = 0;
+  std::uint32_t cause = 0;  ///< Interned label of the deciding policy.
+  std::int64_t detail = 0;  ///< Kind-specific (slack cycles, ladder level,
+                            ///< counter before reset, ...).
+  double value = 0.0;       ///< Kind-specific real payload (margin, ...).
+
+  bool operator==(const LineageRecord&) const = default;
+};
+
+struct TracerOptions {
+  /// Retained-span cap, oldest win (the hierarchy's roots and the head of
+  /// the run are where causality starts); further BeginSpan calls still
+  /// return valid ids (nesting stays consistent) but store nothing and
+  /// count a drop.
+  std::size_t max_spans = std::size_t{1} << 18;
+  /// Retained-lineage cap, **newest win** (ring semantics like EventTrace:
+  /// the incident under audit is at the end of the run); displaced records
+  /// are counted.
+  std::size_t max_lineage = std::size_t{1} << 18;
+  /// Record the high-frequency lineage classes: one entry per full/partial
+  /// refresh op and per VRL-Access activation reset (the latter fires on
+  /// nearly every row activation).  Complete causal replay, but one ring
+  /// write per op — off, only the rare transitions (demotions, promotions,
+  /// fallbacks, failures) are recorded, which is what keeps tracing inside
+  /// the <= 2% budget of docs/TRACING.md (the analogue of
+  /// RecorderOptions::trace_refresh_ops for the event ring).
+  bool lineage_ops = false;
+};
+
+/// Deterministic span + lineage collector.  Single-threaded by design —
+/// shard per task and Absorb() in task-index order, exactly like Recorder.
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = {});
+
+  const TracerOptions& options() const { return options_; }
+
+  // -- Labels -----------------------------------------------------------------
+
+  /// Interns `label`, returning its stable index.  Idempotent; indices are
+  /// assigned in first-intern order (deterministic for deterministic
+  /// instrumentation).
+  std::uint32_t Intern(std::string_view label);
+
+  /// The interned label for `index` (throws on out-of-range).
+  const std::string& label(std::uint32_t index) const;
+
+  std::size_t label_count() const { return labels_.size(); }
+
+  // -- Track groups -----------------------------------------------------------
+
+  /// Opens a new track group (a Chrome "process": one per controller run)
+  /// and returns its id.  Group 0 always exists and is the driver group.
+  std::uint32_t NewTrackGroup(std::string_view label);
+
+  /// Label indices of the non-driver groups, in creation order; group id
+  /// g corresponds to `groups()[g - 1]`.
+  const std::vector<std::uint32_t>& groups() const { return groups_; }
+
+  // -- Spans ------------------------------------------------------------------
+
+  /// Opens a span whose parent is the innermost still-open span.  `start`
+  /// is a simulator-clock cycle.  Always returns a fresh id, even when the
+  /// record itself is dropped by the cap.
+  SpanId BeginSpan(std::string_view name, Cycles start,
+                   std::uint32_t group = 0, std::uint64_t track = 0,
+                   std::int64_t a = 0, std::int64_t b = 0);
+
+  /// BeginSpan with a pre-interned name — per-tick call sites intern once
+  /// outside their loop so the hot path skips the label-table lookup.
+  SpanId BeginSpan(std::uint32_t name_label, Cycles start,
+                   std::uint32_t group = 0, std::uint64_t track = 0,
+                   std::int64_t a = 0, std::int64_t b = 0);
+
+  /// Closes the innermost open span, which must be `id` (spans close in
+  /// LIFO order — ScopedSpan enforces this by construction).
+  /// \throws vrl::ConfigError on a mismatched or missing open span.
+  void EndSpan(SpanId id, Cycles end);
+
+  /// Records a span whose duration is already known, without touching the
+  /// open-span stack (its parent is the innermost open span).
+  void CompleteSpan(std::string_view name, Cycles start, Cycles end,
+                    std::uint32_t group = 0, std::uint64_t track = 0,
+                    std::int64_t a = 0, std::int64_t b = 0);
+
+  /// CompleteSpan with a pre-interned name (see the BeginSpan overload).
+  void CompleteSpan(std::uint32_t name_label, Cycles start, Cycles end,
+                    std::uint32_t group = 0, std::uint64_t track = 0,
+                    std::int64_t a = 0, std::int64_t b = 0);
+
+  /// Retained spans in record order.
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Spans begun but not stored because of the cap.
+  std::uint64_t dropped_spans() const { return dropped_spans_; }
+
+  /// Total spans ever begun (retained + dropped).
+  std::uint64_t recorded_spans() const {
+    return dropped_spans_ + spans_.size();
+  }
+
+  /// Depth of the open-span stack (0 when everything is closed).
+  std::size_t open_depth() const { return open_.size(); }
+
+  // -- Lineage ----------------------------------------------------------------
+
+  /// Appends one lineage record.  Past the cap the ring overwrites the
+  /// oldest record (newest win) and the displacement is counted.
+  void Lineage(const LineageRecord& record) {
+    ++lineage_recorded_;
+    if (lineage_.size() < options_.max_lineage) {
+      ReserveChunk(lineage_, options_.max_lineage);
+      lineage_.push_back(record);
+    } else if (!lineage_.empty()) {
+      lineage_[lineage_next_] = record;
+      ++lineage_next_;
+      if (lineage_next_ == lineage_.size()) {
+        lineage_next_ = 0;
+      }
+    }
+  }
+
+  /// Retained lineage records, oldest first.
+  std::vector<LineageRecord> LineageRetained() const;
+
+  std::size_t lineage_size() const { return lineage_.size(); }
+
+  std::uint64_t dropped_lineage() const {
+    return lineage_recorded_ - lineage_.size();
+  }
+
+  std::uint64_t recorded_lineage() const { return lineage_recorded_; }
+
+  // -- Shard merge ------------------------------------------------------------
+
+  /// Merges another tracer's spans, lineage, labels and groups into this
+  /// one, remapping label indices, group ids and span ids so references
+  /// stay valid.  Callers merging parallel work MUST absorb shards in
+  /// task-index order (the Recorder rule).  `other` must have no open
+  /// spans.  \throws vrl::ConfigError otherwise.
+  void Absorb(const Tracer& other);
+
+ private:
+  struct OpenSpan {
+    SpanId id = 0;
+    std::size_t index = 0;  ///< Slot in spans_, or npos when dropped.
+  };
+  static constexpr std::size_t kDroppedIndex = ~std::size_t{0};
+
+  /// First-append capacity jump to the full cap.  Append cost on the hot
+  /// path is dominated by vector reallocation (a 64-byte record costs ~3x
+  /// more during growth than into reserved capacity — docs/TRACING.md),
+  /// so the first record reserves the whole cap once and no append ever
+  /// reallocates.  That is cheap because reserve only claims *virtual*
+  /// address space: physical pages materialize per record actually
+  /// written, and a tracer that records nothing allocates nothing.
+  template <typename T>
+  static void ReserveChunk(std::vector<T>& records, std::size_t cap) {
+    if (records.size() == records.capacity()) {
+      records.reserve(cap);
+    }
+  }
+
+  TracerOptions options_;
+  std::vector<std::string> labels_;
+  std::map<std::string, std::uint32_t, std::less<>> label_index_;
+  std::vector<std::uint32_t> groups_;  ///< Label id per non-driver group.
+  std::vector<SpanRecord> spans_;
+  std::vector<OpenSpan> open_;
+  std::vector<LineageRecord> lineage_;
+  std::size_t lineage_next_ = 0;  ///< Ring slot the next record displaces.
+  SpanId next_id_ = 1;
+  std::uint64_t dropped_spans_ = 0;
+  std::uint64_t lineage_recorded_ = 0;
+};
+
+/// RAII span tied to a simulator-clock variable: reads `clock` at
+/// construction (start) and destruction (end), so the span brackets
+/// whatever the enclosed code does to the clock.  Null-tracer safe.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view name, const Cycles& clock,
+             std::uint32_t group = 0, std::uint64_t track = 0,
+             std::int64_t a = 0, std::int64_t b = 0)
+      : tracer_(tracer), clock_(&clock) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->BeginSpan(name, *clock_, group, track, a, b);
+    }
+  }
+
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Closes the span early at the clock's current value (idempotent).
+  void End() {
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(id_, *clock_);
+      tracer_ = nullptr;
+    }
+  }
+
+  SpanId id() const { return id_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const Cycles* clock_ = nullptr;
+  SpanId id_ = 0;
+};
+
+}  // namespace vrl::telemetry

@@ -161,6 +161,31 @@ TEST(EventTrace, AppendPreservesOrderAndAccumulatesDrops) {
   EXPECT_EQ(a.dropped(), 1u);  // b's displaced event carries over
 }
 
+// Regression pin: Append between two *wrapped* rings (both sides past
+// capacity, slots rotated) must replay the source's retained window oldest
+// first through the destination ring — retained order stays chronological
+// and recorded == retained + dropped on the merged side.
+TEST(EventTrace, AppendBetweenWrappedRingsKeepsOrderAndAccounting) {
+  EventTrace a(4);
+  for (std::uint64_t i = 0; i < 8; ++i) {  // wraps twice; next_ back at 0
+    a.Record({EventKind::kDemotion, i, i, 0, 0.0});
+  }
+  EventTrace b(3);
+  for (std::uint64_t i = 100; i < 107; ++i) {  // wrapped, next_ mid-ring
+    b.Record({EventKind::kPromotion, i, i, 0, 0.0});
+  }
+  a.Append(b);
+  const auto events = a.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].cycle, 7u);    // newest survivor of a's own window
+  EXPECT_EQ(events[1].cycle, 104u);  // b's retained window, oldest first
+  EXPECT_EQ(events[2].cycle, 105u);
+  EXPECT_EQ(events[3].cycle, 106u);
+  EXPECT_EQ(a.recorded(), 15u);
+  EXPECT_EQ(a.dropped(), 11u);
+  EXPECT_EQ(a.recorded(), a.size() + a.dropped());
+}
+
 // ---------------------------------------------------------------------------
 // 1c. Snapshot algebra + exporters
 // ---------------------------------------------------------------------------
