@@ -6,9 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "bench/reporting.hpp"
 #include "circuit/dram_circuits.hpp"
 #include "circuit/transient.hpp"
 #include "common/rng.hpp"
@@ -193,4 +200,63 @@ BENCHMARK(BM_GenerateTrace);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off the shared reporting
+// flags (--serve/--watchdog — the observability plane of
+// docs/OBSERVABILITY.md) before handing the remaining arguments to
+// google-benchmark.  With the plane attached, a session recorder is
+// published before and after the benchmark run; VRL_MONITOR_LINGER_S keeps
+// the server up after the run so CI can scrape an otherwise-finished
+// binary.
+int main(int argc, char** argv) {
+  vrl::bench::ReportOptions report_options;
+  std::unique_ptr<vrl::obs::MonitorPlane> plane;
+  try {
+    report_options = vrl::bench::ParseReportArgs(argc, argv);
+    plane = vrl::bench::MakeMonitorPlane(report_options, std::cout);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+
+  std::vector<std::string> args;
+  args.emplace_back(argv[0]);
+  for (const std::string& arg : report_options.positional) {
+    args.push_back(arg);
+  }
+  std::vector<char*> benchmark_argv;
+  benchmark_argv.reserve(args.size());
+  for (std::string& arg : args) {
+    benchmark_argv.push_back(arg.data());
+  }
+  int benchmark_argc = static_cast<int>(benchmark_argv.size());
+  benchmark::Initialize(&benchmark_argc, benchmark_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(benchmark_argc,
+                                             benchmark_argv.data())) {
+    return 1;
+  }
+
+  telemetry::Recorder session;
+  if (plane) {
+    session.counter("bench.sessions").Add();
+    plane->Sample(session);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (plane) {
+    session.counter("bench.sessions").Add();
+    plane->Sample(session);
+    const char* linger = std::getenv("VRL_MONITOR_LINGER_S");
+    if (linger != nullptr && *linger != '\0') {
+      const double seconds = std::strtod(linger, nullptr);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(seconds));
+      while (std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        plane->Sample(session);
+      }
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

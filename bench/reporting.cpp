@@ -1,5 +1,6 @@
 #include "bench/reporting.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <string_view>
@@ -34,24 +35,67 @@ void WriteCsvRow(std::ostream& os, const std::vector<std::string>& cells) {
 
 }  // namespace
 
+namespace {
+
+/// True when `text` is a bare base-10 integer — how --serve decides whether
+/// the next argument is its optional port.
+bool ParsePort(const std::string& text, int* port) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || value < 0 || value > 65535) {
+    return false;
+  }
+  *port = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
 ReportOptions ParseReportArgs(int argc, char** argv) {
   ReportOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" || arg == "--csv" || arg == "--trace-out") {
+    if (arg == "--json" || arg == "--csv" || arg == "--trace-out" ||
+        arg == "--watchdog") {
       if (i + 1 >= argc) {
         throw ConfigError("ParseReportArgs: " + arg + " needs a path");
       }
-      (arg == "--json"  ? options.json_path
-       : arg == "--csv" ? options.csv_path
-                        : options.trace_path) = argv[++i];
+      (arg == "--json"       ? options.json_path
+       : arg == "--csv"      ? options.csv_path
+       : arg == "--watchdog" ? options.watchdog_path
+                             : options.trace_path) = argv[++i];
     } else if (arg == "--profile") {
       options.profile = true;
+    } else if (arg == "--serve") {
+      options.serve = true;
+      if (i + 1 < argc && ParsePort(argv[i + 1], &options.serve_port)) {
+        ++i;
+      }
     } else {
       options.positional.push_back(arg);
     }
   }
   return options;
+}
+
+std::unique_ptr<obs::MonitorPlane> MakeMonitorPlane(
+    const ReportOptions& options, std::ostream& announce) {
+  if (!options.serve && options.watchdog_path.empty()) {
+    return nullptr;
+  }
+  obs::PlaneOptions plane_options;
+  plane_options.serve = options.serve;
+  plane_options.port = options.serve_port;
+  plane_options.watchdog_path = options.watchdog_path;
+  auto plane = std::make_unique<obs::MonitorPlane>(plane_options);
+  if (const obs::MonitorServer* server = plane->server()) {
+    announce << "monitor: serving on http://" << server->bind_address() << ':'
+             << server->port() << std::endl;
+  }
+  return plane;
 }
 
 Report::Report(std::string name) : name_(std::move(name)) {}

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/table.hpp"
+#include "obs/plane.hpp"
 #include "telemetry/metrics.hpp"
 
 /// \file reporting.hpp
@@ -22,6 +24,11 @@
 ///                       that support it enable tracing when the flag is set
 ///   --profile           enable the phase self-profiler and append its
 ///                       wall-time attribution table (AddProfile)
+///   --serve [port]      start the embedded monitor server
+///                       (docs/OBSERVABILITY.md); port defaults to 0
+///                       (ephemeral, announced on stdout)
+///   --watchdog <rules.json>  attach an SloWatchdog evaluating the rules
+///                       file on every Sample (drives /healthz)
 ///
 /// The aligned-text rendering always goes to stdout (unless --json/--csv
 /// targets stdout, which replaces it), so default invocations look exactly
@@ -47,15 +54,29 @@ struct ReportOptions {
   std::string csv_path;    ///< Empty = no CSV; "-" = stdout.
   std::string trace_path;  ///< Empty = no trace export (docs/TRACING.md).
   bool profile = false;    ///< Phase self-profiler requested.
+  bool serve = false;      ///< Start the monitor server (--serve).
+  int serve_port = 0;      ///< --serve's port; 0 = ephemeral.
+  std::string watchdog_path;  ///< SLO rules file (--watchdog); empty = none.
   /// Arguments left after removing the shared flags, in order (argv[0]
   /// excluded) — the binary's own positional arguments.
   std::vector<std::string> positional;
 };
 
 /// Parses `--json <path>` / `--csv <path>` / `--trace-out <path>` /
-/// `--profile` out of argv.
+/// `--profile` / `--serve [port]` / `--watchdog <rules.json>` out of argv.
+/// `--serve`'s port argument is optional: a following bare integer is
+/// consumed as the port, anything else leaves the ephemeral default.
 /// \throws vrl::ConfigError when a flag is missing its path argument.
 ReportOptions ParseReportArgs(int argc, char** argv);
+
+/// Builds the observability plane the parsed flags ask for, or null when
+/// neither --serve nor --watchdog was given.  When the server starts, its
+/// address is announced as "monitor: serving on http://<addr>:<port>" to
+/// `announce` (flushed — CI greps it for the ephemeral port).  The caller
+/// drives plane->Sample(recorder) at its own cadence.
+/// \throws vrl::ConfigError on an unbindable port or bad rules file.
+std::unique_ptr<obs::MonitorPlane> MakeMonitorPlane(
+    const ReportOptions& options, std::ostream& announce);
 
 /// A named report: ordered metadata plus ordered named tables.
 class Report {

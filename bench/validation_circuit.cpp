@@ -90,7 +90,8 @@ int main(int argc, char** argv) {
        "dv circuit (mV)"});
   const std::array<std::size_t, 3> geometries = {2048, 8192, 16384};
   const auto part_a_rows = vrl::ParallelMap(
-      geometries.size(), [&](std::size_t g) -> std::vector<std::string> {
+      "circuit_equalization", geometries.size(),
+      [&](std::size_t g) -> std::vector<std::string> {
         TechnologyParams tech;
         tech.rows = geometries[g];
         tech.columns = 8;
@@ -140,7 +141,8 @@ int main(int argc, char** argv) {
       {"offset (mV)", "circuit readable fraction", "model readable fraction"});
   const std::array<double, 4> offsets_mv = {0.0, 5.0, 10.0, 20.0};
   const auto part_b_rows = vrl::ParallelMap(
-      offsets_mv.size(), [&](std::size_t o) -> std::vector<std::string> {
+      "circuit_sa_offset", offsets_mv.size(),
+      [&](std::size_t o) -> std::vector<std::string> {
         const double offset_mv = offsets_mv[o];
         TechnologyParams margin_tech = tech;
         // The model's margin parameter corresponds to the latch offset; a

@@ -8,6 +8,7 @@
 //                    [--temp-excursion C] [--drift RATE] [--corruption F]
 //                    [--json PATH] [--csv PATH]
 //                    [--trace-out PATH] [--profile]
+//                    [--serve [PORT]] [--watchdog RULES.json]
 //
 // Three legs run under the identical fault realization: the JEDEC
 // full-rate baseline, the plain policy (no detection — silent loss), and
@@ -60,8 +61,10 @@ int main(int argc, char** argv) {
   double corruption_fraction = 0.0;
 
   bench::ReportOptions report_options;
+  std::unique_ptr<obs::MonitorPlane> plane;
   try {
     report_options = bench::ParseReportArgs(argc, argv);
+    plane = bench::MakeMonitorPlane(report_options, std::cout);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
@@ -167,8 +170,19 @@ int main(int argc, char** argv) {
     auto adaptive_faults = make_schedule();
     options.adaptive = true;
     options.telemetry = &recorder;
+    if (plane) {
+      // Live observability: publish the recorder (and feed the watchdog)
+      // after every completed refresh window, so `curl /metrics` during the
+      // campaign sees current counters, not just the end-of-run snapshot.
+      options.on_window = [&plane, &recorder](std::size_t, Cycles) {
+        plane->Sample(recorder);
+      };
+    }
     const auto adaptive =
         system.RunFaultCampaign(kind, adaptive_faults, options);
+    if (plane) {
+      plane->Sample(recorder);  // final end-of-run publish
+    }
 
     TextTable& table = report.AddTable(
         "legs", {"policy", "refreshes", "partials", "detected", "corrected",

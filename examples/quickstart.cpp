@@ -4,6 +4,7 @@
 //
 //   ./quickstart [workload] [--json PATH] [--csv PATH]
 //                [--trace-out PATH] [--profile]
+//                [--serve [PORT]] [--watchdog RULES.json]
 //   (default workload: streamcluster)
 //
 // --trace-out exports the runs' span + refresh-lineage trace as Chrome
@@ -13,6 +14,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "bench/reporting.hpp"
@@ -25,8 +27,10 @@ int main(int argc, char** argv) {
   using namespace vrl;
 
   bench::ReportOptions report_options;
+  std::unique_ptr<obs::MonitorPlane> plane;
   try {
     report_options = bench::ParseReportArgs(argc, argv);
+    plane = bench::MakeMonitorPlane(report_options, std::cout);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
@@ -90,6 +94,9 @@ int main(int argc, char** argv) {
                   std::to_string(stats.TotalPartialRefreshes()),
                   Fmt(energy.refresh_power_mw, 2),
                   Fmt(stats.AverageRequestLatency(), 1)});
+    if (plane) {
+      plane->Sample(*system.telemetry());  // publish after each policy run
+    }
   }
   report.AddTelemetry(system.telemetry()->Snapshot());
   if (report_options.profile) {

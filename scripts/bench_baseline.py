@@ -31,6 +31,20 @@ import os
 import subprocess
 import sys
 
+def ratio_regressed(value, base_value, threshold):
+    """True when `value` regressed past `base_value` by more than `threshold`.
+
+    "10% regression" means the metric itself grew by >10% relative to the
+    baseline (e.g. a 1.01 overhead ratio rising past 1.111), not an absolute
+    +0.10.  Shared with scripts/diff_runs.py so both gates agree on what a
+    regression is.  Baselines at (or below) zero cannot be ratio-gated:
+    any positive value counts as a regression, zero/negative never does.
+    """
+    if base_value <= 0.0:
+        return value > 0.0
+    return value > base_value * (1.0 + threshold)
+
+
 RATIO_KEYS = [
     # (key, numerator benchmark, denominator benchmark) over cpu_time.
     ("telemetry_overhead_loaded", "BM_SimulateWindow/1/1", "BM_SimulateWindow/0/1"),
@@ -143,7 +157,7 @@ def check(current, baseline, threshold, abs_threshold):
             continue
         # Overhead ratios hover near 1.0; "10% regression" means the ratio
         # itself grew by >10% (e.g. 1.01 -> 1.12), not overhead*1.1.
-        if value > base_value * (1.0 + threshold):
+        if ratio_regressed(value, base_value, threshold):
             failures.append(
                 f"ratio {key}: {value:.4f} vs baseline {base_value:.4f} "
                 f"(> +{threshold:.0%})"
@@ -172,7 +186,7 @@ def check(current, baseline, threshold, abs_threshold):
         if bench is None:
             failures.append(f"benchmark {name}: missing from current run")
             continue
-        if bench["cpu_time"] > base_bench["cpu_time"] * (1.0 + abs_threshold):
+        if ratio_regressed(bench["cpu_time"], base_bench["cpu_time"], abs_threshold):
             failures.append(
                 f"abs {name}: {bench['cpu_time']:.3g}{bench['time_unit']} vs "
                 f"baseline {base_bench['cpu_time']:.3g}"

@@ -7,8 +7,10 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 /// \file parallel.hpp
@@ -107,6 +109,32 @@ class ThreadPool {
   std::exception_ptr first_error_;
 };
 
+/// Progress observer for ParallelFor fan-outs.  Implementations receive a
+/// fan-out-begin call (returning an opaque token they mint), one
+/// item-complete call per finished item, and a fan-out-end call — from
+/// worker threads, so they must be internally synchronized.  Observation is
+/// best-effort bookkeeping for live monitoring (obs::ProgressReporter feeds
+/// the /runs endpoint from it); it must never influence results, or the
+/// determinism contract breaks.
+class ParallelObserver {
+ public:
+  virtual ~ParallelObserver() = default;
+  /// A fan-out of `items` work items labelled `label` is starting.  The
+  /// returned token is passed back to the other callbacks.
+  virtual std::uint64_t OnFanoutBegin(std::string_view label,
+                                      std::size_t items) = 0;
+  /// One work item of fan-out `token` finished (possibly by throwing).
+  virtual void OnItemComplete(std::uint64_t token) = 0;
+  /// Fan-out `token` is over (normal completion or exception unwind).
+  virtual void OnFanoutEnd(std::uint64_t token) = 0;
+};
+
+/// Installs the process-wide fan-out observer (nullptr = none) and returns
+/// the previous one.  The caller keeps ownership; the observer must outlive
+/// every fan-out that runs while it is installed.  Not synchronized against
+/// in-flight fan-outs — install during setup, before fan-outs run.
+ParallelObserver* SetParallelObserver(ParallelObserver* observer);
+
 /// Runs body(0) ... body(n-1), distributing items over `threads` workers
 /// (0 = DefaultThreadCount()).  Items are claimed from an atomic work queue
 /// in index order but may complete in any order — callers must follow the
@@ -114,6 +142,14 @@ class ThreadPool {
 /// thread suffices (n <= 1, threads == 1) or when called from inside
 /// another parallel region.  The first exception thrown by any item is
 /// rethrown after all workers stop claiming new items.
+///
+/// `label` names the fan-out for the installed ParallelObserver (live
+/// progress reporting); it does not affect execution.
+void ParallelFor(std::string_view label, std::size_t n,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t threads = 0);
+
+/// Unlabelled ParallelFor — reported to the observer as "parallel_for".
 void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
                  std::size_t threads = 0);
 
@@ -121,12 +157,20 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
 /// pre-sized-slot pattern of the determinism contract, packaged.  The
 /// result type must be default-constructible.
 template <typename Fn>
-auto ParallelMap(std::size_t n, Fn&& fn, std::size_t threads = 0)
+auto ParallelMap(std::string_view label, std::size_t n, Fn&& fn,
+                 std::size_t threads = 0)
     -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
   std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> out(n);
   ParallelFor(
-      n, [&](std::size_t i) { out[i] = fn(i); }, threads);
+      label, n, [&](std::size_t i) { out[i] = fn(i); }, threads);
   return out;
+}
+
+/// Unlabelled ParallelMap — reported to the observer as "parallel_for".
+template <typename Fn>
+auto ParallelMap(std::size_t n, Fn&& fn, std::size_t threads = 0)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  return ParallelMap("parallel_for", n, std::forward<Fn>(fn), threads);
 }
 
 }  // namespace vrl

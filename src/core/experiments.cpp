@@ -105,7 +105,7 @@ std::vector<WorkloadResult> RunEvaluationSuite(
   telemetry::Recorder* sink = ResolveSink(system, options);
   if (sink == nullptr) {
     ParallelFor(
-        suite.size(),
+        "evaluation_suite", suite.size(),
         [&](std::size_t i) {
           results[i] = RunWorkloadInto(system, suite[i], options, nullptr);
         },
@@ -115,7 +115,7 @@ std::vector<WorkloadResult> RunEvaluationSuite(
   const telemetry::ScopedTimer suite_timer(sink, "time.evaluation_suite");
   telemetry::ShardedRecorder shards(suite.size(), sink->options());
   ParallelFor(
-      suite.size(),
+      "evaluation_suite", suite.size(),
       [&](std::size_t i) {
         results[i] = RunWorkloadInto(system, suite[i], options,
                                      &shards.shard(i));
@@ -169,7 +169,7 @@ ResilienceResult RunResilienceComparison(const VrlSystem& system,
                                                           sink->options());
   }
   ParallelFor(
-      std::size(legs),
+      "resilience_comparison", std::size(legs),
       [&](std::size_t i) {
         const Leg& leg = legs[i];
         fault::FaultSchedule faults(options.fault_seed);

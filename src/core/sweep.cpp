@@ -30,7 +30,7 @@ std::vector<SweepResult> RunSweep(
   // bit-identical to the serial one at any thread count (determinism
   // contract, common/parallel.hpp).
   std::vector<SweepResult> results(points.size());
-  ParallelFor(points.size(), [&](std::size_t index) {
+  ParallelFor("sweep", points.size(), [&](std::size_t index) {
     const SweepPoint& point = points[index];
     VrlConfig config = base;
     config.nbits = point.nbits;

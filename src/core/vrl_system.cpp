@@ -241,6 +241,7 @@ fault::CampaignReport VrlSystem::RunFaultCampaign(
   setup.max_logged_events = options.max_logged_events;
   setup.telemetry =
       options.telemetry != nullptr ? options.telemetry : telemetry_.get();
+  setup.on_window = options.on_window;
 
   auto policy = MakePolicyFactory(kind)();
   if (!options.adaptive) {

@@ -1,0 +1,373 @@
+#include "obs/monitor_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "telemetry/export.hpp"
+
+namespace vrl::obs {
+namespace {
+
+using telemetry::FormatDouble;
+using telemetry::JsonEscape;
+
+std::string_view StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+/// One pre-rendered /trace line, matching WriteLineageJsonl's schema so the
+/// tail and the post-run export are the same format.
+std::string RenderLineageLine(const telemetry::Tracer& tracer,
+                              const telemetry::LineageRecord& record) {
+  std::ostringstream os;
+  os << R"({"type":"lineage","kind":")" << EventKindName(record.kind)
+     << R"(","cycle":)" << record.cycle << R"(,"row":)" << record.row
+     << R"(,"cause":")" << JsonEscape(tracer.label(record.cause))
+     << R"(","detail":)" << record.detail << R"(,"value":)"
+     << FormatDouble(record.value) << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+MonitorServer::MonitorServer(MonitorServerOptions options,
+                             const ProgressReporter* progress)
+    : options_(std::move(options)), progress_(progress) {
+  if (!options_.clock) {
+    const auto epoch = std::chrono::steady_clock::now();
+    options_.clock = [epoch] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           epoch)
+          .count();
+    };
+  }
+  bind_address_ = options_.bind_address;
+  if (bind_address_.empty()) {
+    const char* env = std::getenv("VRL_MONITOR_BIND");
+    bind_address_ = env != nullptr && *env != '\0' ? env : "127.0.0.1";
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw ConfigError("MonitorServer: socket() failed");
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, bind_address_.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw ConfigError("MonitorServer: invalid bind address '" +
+                      bind_address_ + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    throw ConfigError("MonitorServer: cannot bind " + bind_address_ + ":" +
+                      std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw ConfigError("MonitorServer: listen() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  thread_ = std::thread([this] { ServeLoop(); });
+}
+
+MonitorServer::~MonitorServer() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+}
+
+void MonitorServer::Publish(const telemetry::Recorder& recorder) {
+  // Copy everything outside the lock: snapshotting a large registry while
+  // a scrape holds the lock would stall the driver on the server.
+  telemetry::MetricsSnapshot snapshot = recorder.Snapshot();
+  std::vector<std::string> tail;
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t lineage_recorded = 0;
+  std::uint64_t lineage_dropped = 0;
+  if (const telemetry::Tracer* tracer = recorder.tracer()) {
+    spans_recorded = tracer->recorded_spans();
+    spans_dropped = tracer->dropped_spans();
+    lineage_recorded = tracer->recorded_lineage();
+    lineage_dropped = tracer->dropped_lineage();
+    const auto lineage = tracer->LineageRetained();
+    tail.reserve(lineage.size());
+    for (const telemetry::LineageRecord& record : lineage) {
+      tail.push_back(RenderLineageLine(*tracer, record));
+    }
+  }
+  const double now_s = options_.clock();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  published_ = std::move(snapshot);
+  events_recorded_ = recorder.events().recorded();
+  events_dropped_ = recorder.events().dropped();
+  events_retained_ = recorder.events().size();
+  spans_recorded_ = spans_recorded;
+  spans_dropped_ = spans_dropped;
+  lineage_recorded_ = lineage_recorded;
+  lineage_dropped_ = lineage_dropped;
+  lineage_tail_ = std::move(tail);
+  ready_ = true;
+  ++publishes_;
+  last_publish_s_ = now_s;
+}
+
+void MonitorServer::SetHealth(HealthState state, std::string_view reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  health_ = state;
+  health_reason_ = std::string(reason);
+}
+
+std::uint64_t MonitorServer::metrics_scrapes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return scrapes_metrics_;
+}
+
+std::string MonitorServer::BuildResponse(int status,
+                                         std::string_view content_type,
+                                         std::string_view body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << ' ' << StatusText(status)
+     << "\r\nContent-Type: " << content_type
+     << "\r\nContent-Length: " << body.size()
+     << "\r\nConnection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+std::string MonitorServer::RenderMetrics() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++scrapes_metrics_;
+  std::ostringstream os;
+  RenderPrometheus(os, published_, options_.prometheus);
+
+  // Server meta series: exact drop accounting for every bounded channel
+  // (recorded = retained + dropped at the moment of the last publish) plus
+  // scrape/publish/health state.  The scrape counter increases on every
+  // /metrics hit, so two consecutive scrapes always give
+  // scripts/check_metrics.py a strictly-increasing counter to check.
+  const std::string& p = options_.prometheus.prefix;
+  const auto counter = [&](std::string_view name, std::uint64_t value) {
+    os << "# TYPE " << p << name << " counter\n"
+       << p << name << ' ' << value << '\n';
+  };
+  const auto gauge = [&](std::string_view name, double value) {
+    os << "# TYPE " << p << name << " gauge\n"
+       << p << name << ' ' << PrometheusDouble(value) << '\n';
+  };
+  counter("monitor_events_recorded_total", events_recorded_);
+  counter("monitor_events_dropped_total", events_dropped_);
+  gauge("monitor_events_retained", static_cast<double>(events_retained_));
+  counter("monitor_spans_recorded_total", spans_recorded_);
+  counter("monitor_spans_dropped_total", spans_dropped_);
+  counter("monitor_lineage_recorded_total", lineage_recorded_);
+  counter("monitor_lineage_dropped_total", lineage_dropped_);
+  counter("monitor_publishes_total", publishes_);
+  counter("monitor_metrics_scrapes_total", scrapes_metrics_);
+  gauge("monitor_health", static_cast<double>(health_));
+  gauge("monitor_ready", ready_ ? 1.0 : 0.0);
+  gauge("monitor_publish_age_s",
+        publishes_ == 0 ? 0.0 : options_.clock() - last_publish_s_);
+  if (progress_ != nullptr) {
+    counter("monitor_fanouts_total", progress_->fanouts_begun());
+    counter("monitor_fanouts_finished_total", progress_->fanouts_finished());
+  }
+  return os.str();
+}
+
+std::string MonitorServer::RenderHealth(int* status) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  *status = health_ == HealthState::kFailing ? 503 : 200;
+  std::string body(HealthStateName(health_));
+  if (!health_reason_.empty()) {
+    body += ' ';
+    body += health_reason_;
+  }
+  body += '\n';
+  return body;
+}
+
+std::string MonitorServer::RenderTraceTail(std::string_view query) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t last = options_.trace_tail_default;
+  const std::size_t key = query.find("last=");
+  if (key != std::string_view::npos) {
+    const std::string number(query.substr(key + 5));
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(number.c_str(), &end, 10);
+    if (end != number.c_str()) {
+      last = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (last > lineage_tail_.size()) {
+    last = lineage_tail_.size();
+  }
+  std::string body;
+  for (std::size_t i = lineage_tail_.size() - last; i < lineage_tail_.size();
+       ++i) {
+    body += lineage_tail_[i];
+  }
+  std::ostringstream summary;
+  summary << R"({"type":"lineage_summary","recorded":)" << lineage_recorded_
+          << R"(,"retained":)" << lineage_tail_.size() << R"(,"dropped":)"
+          << lineage_dropped_ << "}\n";
+  body += summary.str();
+  return body;
+}
+
+std::string MonitorServer::HandleGet(std::string_view target) {
+  std::string_view path = target;
+  std::string_view query;
+  const std::size_t question = target.find('?');
+  if (question != std::string_view::npos) {
+    path = target.substr(0, question);
+    query = target.substr(question + 1);
+  }
+  if (path == "/metrics") {
+    return BuildResponse(200, "text/plain; version=0.0.4; charset=utf-8",
+                         RenderMetrics());
+  }
+  if (path == "/healthz") {
+    int status = 200;
+    const std::string body = RenderHealth(&status);
+    return BuildResponse(status, "text/plain; charset=utf-8", body);
+  }
+  if (path == "/readyz") {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return ready_ ? BuildResponse(200, "text/plain; charset=utf-8", "ready\n")
+                  : BuildResponse(503, "text/plain; charset=utf-8",
+                                  "not ready\n");
+  }
+  if (path == "/runs") {
+    return BuildResponse(200, "application/json",
+                         progress_ != nullptr ? progress_->RenderRunsJson()
+                                              : "{\"runs\":[]}\n");
+  }
+  if (path == "/trace") {
+    return BuildResponse(200, "application/x-ndjson",
+                         RenderTraceTail(query));
+  }
+  return BuildResponse(404, "text/plain; charset=utf-8", "not found\n");
+}
+
+void MonitorServer::ServeLoop() {
+  std::map<int, std::string> clients;  ///< fd -> partial request bytes.
+  std::vector<pollfd> fds;
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_requested_) {
+        break;
+      }
+    }
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, buffer] : clients) {
+      fds.push_back({fd, POLLIN, 0});
+    }
+    // Short timeout so shutdown is prompt even with no traffic.
+    const int events = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                              100);
+    if (events <= 0) {
+      continue;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client >= 0) {
+        clients.emplace(client, std::string());
+      }
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      const int fd = fds[i].fd;
+      char chunk[4096];
+      const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (got <= 0) {
+        ::close(fd);
+        clients.erase(fd);
+        continue;
+      }
+      std::string& buffer = clients[fd];
+      buffer.append(chunk, static_cast<std::size_t>(got));
+      if (buffer.find("\r\n\r\n") == std::string::npos) {
+        if (buffer.size() > 8192) {  // Oversized header: drop the client.
+          ::close(fd);
+          clients.erase(fd);
+        }
+        continue;
+      }
+      // Request line: "GET <target> HTTP/1.x".
+      std::string response;
+      const std::string line = buffer.substr(0, buffer.find("\r\n"));
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 = line.rfind(' ');
+      if (sp1 == std::string::npos || sp2 == std::string::npos ||
+          sp2 <= sp1) {
+        response = BuildResponse(400, "text/plain; charset=utf-8",
+                                 "bad request\n");
+      } else if (line.substr(0, sp1) != "GET") {
+        response = BuildResponse(405, "text/plain; charset=utf-8",
+                                 "GET only\n");
+      } else {
+        response = HandleGet(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      }
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t wrote = ::send(fd, response.data() + sent,
+                                     response.size() - sent, 0);
+        if (wrote <= 0) {
+          break;
+        }
+        sent += static_cast<std::size_t>(wrote);
+      }
+      ::close(fd);
+      clients.erase(fd);
+    }
+  }
+  for (const auto& [fd, buffer] : clients) {
+    ::close(fd);
+  }
+}
+
+}  // namespace vrl::obs

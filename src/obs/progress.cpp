@@ -1,0 +1,104 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "telemetry/export.hpp"
+
+namespace vrl::obs {
+
+ProgressReporter::ProgressReporter(std::function<double()> clock,
+                                   std::size_t max_finished)
+    : clock_(std::move(clock)), max_finished_(max_finished) {
+  if (!clock_) {
+    const auto epoch = std::chrono::steady_clock::now();
+    clock_ = [epoch] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           epoch)
+          .count();
+    };
+  }
+}
+
+std::uint64_t ProgressReporter::OnFanoutBegin(std::string_view label,
+                                              std::size_t items) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t token = next_token_++;
+  RunStatus& run = active_[token];
+  run.id = token;
+  run.label = std::string(label);
+  run.items = items;
+  run.active = true;
+  run.started_s = clock_();
+  return token;
+}
+
+void ProgressReporter::OnItemComplete(std::uint64_t token) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = active_.find(token);
+  if (it != active_.end()) {
+    ++it->second.completed;
+  }
+}
+
+void ProgressReporter::OnFanoutEnd(std::uint64_t token) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = active_.find(token);
+  if (it == active_.end()) {
+    return;
+  }
+  RunStatus run = std::move(it->second);
+  active_.erase(it);
+  run.active = false;
+  run.finished_s = clock_();
+  ++finished_count_;
+  finished_.push_front(std::move(run));
+  while (finished_.size() > max_finished_) {
+    finished_.pop_back();
+  }
+}
+
+std::vector<RunStatus> ProgressReporter::Runs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RunStatus> out;
+  out.reserve(active_.size() + finished_.size());
+  for (const auto& [token, run] : active_) {
+    out.push_back(run);
+  }
+  for (const RunStatus& run : finished_) {
+    out.push_back(run);
+  }
+  return out;
+}
+
+std::uint64_t ProgressReporter::fanouts_begun() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_token_ - 1;
+}
+
+std::uint64_t ProgressReporter::fanouts_finished() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return finished_count_;
+}
+
+std::string ProgressReporter::RenderRunsJson() const {
+  const std::vector<RunStatus> runs = Runs();
+  std::ostringstream os;
+  os << "{\"runs\":[";
+  bool first = true;
+  for (const RunStatus& run : runs) {
+    os << (first ? "" : ",") << "{\"id\":" << run.id << ",\"label\":\""
+       << telemetry::JsonEscape(run.label) << "\",\"items\":" << run.items
+       << ",\"completed\":" << run.completed
+       << ",\"active\":" << (run.active ? "true" : "false")
+       << ",\"started_s\":" << telemetry::FormatDouble(run.started_s)
+       << ",\"finished_s\":" << telemetry::FormatDouble(run.finished_s)
+       << "}";
+    first = false;
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace vrl::obs

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+/// \file progress.hpp
+/// ProgressReporter — the ParallelObserver behind the /runs endpoint
+/// (docs/OBSERVABILITY.md).  Every labelled ParallelFor fan-out becomes a
+/// "run" with live item counts; finished runs stay visible in a bounded
+/// recent-history list so a scrape just after a sweep still sees it.
+///
+/// Unlike the telemetry Recorder, this *is* internally synchronized: the
+/// callbacks arrive from worker threads and the renderer from the monitor
+/// server thread.  It is pure bookkeeping — nothing here feeds back into
+/// execution, preserving the determinism contract of common/parallel.hpp.
+
+namespace vrl::obs {
+
+/// One fan-out's progress.
+struct RunStatus {
+  std::uint64_t id = 0;  ///< Observer token, unique per fan-out.
+  std::string label;     ///< The ParallelFor label.
+  std::size_t items = 0;
+  std::size_t completed = 0;
+  bool active = false;
+  double started_s = 0.0;   ///< Reporter-clock start time.
+  double finished_s = 0.0;  ///< Reporter-clock end time (0 while active).
+};
+
+class ProgressReporter : public ParallelObserver {
+ public:
+  /// \param clock monotonic seconds source; defaults to steady_clock
+  ///              seconds since construction.  Injectable for tests.
+  /// \param max_finished finished runs kept for /runs (newest win).
+  explicit ProgressReporter(std::function<double()> clock = {},
+                            std::size_t max_finished = 32);
+
+  std::uint64_t OnFanoutBegin(std::string_view label,
+                              std::size_t items) override;
+  void OnItemComplete(std::uint64_t token) override;
+  void OnFanoutEnd(std::uint64_t token) override;
+
+  /// Active runs (begin order) followed by finished runs (newest first).
+  std::vector<RunStatus> Runs() const;
+
+  /// Fan-outs ever begun / finished — the /metrics meta counters.
+  std::uint64_t fanouts_begun() const;
+  std::uint64_t fanouts_finished() const;
+
+  /// The /runs JSON document:
+  ///   {"runs":[{"id":..,"label":..,"items":..,"completed":..,
+  ///             "active":..,"started_s":..,"finished_s":..},...]}
+  std::string RenderRunsJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::function<double()> clock_;
+  std::size_t max_finished_;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t finished_count_ = 0;
+  std::map<std::uint64_t, RunStatus> active_;
+  std::deque<RunStatus> finished_;  ///< Newest at the front.
+};
+
+}  // namespace vrl::obs

@@ -22,6 +22,8 @@ std::string_view EventKindName(EventKind kind) {
       return "fallback_exit";
     case EventKind::kSensingFailure:
       return "sensing_failure";
+    case EventKind::kWatchdogTransition:
+      return "watchdog_transition";
   }
   return "?";
 }

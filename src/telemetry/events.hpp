@@ -34,6 +34,8 @@ enum class EventKind : std::uint8_t {
   kFallbackExit,       ///< Bank left fallback.
   kSensingFailure,     ///< Refresh sensed below threshold (a = 1 when
                        ///< corrected, value = charge margin).
+  kWatchdogTransition, ///< SLO watchdog health change (a = new state ordinal
+                       ///< per obs::HealthState, value = breaching measure).
 };
 
 /// Stable machine-readable kind name ("full_refresh", ...).

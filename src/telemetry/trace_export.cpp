@@ -1,5 +1,6 @@
 #include "telemetry/trace_export.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <set>
 #include <string>
@@ -110,12 +111,28 @@ void WriteTraceJsonl(std::ostream& os, const Tracer& tracer) {
 }
 
 void WriteTraceFile(const std::string& path, const Tracer& tracer) {
+  // Dispatch on the (case-insensitive) extension before opening the file so
+  // a typo'd path fails with a clear error instead of a silently-wrong
+  // format — the extension is the only format signal callers have.
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  std::string extension;
+  if (dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash)) {
+    extension = path.substr(dot);
+    for (char& c : extension) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  const bool jsonl = extension == ".jsonl";
+  if (!jsonl && extension != ".json") {
+    throw ConfigError("WriteTraceFile: unsupported extension '" + extension +
+                      "' in " + path + " (expected .json or .jsonl)");
+  }
   std::ofstream os(path);
   if (!os) {
     throw ConfigError("WriteTraceFile: cannot open " + path);
   }
-  const bool jsonl =
-      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
   if (jsonl) {
     WriteTraceJsonl(os, tracer);
   } else {

@@ -121,6 +121,30 @@ TEST(ParseReportArgs, FlagValueMayLookLikeAFlag) {
   EXPECT_FALSE(options.profile);
 }
 
+TEST(ParseReportArgs, ServePortArgumentIsOptional) {
+  const ReportOptions bare = Parse({"--serve"});
+  EXPECT_TRUE(bare.serve);
+  EXPECT_EQ(bare.serve_port, 0);  // ephemeral
+
+  const ReportOptions with_port = Parse({"--serve", "8080", "VRL"});
+  EXPECT_TRUE(with_port.serve);
+  EXPECT_EQ(with_port.serve_port, 8080);
+  EXPECT_EQ(with_port.positional, (std::vector<std::string>{"VRL"}));
+
+  // A non-numeric follower is a positional, not a port.
+  const ReportOptions no_port = Parse({"--serve", "VRL"});
+  EXPECT_TRUE(no_port.serve);
+  EXPECT_EQ(no_port.serve_port, 0);
+  EXPECT_EQ(no_port.positional, (std::vector<std::string>{"VRL"}));
+}
+
+TEST(ParseReportArgs, WatchdogTakesARulesPathAndRequiresIt) {
+  const ReportOptions options = Parse({"--watchdog", "rules.json"});
+  EXPECT_EQ(options.watchdog_path, "rules.json");
+  EXPECT_FALSE(options.serve);  // --watchdog alone does not start a server
+  EXPECT_THROW(Parse({"--watchdog"}), ConfigError);
+}
+
 // -- Emit ---------------------------------------------------------------------
 
 TEST(ReportEmit, UnopenablePathThrows) {
