@@ -5,6 +5,12 @@
 // The paper's design point (nbits=2, 95% target, no guardband, plain bank)
 // sits at the overhead knee; this table shows what each neighbouring choice
 // buys and costs.
+//
+// The sweep runs through the crash-tolerant runtime (docs/RESILIENCE.md):
+// `--resume <journal>` journals each completed point so an interrupted
+// sweep picks up where it crashed, and `--workers N` isolates points in
+// supervised worker processes — either way the table is byte-identical to
+// an uninterrupted in-process run.
 
 #include <cstdio>
 #include <iostream>
@@ -12,6 +18,7 @@
 #include "bench/reporting.hpp"
 #include "common/parallel.hpp"
 #include "core/sweep.hpp"
+#include "runtime/resilient.hpp"
 
 int main(int argc, char** argv) {
   using namespace vrl;
@@ -24,8 +31,10 @@ int main(int argc, char** argv) {
 
   core::VrlConfig base;
   base.banks = 2;
-  const auto results = core::RunSweep(base, core::DefaultGrid(),
-                                      trace::SuiteWorkload("facesim"), 8);
+  const auto results =
+      runtime::RunSweep(base, core::DefaultGrid(),
+                        trace::SuiteWorkload("facesim"), 8,
+                        bench::MakeRuntimeOptions(report_options));
 
   TextTable& table = report.AddTable(
       "sweep", {"point", "VRL", "VRL-Access", "area um^2", "% bank",

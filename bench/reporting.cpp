@@ -56,17 +56,33 @@ bool ParsePort(const std::string& text, int* port) {
 
 ReportOptions ParseReportArgs(int argc, char** argv) {
   ReportOptions options;
+  const auto value_of = [&](int* i, const std::string& arg) -> std::string {
+    if (*i + 1 >= argc) {
+      throw ConfigError("ParseReportArgs: " + arg + " needs a value");
+    }
+    return argv[++*i];
+  };
+  const auto count_of = [&](int* i, const std::string& arg) -> std::size_t {
+    const std::string text = value_of(i, arg);
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    // strtoull accepts (and wraps) a leading minus — reject it explicitly.
+    if (end != text.c_str() + text.size() || text.empty() ||
+        text[0] == '-') {
+      throw ConfigError("ParseReportArgs: " + arg +
+                        " needs a non-negative integer, got '" + text + "'");
+    }
+    return static_cast<std::size_t>(value);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" || arg == "--csv" || arg == "--trace-out" ||
-        arg == "--watchdog") {
-      if (i + 1 >= argc) {
-        throw ConfigError("ParseReportArgs: " + arg + " needs a path");
-      }
+        arg == "--watchdog" || arg == "--resume") {
       (arg == "--json"       ? options.json_path
        : arg == "--csv"      ? options.csv_path
        : arg == "--watchdog" ? options.watchdog_path
-                             : options.trace_path) = argv[++i];
+       : arg == "--resume"   ? options.resume_path
+                             : options.trace_path) = value_of(&i, arg);
     } else if (arg == "--profile") {
       options.profile = true;
     } else if (arg == "--serve") {
@@ -74,11 +90,35 @@ ReportOptions ParseReportArgs(int argc, char** argv) {
       if (i + 1 < argc && ParsePort(argv[i + 1], &options.serve_port)) {
         ++i;
       }
+    } else if (arg == "--workers") {
+      options.workers = count_of(&i, arg);
+    } else if (arg == "--max-retries") {
+      options.max_retries = count_of(&i, arg);
+    } else if (arg == "--leg-timeout") {
+      const std::string text = value_of(&i, arg);
+      char* end = nullptr;
+      options.leg_timeout_s = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size() || text.empty() ||
+          options.leg_timeout_s <= 0.0) {
+        throw ConfigError(
+            "ParseReportArgs: --leg-timeout needs a positive number of "
+            "seconds, got '" +
+            text + "'");
+      }
     } else {
       options.positional.push_back(arg);
     }
   }
   return options;
+}
+
+runtime::RuntimeOptions MakeRuntimeOptions(const ReportOptions& options) {
+  runtime::RuntimeOptions runtime;
+  runtime.journal_path = options.resume_path;
+  runtime.workers = options.workers;
+  runtime.leg_timeout_s = options.leg_timeout_s;
+  runtime.max_retries = options.max_retries;
+  return runtime;
 }
 
 std::unique_ptr<obs::MonitorPlane> MakeMonitorPlane(

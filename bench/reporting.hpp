@@ -8,6 +8,7 @@
 
 #include "common/table.hpp"
 #include "obs/plane.hpp"
+#include "runtime/runner.hpp"
 #include "telemetry/metrics.hpp"
 
 /// \file reporting.hpp
@@ -29,6 +30,17 @@
 ///                       (ephemeral, announced on stdout)
 ///   --watchdog <rules.json>  attach an SloWatchdog evaluating the rules
 ///                       file on every Sample (drives /healthz)
+///   --resume <journal>  journal campaign legs to <journal> and skip legs a
+///                       previous (crashed) run already committed — the
+///                       resumed report is byte-identical to an
+///                       uninterrupted one (docs/RESILIENCE.md)
+///   --workers <n>       run campaign legs in n supervised worker
+///                       processes (heartbeats, timeout, retry/backoff,
+///                       graceful in-process degradation); 0 = in-process
+///   --leg-timeout <s>   worker silence (seconds) before a leg is killed
+///                       and retried
+///   --max-retries <n>   worker attempts per leg before it degrades to
+///                       in-process execution
 ///
 /// The aligned-text rendering always goes to stdout (unless --json/--csv
 /// targets stdout, which replaces it), so default invocations look exactly
@@ -57,6 +69,10 @@ struct ReportOptions {
   bool serve = false;      ///< Start the monitor server (--serve).
   int serve_port = 0;      ///< --serve's port; 0 = ephemeral.
   std::string watchdog_path;  ///< SLO rules file (--watchdog); empty = none.
+  std::string resume_path;    ///< Leg journal (--resume); empty = none.
+  std::size_t workers = 0;    ///< Supervised worker processes (--workers).
+  double leg_timeout_s = 120.0;  ///< Worker liveness timeout (--leg-timeout).
+  std::size_t max_retries = 3;   ///< Worker attempts per leg (--max-retries).
   /// Arguments left after removing the shared flags, in order (argv[0]
   /// excluded) — the binary's own positional arguments.
   std::vector<std::string> positional;
@@ -77,6 +93,11 @@ ReportOptions ParseReportArgs(int argc, char** argv);
 /// \throws vrl::ConfigError on an unbindable port or bad rules file.
 std::unique_ptr<obs::MonitorPlane> MakeMonitorPlane(
     const ReportOptions& options, std::ostream& announce);
+
+/// Maps the resilience flags (--resume/--workers/--leg-timeout/
+/// --max-retries) onto the execution runtime's options
+/// (docs/RESILIENCE.md).  The caller wires runtime_telemetry/on_leg itself.
+runtime::RuntimeOptions MakeRuntimeOptions(const ReportOptions& options);
 
 /// A named report: ordered metadata plus ordered named tables.
 class Report {

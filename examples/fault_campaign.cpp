@@ -9,16 +9,25 @@
 //                    [--json PATH] [--csv PATH]
 //                    [--trace-out PATH] [--profile]
 //                    [--serve [PORT]] [--watchdog RULES.json]
+//                    [--resume JOURNAL] [--workers N]
+//                    [--leg-timeout S] [--max-retries N]
 //
 // Three legs run under the identical fault realization: the JEDEC
 // full-rate baseline, the plain policy (no detection — silent loss), and
 // the adaptive wrapper (detection + demotion / fallback).  Exit code 0
 // when the adaptive leg ends with zero unrecovered failures.
+//
+// The legs execute through the crash-tolerant runtime (docs/RESILIENCE.md):
+// with --resume the campaign journals each completed leg and a rerun after
+// a crash skips the committed ones, producing byte-identical reports; with
+// --workers each leg runs in a supervised child process with heartbeat
+// liveness, retry/backoff and graceful in-process degradation.
 
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "bench/reporting.hpp"
@@ -28,6 +37,9 @@
 #include "fault/injector.hpp"
 #include "retention/temperature.hpp"
 #include "retention/vrt.hpp"
+#include "runtime/codec.hpp"
+#include "runtime/journal.hpp"
+#include "runtime/runner.hpp"
 #include "telemetry/trace_export.hpp"
 
 namespace {
@@ -148,9 +160,13 @@ int main(int argc, char** argv) {
     }
 
     // The adaptive leg feeds a telemetry recorder; its metrics (campaign.*,
-    // adaptive.*, policy.*) land in the report's telemetry table.
+    // adaptive.*, policy.*) travel inside the leg payload and land in the
+    // report's telemetry table — via the codec in *every* execution mode,
+    // so journaled, resumed and worker runs emit byte-identical reports.
     // --trace-out / --profile add the campaign's span + lineage trace and
-    // the wall-time phase table (docs/TRACING.md) for the same leg.
+    // the wall-time phase table (docs/TRACING.md) for the same leg; both
+    // are wall-clock/process-local extras, populated only when the adaptive
+    // leg actually executes in this process.
     telemetry::RecorderOptions recorder_options;
     recorder_options.enable_tracing = !report_options.trace_path.empty();
     // Full-fidelity lineage: a traced campaign wants every refresh op,
@@ -158,30 +174,98 @@ int main(int argc, char** argv) {
     recorder_options.tracing.lineage_ops = true;
     recorder_options.profile_phases = report_options.profile;
     telemetry::Recorder recorder(recorder_options);
-    core::FaultCampaignOptions options;
-    options.windows = windows;
 
-    auto jedec_faults = make_schedule();
-    options.adaptive = false;
-    const auto jedec = system.RunFaultCampaign(core::PolicyKind::kJedec,
-                                               jedec_faults, options);
-    auto plain_faults = make_schedule();
-    const auto plain = system.RunFaultCampaign(kind, plain_faults, options);
-    auto adaptive_faults = make_schedule();
-    options.adaptive = true;
-    options.telemetry = &recorder;
-    if (plane) {
-      // Live observability: publish the recorder (and feed the watchdog)
-      // after every completed refresh window, so `curl /metrics` during the
-      // campaign sees current counters, not just the end-of-run snapshot.
-      options.on_window = [&plane, &recorder](std::size_t, Cycles) {
-        plane->Sample(recorder);
-      };
+    // The three legs of the comparison, as journalable runtime legs.
+    struct Leg {
+      core::PolicyKind kind;
+      bool adaptive;
+    };
+    const Leg legs[] = {
+        {core::PolicyKind::kJedec, false},
+        {kind, false},
+        {kind, true},
+    };
+
+    const auto leg_fn = [&](std::size_t leg) {
+      auto faults = make_schedule();
+      core::FaultCampaignOptions options;
+      options.windows = windows;
+      options.adaptive = legs[leg].adaptive;
+      options.heartbeat = runtime::WorkerHeartbeat;
+      // The adaptive leg uses the process recorder (trace/profile export
+      // reads it afterwards) unless it runs in a worker child, whose
+      // address space is its own; other legs get a local recorder so the
+      // payload format stays uniform.
+      telemetry::Recorder local(legs[leg].adaptive
+                                    ? recorder_options
+                                    : telemetry::RecorderOptions{});
+      telemetry::Recorder* leg_recorder =
+          legs[leg].adaptive && !runtime::InWorkerChild() ? &recorder
+                                                          : &local;
+      options.telemetry = leg_recorder;
+      if (plane && legs[leg].adaptive && !runtime::InWorkerChild()) {
+        // Live observability: publish the recorder (and feed the watchdog)
+        // after every completed refresh window, so `curl /metrics` during
+        // the campaign sees current counters, not just the end-of-run
+        // snapshot.  The plane belongs to this process — worker children
+        // must never touch it.
+        options.on_window = [&plane, leg_recorder](std::size_t, Cycles) {
+          plane->Sample(*leg_recorder);
+        };
+      }
+      const fault::CampaignReport leg_report =
+          system.RunFaultCampaign(legs[leg].kind, faults, options);
+      std::ostringstream os;
+      runtime::EncodeCampaignReport(os, leg_report);
+      runtime::EncodeSnapshot(os, leg_recorder->Snapshot());
+      return os.str();
+    };
+
+    // Campaign identity for the journal: the configuration and every knob
+    // that shapes the legs' results.  A journal written under different
+    // knobs is refused rather than silently merged.
+    std::uint64_t config_digest = 0;
+    {
+      std::ostringstream os;
+      core::WriteVrlConfig(config, os);
+      os << "policy " << core::PolicyName(kind) << '\n'
+         << "windows " << windows << '\n'
+         << "seed " << seed << '\n'
+         << "vrt " << runtime::EncodeDouble(vrt.row_fraction) << ' '
+         << runtime::EncodeDouble(vrt.low_ratio) << ' '
+         << runtime::EncodeDouble(vrt.low_state_prob) << ' '
+         << runtime::EncodeDouble(vrt.mean_dwell_s) << '\n'
+         << "excursion " << runtime::EncodeDouble(temp_excursion_celsius)
+         << '\n'
+         << "drift " << runtime::EncodeDouble(drift_rate) << '\n'
+         << "corruption " << runtime::EncodeDouble(corruption_fraction)
+         << '\n';
+      config_digest = runtime::Fnv1a64(os.str());
     }
-    const auto adaptive =
-        system.RunFaultCampaign(kind, adaptive_faults, options);
-    if (plane) {
-      plane->Sample(recorder);  // final end-of-run publish
+
+    telemetry::Recorder runtime_recorder;  // runtime.* counters + lineage
+    runtime::RuntimeOptions runtime_options =
+        bench::MakeRuntimeOptions(report_options);
+    runtime_options.runtime_telemetry = &runtime_recorder;
+    runtime::RunnerStats stats;
+    const auto payloads =
+        runtime::RunJournaledLegs("fault_campaign", config_digest,
+                                  std::size(legs), leg_fn, runtime_options,
+                                  &stats);
+
+    fault::CampaignReport jedec;
+    fault::CampaignReport plain;
+    fault::CampaignReport adaptive;
+    fault::CampaignReport* const outs[] = {&jedec, &plain, &adaptive};
+    telemetry::MetricsSnapshot adaptive_metrics;
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      runtime::LineCursor cursor(payloads[i]);
+      *outs[i] = runtime::DecodeCampaignReport(cursor);
+      const telemetry::MetricsSnapshot snapshot =
+          runtime::DecodeSnapshot(cursor);
+      if (i == 2) {
+        adaptive_metrics = snapshot;
+      }
     }
 
     TextTable& table = report.AddTable(
@@ -214,7 +298,7 @@ int main(int argc, char** argv) {
                          event.corrected ? "corrected" : "UNRECOVERED"});
       }
     }
-    report.AddTelemetry(recorder.Snapshot());
+    report.AddTelemetry(adaptive_metrics);
     if (report_options.profile) {
       report.AddProfile(recorder.Snapshot());
     }
@@ -223,6 +307,16 @@ int main(int argc, char** argv) {
                                 *recorder.tracer());
     }
     report.Emit(report_options, std::cout);
+
+    if (plane) {
+      // Final publish: the adaptive leg's metrics plus the runtime's own
+      // resilience counters (runtime.legs_resumed, runtime.worker_retries,
+      // ...), so /metrics documents how the campaign actually executed.
+      telemetry::Recorder view;
+      view.metrics().Absorb(adaptive_metrics);
+      view.metrics().Absorb(runtime_recorder.Snapshot());
+      plane->Sample(view);
+    }
 
     std::printf("\nverdict: plain %s loses %zu rows' worth of data; "
                 "adaptive ends with %zu unrecovered failures at %.1f%% of "

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""vrl-check-journal: validate a crash-tolerance leg journal.
+
+    python3 scripts/check_journal.py run.journal [--campaign NAME]
+                                                 [--legs N] [--complete]
+
+The execution runtime (src/runtime/, docs/RESILIENCE.md) journals each
+completed campaign leg as one self-checksummed JSONL record:
+
+    {"type":"journal_header","version":1,"campaign":"<name>",
+     "config":"<16 hex>","legs":N,"crc":"<16 hex>"}
+    {"type":"leg","index":K,"digest":"<16 hex>","payload":"...",
+     "crc":"<16 hex>"}
+
+This validator independently re-implements the checks the C++ loader
+performs (tests/runtime_test.cpp pins both against the same format):
+
+  * every line's ``crc`` is the FNV-1a 64 hash of the line's bytes up to
+    and including the ``,"crc":"`` marker;
+  * the header is line 1, version 1, with a 16-hex config digest;
+  * leg records carry strictly contiguous indices 0, 1, 2, ... (the
+    contiguous-prefix invariant resume relies on) below the header's leg
+    count;
+  * each leg's ``digest`` matches the FNV-1a 64 hash of its decoded
+    payload.
+
+A torn final line (no trailing newline, or a bad trailing checksum) is
+reported as an expected crash artifact and tolerated — exactly like the
+loader, which drops it and reruns that leg.  Torn or corrupt lines
+anywhere earlier fail the check.
+
+Exit code: 0 when the journal is valid, 1 on any violation, 2 on bad
+usage/unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+CRC_MARKER = ',"crc":"'
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a64(data: bytes) -> int:
+    """FNV-1a 64 — must match vrl::runtime::Fnv1a64 forever."""
+    h = FNV_OFFSET
+    for b in data:
+        h ^= b
+        h = (h * FNV_PRIME) & MASK64
+    return h
+
+
+def json_unescape(text: str) -> str:
+    """Inverse of telemetry::JsonEscape (the journal's escape set)."""
+    out = []
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c != "\\":
+            out.append(c)
+            i += 1
+            continue
+        if i + 1 >= len(text):
+            raise ValueError("dangling escape")
+        e = text[i + 1]
+        simple = {'"': '"', "\\": "\\", "n": "\n", "r": "\r", "t": "\t"}
+        if e in simple:
+            out.append(simple[e])
+            i += 2
+        elif e == "u":
+            if i + 6 > len(text):
+                raise ValueError("truncated \\u escape")
+            out.append(chr(int(text[i + 2 : i + 6], 16)))
+            i += 6
+        else:
+            raise ValueError(f"unknown escape \\{e}")
+    return "".join(out)
+
+
+def field_str(line: str, key: str) -> str | None:
+    """Extracts "key":"..." respecting escapes (fixed layout, not JSON)."""
+    needle = f'"{key}":"'
+    start = line.find(needle)
+    if start < 0:
+        return None
+    i = start + len(needle)
+    raw = []
+    while i < len(line):
+        c = line[i]
+        if c == '"':
+            return json_unescape("".join(raw))
+        raw.append(c)
+        if c == "\\" and i + 1 < len(line):
+            raw.append(line[i + 1])
+            i += 1
+        i += 1
+    return None
+
+
+def field_int(line: str, key: str) -> int | None:
+    needle = f'"{key}":'
+    start = line.find(needle)
+    if start < 0:
+        return None
+    i = start + len(needle)
+    j = i
+    while j < len(line) and line[j].isdigit():
+        j += 1
+    if j == i:
+        return None
+    return int(line[i:j])
+
+
+def line_crc_ok(line: str) -> bool:
+    marker = line.rfind(CRC_MARKER)
+    if marker < 0:
+        return False
+    crc_begin = marker + len(CRC_MARKER)
+    if len(line) != crc_begin + 18 or not line.endswith('"}'):
+        return False
+    expected = f"{fnv1a64(line[:crc_begin].encode()):016x}"
+    return line[crc_begin : crc_begin + 16] == expected
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("journal", help="leg journal (JSONL) to validate")
+    parser.add_argument(
+        "--campaign", help="require this campaign name in the header"
+    )
+    parser.add_argument(
+        "--legs", type=int, help="require this leg count in the header"
+    )
+    parser.add_argument(
+        "--complete",
+        action="store_true",
+        help="require every declared leg to be committed",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.journal, "rb") as fh:
+            blob = fh.read().decode("utf-8")
+    except OSError as error:
+        print(f"error: cannot read '{args.journal}': {error}",
+              file=sys.stderr)
+        return 2
+
+    if not blob:
+        print("error: journal is empty", file=sys.stderr)
+        return 1
+
+    lines = blob.split("\n")
+    torn_tail = lines[-1] != ""  # No trailing newline: writer interrupted.
+    if not torn_tail:
+        lines.pop()
+
+    problems: list[str] = []
+    dropped_tail = False
+    if lines and (torn_tail or not line_crc_ok(lines[-1])):
+        if torn_tail or not line_crc_ok(lines[-1]):
+            dropped_tail = True
+            lines.pop()
+
+    if not lines:
+        problems.append("no intact records (even the header is torn)")
+
+    header = lines[0] if lines else ""
+    if lines:
+        if not line_crc_ok(header):
+            problems.append("line 1: header checksum mismatch")
+        if field_str(header, "type") != "journal_header":
+            problems.append("line 1: not a journal_header record")
+        if field_int(header, "version") != 1:
+            problems.append("line 1: unsupported journal version")
+        config = field_str(header, "config")
+        if config is None or len(config) != 16:
+            problems.append("line 1: config digest is not 16 hex chars")
+        campaign = field_str(header, "campaign")
+        declared_legs = field_int(header, "legs")
+        if args.campaign is not None and campaign != args.campaign:
+            problems.append(
+                f"header campaign '{campaign}' != expected "
+                f"'{args.campaign}'"
+            )
+        if args.legs is not None and declared_legs != args.legs:
+            problems.append(
+                f"header leg count {declared_legs} != expected {args.legs}"
+            )
+
+    committed = 0
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line_crc_ok(line):
+            problems.append(f"line {lineno}: checksum mismatch")
+            continue
+        if field_str(line, "type") != "leg":
+            problems.append(f"line {lineno}: not a leg record")
+            continue
+        index = field_int(line, "index")
+        expected_index = lineno - 2
+        if index != expected_index:
+            problems.append(
+                f"line {lineno}: leg index {index} breaks the contiguous-"
+                f"prefix invariant (expected {expected_index})"
+            )
+        if (
+            lines
+            and (declared := field_int(header, "legs")) is not None
+            and index is not None
+            and index >= declared
+        ):
+            problems.append(
+                f"line {lineno}: leg index {index} exceeds declared "
+                f"{declared} legs"
+            )
+        payload = field_str(line, "payload")
+        digest = field_str(line, "digest")
+        if payload is None or digest is None:
+            problems.append(f"line {lineno}: missing payload/digest field")
+            continue
+        if f"{fnv1a64(payload.encode()):016x}" != digest:
+            problems.append(f"line {lineno}: payload digest mismatch")
+        committed += 1
+
+    declared = field_int(header, "legs") if lines else None
+    if args.complete and declared is not None and committed != declared:
+        problems.append(
+            f"journal holds {committed}/{declared} legs but --complete "
+            "was required"
+        )
+
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    status = "FAIL" if problems else "OK"
+    tail_note = " (torn final line dropped — crash artifact)" \
+        if dropped_tail else ""
+    print(
+        f"{status}: {args.journal}: {committed}/{declared} legs committed"
+        f"{tail_note}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -236,4 +236,97 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
   ParallelFor("parallel_for", n, body, threads);
 }
 
+void ParallelForCommit(std::string_view label, std::size_t n,
+                       const std::function<void(std::size_t)>& body,
+                       const std::function<void(std::size_t)>& commit,
+                       std::size_t threads) {
+  if (n == 0) {
+    return;
+  }
+  std::size_t count = threads == 0 ? DefaultThreadCount() : threads;
+  if (count > n) {
+    count = n;
+  }
+  const FanoutScope scope(
+      g_parallel_observer.load(std::memory_order_acquire), label, n);
+  if (count <= 1 || InParallelRegion()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+      commit(i);
+      scope.ItemComplete();
+    }
+    return;
+  }
+
+  // Same atomic work queue as ParallelFor, plus a completion bitmap the
+  // calling thread watches: it commits the contiguous done-prefix while
+  // workers keep claiming items behind it.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::condition_variable progress;
+  std::vector<char> done(n, 0);
+  std::size_t active = count;
+  ThreadPool pool(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    pool.Submit([&] {
+      const auto leave = [&] {
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          --active;
+        }
+        progress.notify_all();
+      };
+      try {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) {
+            break;
+          }
+          body(i);
+          {
+            const std::lock_guard<std::mutex> lock(mutex);
+            done[i] = 1;
+          }
+          progress.notify_all();
+          scope.ItemComplete();
+        }
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        scope.ItemComplete();
+        leave();
+        throw;
+      }
+      leave();
+    });
+  }
+
+  std::size_t committed = 0;
+  std::exception_ptr commit_error;
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (committed < n) {
+      progress.wait(lock, [&] { return done[committed] != 0 || active == 0; });
+      if (done[committed] == 0) {
+        break;  // Workers gone without finishing: a body threw.
+      }
+      lock.unlock();
+      try {
+        commit(committed);
+      } catch (...) {
+        commit_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        lock.lock();
+        break;
+      }
+      ++committed;
+      lock.lock();
+    }
+  }
+  pool.Wait();  // Rethrows the first body exception, if any.
+  if (commit_error != nullptr) {
+    std::rethrow_exception(commit_error);
+  }
+}
+
 }  // namespace vrl

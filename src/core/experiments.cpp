@@ -134,51 +134,60 @@ std::vector<WorkloadResult> RunEvaluationSuite(
   return RunEvaluationSuite(system, options);
 }
 
-ResilienceResult RunResilienceComparison(const VrlSystem& system,
-                                         PolicyKind kind,
-                                         const retention::VrtParams& vrt,
-                                         const ExperimentOptions& options) {
+std::vector<ResilienceLeg> ResilienceLegs(PolicyKind kind) {
   if (kind == PolicyKind::kJedec) {
     throw ConfigError(
         "RunResilienceComparison: pick a retention-aware policy to compare "
         "against the JEDEC baseline");
   }
-  // Every leg owns its own FaultSchedule seeded identically and advances it
-  // on the same tick sequence, so the same seed reproduces the identical
-  // fault trace for all three — which also makes the legs independent
-  // tasks.  Each leg builds its own FaultCampaignOptions: the legs used to
-  // mutate one shared options struct between runs (set adaptive=false, run
-  // two legs, set adaptive=true), an ordering dependency that would race
-  // once the legs overlap.  Telemetry is per-leg sharded and merged in leg
-  // order, like the suite.
+  return {
+      {PolicyKind::kJedec, false},
+      {kind, false},
+      {kind, true},
+  };
+}
+
+fault::CampaignReport RunResilienceLeg(
+    const VrlSystem& system, const ResilienceLeg& leg,
+    const retention::VrtParams& vrt, const ExperimentOptions& options,
+    telemetry::Recorder* recorder,
+    const std::function<void()>& heartbeat) {
+  // Each leg owns its FaultSchedule, seeded identically and advanced on the
+  // same tick sequence, so the same seed reproduces the identical fault
+  // trace for every leg — which also makes the legs independent tasks.
+  fault::FaultSchedule faults(options.fault_seed);
+  faults.Add(std::make_unique<fault::VrtFlipInjector>(vrt));
+  FaultCampaignOptions campaign;
+  campaign.windows = options.windows;
+  campaign.adaptive = leg.adaptive;
+  campaign.telemetry = recorder;
+  campaign.heartbeat = heartbeat;
+  return system.RunFaultCampaign(leg.kind, faults, campaign);
+}
+
+ResilienceResult RunResilienceComparison(const VrlSystem& system,
+                                         PolicyKind kind,
+                                         const retention::VrtParams& vrt,
+                                         const ExperimentOptions& options) {
+  // Each leg builds its own FaultCampaignOptions (RunResilienceLeg): the
+  // legs used to mutate one shared options struct between runs, an ordering
+  // dependency that would race once the legs overlap.  Telemetry is per-leg
+  // sharded and merged in leg order, like the suite.
+  const std::vector<ResilienceLeg> legs = ResilienceLegs(kind);
   ResilienceResult result;
-  struct Leg {
-    PolicyKind kind;
-    bool adaptive;
-    fault::CampaignReport* out;
-  };
-  const Leg legs[] = {
-      {PolicyKind::kJedec, false, &result.jedec},
-      {kind, false, &result.plain},
-      {kind, true, &result.adaptive},
-  };
+  fault::CampaignReport* const outs[] = {&result.jedec, &result.plain,
+                                         &result.adaptive};
   telemetry::Recorder* sink = ResolveSink(system, options);
   std::unique_ptr<telemetry::ShardedRecorder> shards;
   if (sink != nullptr) {
-    shards = std::make_unique<telemetry::ShardedRecorder>(std::size(legs),
+    shards = std::make_unique<telemetry::ShardedRecorder>(legs.size(),
                                                           sink->options());
   }
   ParallelFor(
-      "resilience_comparison", std::size(legs),
+      "resilience_comparison", legs.size(),
       [&](std::size_t i) {
-        const Leg& leg = legs[i];
-        fault::FaultSchedule faults(options.fault_seed);
-        faults.Add(std::make_unique<fault::VrtFlipInjector>(vrt));
-        FaultCampaignOptions campaign;
-        campaign.windows = options.windows;
-        campaign.adaptive = leg.adaptive;
-        campaign.telemetry = shards ? &shards->shard(i) : nullptr;
-        *leg.out = system.RunFaultCampaign(leg.kind, faults, campaign);
+        *outs[i] = RunResilienceLeg(system, legs[i], vrt, options,
+                                    shards ? &shards->shard(i) : nullptr);
       },
       options.threads);
   if (shards) {

@@ -56,6 +56,8 @@ struct WorkloadResult {
   double VrlAccessNormalized() const {
     return vrl_access_overhead / raidr_overhead;
   }
+
+  bool operator==(const WorkloadResult&) const = default;
 };
 
 /// Runs one workload under RAIDR, VRL and VRL-Access for options.windows
@@ -112,6 +114,32 @@ struct ResilienceResult {
            static_cast<double>(jedec.refresh_busy_cycles);
   }
 };
+
+/// One leg of the three-way comparison — which policy to replay the shared
+/// fault realization under, and whether the adaptive wrapper is on.
+struct ResilienceLeg {
+  PolicyKind kind = PolicyKind::kJedec;
+  bool adaptive = false;
+};
+
+/// The canonical leg order of RunResilienceComparison: JEDEC baseline,
+/// plain `kind` (silent data loss), adaptive `kind`.  Exposed so the
+/// execution runtime (src/runtime/) can journal the legs one by one.
+/// \throws vrl::ConfigError when `kind` is kJedec (nothing to compare).
+std::vector<ResilienceLeg> ResilienceLegs(PolicyKind kind);
+
+/// Runs one resilience leg: builds the leg's own FaultSchedule from
+/// options.fault_seed (so every leg replays the identical fault trace) and
+/// the VRT injector, and campaigns it through the system.  `recorder` (may
+/// be null) receives the leg's telemetry; `heartbeat` (may be null) is
+/// forwarded to the campaign tick loop as a liveness hook
+/// (fault::CampaignSetup::heartbeat).
+fault::CampaignReport RunResilienceLeg(const VrlSystem& system,
+                                       const ResilienceLeg& leg,
+                                       const retention::VrtParams& vrt,
+                                       const ExperimentOptions& options,
+                                       telemetry::Recorder* recorder,
+                                       const std::function<void()>& heartbeat = {});
 
 /// Runs the three-way comparison under VRT telegraph-noise injection
 /// (options.fault_seed, options.windows).  Extra injectors can be layered

@@ -16,14 +16,58 @@ std::string SweepPoint::Label() const {
   return buffer;
 }
 
+SweepResult RunSweepPoint(const VrlConfig& base, const SweepPoint& point,
+                          const trace::SyntheticWorkloadParams& workload,
+                          std::size_t windows) {
+  if (windows == 0) {
+    throw ConfigError("RunSweepPoint: need a non-zero window count");
+  }
+  const area::AreaModel area_model;
+  VrlConfig config = base;
+  config.nbits = point.nbits;
+  config.spec.partial_target = point.partial_target;
+  config.retention_guardband = point.retention_guardband;
+  config.subarrays = point.subarrays;
+  const VrlSystem system(config);
+
+  const Cycles horizon = system.HorizonForWindows(windows);
+  Rng rng(config.seed ^ 0x5111EE7ULL);
+  const auto records =
+      trace::GenerateTrace(workload, system.Geometry(), horizon, rng);
+  const auto requests =
+      trace::MapToRequests(records, trace::AddressMapper(system.Geometry()));
+
+  const double raidr = system.Simulate(PolicyKind::kRaidr, requests, horizon)
+                           .RefreshOverheadPerBank();
+  const double vrl = system.Simulate(PolicyKind::kVrl, requests, horizon)
+                         .RefreshOverheadPerBank();
+  const double vrl_access =
+      system.Simulate(PolicyKind::kVrlAccess, requests, horizon)
+          .RefreshOverheadPerBank();
+
+  SweepResult result;
+  result.point = point;
+  result.vrl_normalized = vrl / raidr;
+  result.vrl_access_normalized = vrl_access / raidr;
+  result.logic_area_um2 = area_model.LogicAreaUm2(point.nbits);
+  result.area_fraction = area_model.OverheadFraction(
+      point.nbits, config.tech.rows, config.tech.columns);
+  double mprsf_sum = 0.0;
+  for (const auto m : system.row_mprsf()) {
+    mprsf_sum += static_cast<double>(m);
+  }
+  result.mean_mprsf =
+      mprsf_sum / static_cast<double>(system.row_mprsf().size());
+  result.clamped_rows = system.guardband_clamped_rows();
+  return result;
+}
+
 std::vector<SweepResult> RunSweep(
     const VrlConfig& base, const std::vector<SweepPoint>& points,
     const trace::SyntheticWorkloadParams& workload, std::size_t windows) {
   if (points.empty() || windows == 0) {
     throw ConfigError("RunSweep: need points and a non-zero window count");
   }
-  const area::AreaModel area_model;
-
   // One task per point, results in pre-sized slots: every point builds its
   // own VrlSystem and Rng from per-point configuration, and the shared
   // inputs (base, workload, area model) are const — the parallel sweep is
@@ -31,44 +75,7 @@ std::vector<SweepResult> RunSweep(
   // contract, common/parallel.hpp).
   std::vector<SweepResult> results(points.size());
   ParallelFor("sweep", points.size(), [&](std::size_t index) {
-    const SweepPoint& point = points[index];
-    VrlConfig config = base;
-    config.nbits = point.nbits;
-    config.spec.partial_target = point.partial_target;
-    config.retention_guardband = point.retention_guardband;
-    config.subarrays = point.subarrays;
-    const VrlSystem system(config);
-
-    const Cycles horizon = system.HorizonForWindows(windows);
-    Rng rng(config.seed ^ 0x5111EE7ULL);
-    const auto records =
-        trace::GenerateTrace(workload, system.Geometry(), horizon, rng);
-    const auto requests = trace::MapToRequests(
-        records, trace::AddressMapper(system.Geometry()));
-
-    const double raidr = system.Simulate(PolicyKind::kRaidr, requests, horizon)
-                             .RefreshOverheadPerBank();
-    const double vrl = system.Simulate(PolicyKind::kVrl, requests, horizon)
-                           .RefreshOverheadPerBank();
-    const double vrl_access =
-        system.Simulate(PolicyKind::kVrlAccess, requests, horizon)
-            .RefreshOverheadPerBank();
-
-    SweepResult result;
-    result.point = point;
-    result.vrl_normalized = vrl / raidr;
-    result.vrl_access_normalized = vrl_access / raidr;
-    result.logic_area_um2 = area_model.LogicAreaUm2(point.nbits);
-    result.area_fraction = area_model.OverheadFraction(
-        point.nbits, config.tech.rows, config.tech.columns);
-    double mprsf_sum = 0.0;
-    for (const auto m : system.row_mprsf()) {
-      mprsf_sum += static_cast<double>(m);
-    }
-    result.mean_mprsf =
-        mprsf_sum / static_cast<double>(system.row_mprsf().size());
-    result.clamped_rows = system.guardband_clamped_rows();
-    results[index] = result;
+    results[index] = RunSweepPoint(base, points[index], workload, windows);
   });
   return results;
 }

@@ -29,6 +29,8 @@ struct SweepPoint {
   std::size_t subarrays = 1;
 
   std::string Label() const;
+
+  bool operator==(const SweepPoint&) const = default;
 };
 
 struct SweepResult {
@@ -39,7 +41,15 @@ struct SweepResult {
   double area_fraction = 0.0;          ///< of the bank.
   double mean_mprsf = 0.0;
   std::size_t clamped_rows = 0;
+
+  bool operator==(const SweepResult&) const = default;
 };
+
+/// Evaluates a single sweep point — the unit RunSweep fans out, exposed so
+/// the execution runtime (src/runtime/) can journal sweep legs one by one.
+SweepResult RunSweepPoint(const VrlConfig& base, const SweepPoint& point,
+                          const trace::SyntheticWorkloadParams& workload,
+                          std::size_t windows);
 
 /// Evaluates every point under `workload` for `windows` base refresh
 /// windows, against a base configuration (geometry, seed, banks).

@@ -242,6 +242,7 @@ fault::CampaignReport VrlSystem::RunFaultCampaign(
   setup.telemetry =
       options.telemetry != nullptr ? options.telemetry : telemetry_.get();
   setup.on_window = options.on_window;
+  setup.heartbeat = options.heartbeat;
 
   auto policy = MakePolicyFactory(kind)();
   if (!options.adaptive) {

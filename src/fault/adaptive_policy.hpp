@@ -68,6 +68,8 @@ struct AdaptiveStats {
   std::size_t saturated_failures = 0;  ///< Failures with no demotion left.
   std::size_t rows_demoted_now = 0;
   bool in_fallback = false;
+
+  bool operator==(const AdaptiveStats&) const = default;
 };
 
 /// What the controller could still do about a detected sensing failure.

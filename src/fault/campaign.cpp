@@ -112,6 +112,9 @@ CampaignReport RunCampaign(const model::RefreshModel& model,
   };
 
   for (Cycles tick = 0; tick <= horizon; tick += setup.t_refi) {
+    if (setup.heartbeat) {
+      setup.heartbeat();
+    }
     if (window_hooks) {
       close_windows_until(static_cast<std::size_t>(tick / setup.base_window));
     }

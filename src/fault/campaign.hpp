@@ -33,6 +33,8 @@ struct SensingFailureEvent {
   double margin = 0.0;   ///< Charge margin at sensing time (negative).
   bool was_full = false;  ///< Failed on a full (vs partial) refresh.
   bool corrected = false;
+
+  bool operator==(const SensingFailureEvent&) const = default;
 };
 
 struct CampaignSetup {
@@ -59,6 +61,12 @@ struct CampaignSetup {
   /// state; called on the campaign's own thread.
   std::function<void(std::size_t windows_done, Cycles now)> on_window;
 
+  /// Called once per refresh tick, before the tick is simulated — a
+  /// fine-grained liveness pulse for external supervision (the execution
+  /// runtime's worker heartbeat, docs/RESILIENCE.md).  Must not mutate
+  /// campaign state; called on the campaign's own thread.
+  std::function<void()> heartbeat;
+
   void Validate() const;
 };
 
@@ -84,6 +92,8 @@ struct CampaignReport {
   /// Fraction of simulated time the bank spent refreshing — comparable
   /// across policies run over the same horizon.
   double RefreshOverheadFraction() const;
+
+  bool operator==(const CampaignReport&) const = default;
 };
 
 /// Runs `setup.windows` base windows of `policy` against `truth` (the

@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <map>
 #include <sstream>
@@ -69,6 +71,12 @@ MonitorServer::MonitorServer(MonitorServerOptions options,
     const char* env = std::getenv("VRL_MONITOR_BIND");
     bind_address_ = env != nullptr && *env != '\0' ? env : "127.0.0.1";
   }
+
+  // A scraper that disconnects mid-response must never kill the campaign:
+  // writes to its closed socket would raise SIGPIPE (default: terminate).
+  // Sends below also pass MSG_NOSIGNAL, but ignoring the signal process-wide
+  // covers every other fd the run writes (worker pipes, shells, ...).
+  ::signal(SIGPIPE, SIG_IGN);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -304,13 +312,20 @@ void MonitorServer::ServeLoop() {
     for (const auto& [fd, buffer] : clients) {
       fds.push_back({fd, POLLIN, 0});
     }
-    // Short timeout so shutdown is prompt even with no traffic.
+    // Short timeout so shutdown is prompt even with no traffic.  A signal
+    // landing on this thread (worker SIGCHLD, a debugger attach) interrupts
+    // poll with EINTR — retry, don't treat it as traffic.
     const int events = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
                               100);
+    if (events < 0 && errno == EINTR) {
+      continue;
+    }
     if (events <= 0) {
       continue;
     }
     if ((fds[0].revents & POLLIN) != 0) {
+      // EINTR/ECONNABORTED here just means "no client this round"; the
+      // listening socket stays in the poll set, so the next loop retries.
       const int client = ::accept(listen_fd_, nullptr, nullptr);
       if (client >= 0) {
         clients.emplace(client, std::string());
@@ -322,7 +337,10 @@ void MonitorServer::ServeLoop() {
       }
       const int fd = fds[i].fd;
       char chunk[4096];
-      const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+      ssize_t got;
+      do {
+        got = ::recv(fd, chunk, sizeof(chunk), 0);
+      } while (got < 0 && errno == EINTR);
       if (got <= 0) {
         ::close(fd);
         clients.erase(fd);
@@ -352,10 +370,15 @@ void MonitorServer::ServeLoop() {
       } else {
         response = HandleGet(line.substr(sp1 + 1, sp2 - sp1 - 1));
       }
+      // MSG_NOSIGNAL: a client that hung up mid-response yields EPIPE (we
+      // just drop it) instead of a process-killing SIGPIPE.
       std::size_t sent = 0;
       while (sent < response.size()) {
         const ssize_t wrote = ::send(fd, response.data() + sent,
-                                     response.size() - sent, 0);
+                                     response.size() - sent, MSG_NOSIGNAL);
+        if (wrote < 0 && errno == EINTR) {
+          continue;
+        }
         if (wrote <= 0) {
           break;
         }

@@ -1,0 +1,444 @@
+#include "runtime/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vrl::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Write end of the result pipe in a worker child; -1 in the parent.
+int g_worker_fd = -1;
+/// Heartbeat call counter (child only) — rate-limits pipe writes.
+std::uint64_t g_heartbeat_calls = 0;
+
+/// Heartbeats per pipe write: campaign ticks arrive thousands per second,
+/// one byte per tick would be pure overhead.
+constexpr std::uint64_t kHeartbeatStride = 256;
+
+double BackoffSeconds(const WorkerPoolOptions& options, std::size_t attempt) {
+  double delay = options.backoff_base_s;
+  for (std::size_t i = 1; i < attempt && delay < options.backoff_cap_s; ++i) {
+    delay *= 2.0;
+  }
+  return std::min(delay, options.backoff_cap_s);
+}
+
+void WriteFully(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::_exit(3);  // Parent is gone; nothing left to report to.
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+/// Child side: run the leg, write one result frame, exit without running
+/// static destructors (the parent's state is not ours to unwind).
+[[noreturn]] void RunChild(int write_fd, std::size_t leg,
+                           const std::function<std::string(std::size_t)>& fn) {
+  g_worker_fd = write_fd;
+  ::signal(SIGPIPE, SIG_IGN);  // A dead parent must not kill us mid-write.
+
+  // Chaos hook (docs/RESILIENCE.md): make every worker attempt crash or
+  // hang, exercising the retry/timeout/degradation paths end to end.
+  if (const char* chaos = std::getenv("VRL_WORKER_CRASH");
+      chaos != nullptr && *chaos != '\0') {
+    if (std::strcmp(chaos, "kill") == 0) {
+      ::raise(SIGKILL);
+    }
+    if (std::strcmp(chaos, "hang") == 0) {
+      for (;;) {
+        ::pause();
+      }
+    }
+  }
+
+  char tag = 'R';
+  std::string body;
+  try {
+    body = fn(leg);
+  } catch (const std::exception& error) {
+    tag = 'E';
+    body = error.what();
+  } catch (...) {
+    tag = 'E';
+    body = "unknown exception";
+  }
+  char header[9];
+  header[0] = tag;
+  const std::uint64_t length = body.size();
+  for (std::size_t i = 0; i < 8; ++i) {
+    header[1 + i] = static_cast<char>((length >> (8 * i)) & 0xFF);
+  }
+  WriteFully(write_fd, header, sizeof header);
+  WriteFully(write_fd, body.data(), body.size());
+  ::_exit(0);
+}
+
+/// Parses a child's accumulated pipe bytes: leading heartbeats, then one
+/// complete result frame.  False when the stream ended mid-frame (crash).
+bool ParseResultFrame(const std::string& buffer, char* tag,
+                      std::string* body) {
+  std::size_t i = 0;
+  while (i < buffer.size() && buffer[i] == 'H') {
+    ++i;
+  }
+  if (i + 9 > buffer.size()) {
+    return false;
+  }
+  const char t = buffer[i];
+  if (t != 'R' && t != 'E') {
+    return false;
+  }
+  std::uint64_t length = 0;
+  for (std::size_t b = 0; b < 8; ++b) {
+    length |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(buffer[i + 1 + b]))
+              << (8 * b);
+  }
+  if (buffer.size() != i + 9 + length) {
+    return false;
+  }
+  *tag = t;
+  *body = buffer.substr(i + 9, static_cast<std::size_t>(length));
+  return true;
+}
+
+std::string DescribeExit(int status) {
+  if (WIFSIGNALED(status)) {
+    return std::string("killed by signal ") + std::to_string(WTERMSIG(status));
+  }
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  return "ended with status " + std::to_string(status);
+}
+
+struct Child {
+  pid_t pid = -1;
+  int fd = -1;
+  std::size_t leg = 0;
+  std::size_t attempt = 1;
+  std::string buffer;
+  Clock::time_point deadline;
+};
+
+struct PendingLeg {
+  std::size_t leg = 0;
+  std::size_t attempt = 1;
+  Clock::time_point ready;
+};
+
+void ReapChild(Child& child) {
+  int status = 0;
+  ::kill(child.pid, SIGKILL);
+  while (::waitpid(child.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  ::close(child.fd);
+}
+
+}  // namespace
+
+bool InWorkerChild() { return g_worker_fd >= 0; }
+
+void WorkerHeartbeat() {
+  if (g_worker_fd < 0) {
+    return;
+  }
+  if (g_heartbeat_calls++ % kHeartbeatStride != 0) {
+    return;
+  }
+  const ssize_t rc = ::write(g_worker_fd, "H", 1);
+  (void)rc;  // A full pipe or dead parent shows up at the result write.
+}
+
+void RunSupervised(
+    std::size_t begin, std::size_t end,
+    const std::function<std::string(std::size_t)>& leg_fn,
+    const std::function<void(std::size_t, const std::string&)>& commit,
+    const WorkerPoolOptions& options,
+    const std::function<void(const WorkerEvent&)>& on_event) {
+  if (begin >= end) {
+    return;
+  }
+  if (options.workers == 0 || options.leg_timeout_s <= 0.0 ||
+      options.backoff_base_s <= 0.0 ||
+      options.backoff_cap_s < options.backoff_base_s) {
+    throw ConfigError("RunSupervised: invalid worker-pool options");
+  }
+  const auto timeout =
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(options.leg_timeout_s));
+
+  const auto emit = [&](WorkerEvent::Kind kind, std::size_t leg,
+                        std::size_t attempt, std::string detail) {
+    if (on_event) {
+      on_event({kind, leg, attempt, std::move(detail)});
+    }
+  };
+
+  std::deque<PendingLeg> pending;
+  for (std::size_t leg = begin; leg < end; ++leg) {
+    pending.push_back({leg, 1, Clock::now()});
+  }
+  std::map<std::size_t, std::string> staged;  ///< Done, awaiting commit turn.
+  std::size_t next_commit = begin;
+  std::vector<Child> children;
+  std::size_t consecutive_failures = 0;
+  bool pool_degraded = false;
+
+  const auto commit_ready = [&] {
+    for (auto it = staged.find(next_commit); it != staged.end();
+         it = staged.find(next_commit)) {
+      commit(next_commit, it->second);
+      staged.erase(it);
+      ++next_commit;
+    }
+  };
+
+  const auto run_inline = [&](std::size_t leg) {
+    staged.emplace(leg, leg_fn(leg));
+    commit_ready();
+  };
+
+  const auto handle_failure = [&](std::size_t leg, std::size_t attempt,
+                                  WorkerEvent::Kind kind,
+                                  const std::string& detail) {
+    emit(kind, leg, attempt, detail);
+    ++consecutive_failures;
+    if (pool_degraded) {
+      pending.push_back({leg, attempt, Clock::now()});
+      return;
+    }
+    if (consecutive_failures >= options.degrade_after) {
+      pool_degraded = true;
+      emit(WorkerEvent::Kind::kPoolDegraded, leg, attempt,
+           std::to_string(consecutive_failures) +
+               " consecutive worker failures; running remaining legs "
+               "in-process");
+      for (Child& child : children) {
+        ReapChild(child);
+        pending.push_back({child.leg, child.attempt, Clock::now()});
+      }
+      children.clear();
+      pending.push_back({leg, attempt, Clock::now()});
+      return;
+    }
+    if (attempt < options.max_retries) {
+      const double delay = BackoffSeconds(options, attempt);
+      char text[32];
+      std::snprintf(text, sizeof text, "retry in %.3fs", delay);
+      emit(WorkerEvent::Kind::kRetry, leg, attempt, text);
+      pending.push_back(
+          {leg, attempt + 1,
+           Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(delay))});
+    } else {
+      emit(WorkerEvent::Kind::kLegDegraded, leg, attempt,
+           "worker retries exhausted; running in-process");
+      run_inline(leg);
+    }
+  };
+
+  const auto spawn = [&](std::size_t leg, std::size_t attempt) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      throw ConfigError(std::string("RunSupervised: pipe() failed: ") +
+                        std::strerror(errno));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int fork_errno = errno;
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw ConfigError(std::string("RunSupervised: fork() failed: ") +
+                        std::strerror(fork_errno));
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      RunChild(fds[1], leg, leg_fn);  // Never returns.
+    }
+    ::close(fds[1]);
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    children.push_back({pid, fds[0], leg, attempt, std::string(),
+                        Clock::now() + timeout});
+  };
+
+  try {
+    while (next_commit < end) {
+      if (pool_degraded) {
+        // Degraded: everything not yet staged runs on this thread, leg
+        // order, no further supervision.
+        std::sort(pending.begin(), pending.end(),
+                  [](const PendingLeg& a, const PendingLeg& b) {
+                    return a.leg < b.leg;
+                  });
+        for (const PendingLeg& p : pending) {
+          run_inline(p.leg);
+        }
+        pending.clear();
+        commit_ready();
+        continue;
+      }
+
+      // Dispatch ready legs into free worker slots.
+      auto now = Clock::now();
+      for (auto it = pending.begin();
+           it != pending.end() && children.size() < options.workers;) {
+        if (it->ready <= now) {
+          spawn(it->leg, it->attempt);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+
+      if (children.empty()) {
+        if (pending.empty()) {
+          break;  // Everything staged/committed.
+        }
+        const auto earliest =
+            std::min_element(pending.begin(), pending.end(),
+                             [](const PendingLeg& a, const PendingLeg& b) {
+                               return a.ready < b.ready;
+                             })
+                ->ready;
+        std::this_thread::sleep_until(
+            std::min(earliest, now + std::chrono::milliseconds(200)));
+        continue;
+      }
+
+      // Poll worker pipes; any readable byte refreshes the liveness
+      // deadline (heartbeats and result bytes alike).
+      std::vector<pollfd> fds;
+      fds.reserve(children.size());
+      auto poll_deadline = children.front().deadline;
+      for (const Child& child : children) {
+        fds.push_back({child.fd, POLLIN, 0});
+        poll_deadline = std::min(poll_deadline, child.deadline);
+      }
+      for (const PendingLeg& p : pending) {
+        poll_deadline = std::min(poll_deadline, p.ready);
+      }
+      now = Clock::now();
+      const auto wait_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              poll_deadline - now)
+              .count();
+      const int poll_timeout =
+          static_cast<int>(std::clamp<long long>(wait_ms, 0, 200));
+      const int events =
+          ::poll(fds.data(), static_cast<nfds_t>(fds.size()), poll_timeout);
+      if (events < 0 && errno != EINTR) {
+        throw ConfigError(std::string("RunSupervised: poll() failed: ") +
+                          std::strerror(errno));
+      }
+
+      // Drain readable pipes; collect finished children, then act on them
+      // (acting may mutate `children`, so never both at once).
+      struct Finished {
+        std::size_t leg;
+        std::size_t attempt;
+        bool ok;
+        WorkerEvent::Kind kind;
+        std::string payload_or_detail;
+      };
+      std::vector<Finished> finished;
+      now = Clock::now();
+      for (std::size_t i = 0; i < children.size();) {
+        Child& child = children[i];
+        bool closed = false;
+        if (events > 0 && (fds[i].revents & (POLLIN | POLLHUP | POLLERR))) {
+          for (;;) {
+            char chunk[4096];
+            const ssize_t got = ::read(child.fd, chunk, sizeof chunk);
+            if (got > 0) {
+              child.buffer.append(chunk, static_cast<std::size_t>(got));
+              child.deadline = now + timeout;
+              continue;
+            }
+            if (got == 0) {
+              closed = true;
+            } else if (errno == EINTR) {
+              continue;
+            }
+            break;  // EOF or would-block.
+          }
+        }
+        if (closed) {
+          int status = 0;
+          while (::waitpid(child.pid, &status, 0) < 0 && errno == EINTR) {
+          }
+          ::close(child.fd);
+          char tag = 0;
+          std::string body;
+          if (ParseResultFrame(child.buffer, &tag, &body)) {
+            finished.push_back({child.leg, child.attempt, tag == 'R',
+                                WorkerEvent::Kind::kError, std::move(body)});
+          } else {
+            finished.push_back({child.leg, child.attempt, false,
+                                WorkerEvent::Kind::kCrash,
+                                DescribeExit(status) +
+                                    " without a result frame"});
+          }
+          children.erase(children.begin() + static_cast<std::ptrdiff_t>(i));
+          fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        if (child.deadline <= now) {
+          ReapChild(child);
+          char text[64];
+          std::snprintf(text, sizeof text, "no heartbeat for %.1fs",
+                        options.leg_timeout_s);
+          finished.push_back({child.leg, child.attempt, false,
+                              WorkerEvent::Kind::kTimeout, text});
+          children.erase(children.begin() + static_cast<std::ptrdiff_t>(i));
+          fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        ++i;
+      }
+
+      for (Finished& f : finished) {
+        if (f.ok) {
+          consecutive_failures = 0;
+          staged.emplace(f.leg, std::move(f.payload_or_detail));
+          commit_ready();
+        } else {
+          handle_failure(f.leg, f.attempt, f.kind, f.payload_or_detail);
+        }
+      }
+    }
+  } catch (...) {
+    for (Child& child : children) {
+      ReapChild(child);
+    }
+    throw;
+  }
+}
+
+}  // namespace vrl::runtime

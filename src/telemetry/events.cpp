@@ -24,6 +24,12 @@ std::string_view EventKindName(EventKind kind) {
       return "sensing_failure";
     case EventKind::kWatchdogTransition:
       return "watchdog_transition";
+    case EventKind::kLegResumed:
+      return "leg_resumed";
+    case EventKind::kWorkerRetry:
+      return "worker_retry";
+    case EventKind::kWorkerDegraded:
+      return "worker_degraded";
   }
   return "?";
 }

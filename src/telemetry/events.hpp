@@ -36,6 +36,12 @@ enum class EventKind : std::uint8_t {
                        ///< corrected, value = charge margin).
   kWatchdogTransition, ///< SLO watchdog health change (a = new state ordinal
                        ///< per obs::HealthState, value = breaching measure).
+  kLegResumed,         ///< Campaign leg skipped via the journal on resume
+                       ///< (row = leg index; docs/RESILIENCE.md).
+  kWorkerRetry,        ///< Failed worker attempt rescheduled (row = leg,
+                       ///< a = attempt number).
+  kWorkerDegraded,     ///< Worker execution abandoned (row = leg, a =
+                       ///< attempt, or -1 for whole-pool degradation).
 };
 
 /// Stable machine-readable kind name ("full_refresh", ...).

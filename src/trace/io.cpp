@@ -1,6 +1,7 @@
 #include "trace/io.hpp"
 
 #include <array>
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -16,6 +17,23 @@ namespace {
 constexpr char kMagic[8] = {'V', 'R', 'L', 'T', 'R', 'A', 'C', 'E'};
 constexpr std::uint32_t kVersion = 1;
 
+/// The OS-level reason a stream operation failed, when errno still carries
+/// one — distinguishes "file ends early" from "the disk is failing".
+std::string ErrnoDetail() {
+  return errno != 0 ? std::string(": ") + std::strerror(errno)
+                    : std::string();
+}
+
+/// Throws if `is` went bad (a read error, not EOF): getline loops otherwise
+/// end silently and the caller would mistake a failing disk for a short
+/// trace.
+void CheckReadHealth(const std::istream& is, std::size_t line_no) {
+  if (is.bad()) {
+    throw ParseError("trace: read error after line " +
+                     std::to_string(line_no) + ErrnoDetail());
+  }
+}
+
 template <typename T>
 void PutLe(std::ostream& os, T value) {
   std::array<unsigned char, sizeof(T)> buf;
@@ -28,9 +46,14 @@ void PutLe(std::ostream& os, T value) {
 template <typename T>
 T GetLe(std::istream& is) {
   std::array<unsigned char, sizeof(T)> buf;
+  errno = 0;
   is.read(reinterpret_cast<char*>(buf.data()), sizeof(T));
   if (!is) {
-    throw ParseError("trace: truncated binary stream");
+    throw ParseError(is.bad()
+                         ? "trace: read error in binary stream" +
+                               ErrnoDetail()
+                         : "trace: truncated binary stream (record cut "
+                           "short at EOF)");
   }
   T value = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i) {
@@ -54,8 +77,12 @@ std::vector<TraceRecord> ReadText(std::istream& is) {
   std::vector<TraceRecord> records;
   std::string line;
   std::size_t line_no = 0;
+  errno = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    // A final line without a trailing newline is how an interrupted writer
+    // leaves a trace: `is.eof()` is set even though getline succeeded.
+    const bool torn_tail = is.eof();
     // Strip comments and skip blank lines.
     const auto hash = line.find('#');
     if (hash != std::string::npos) {
@@ -69,6 +96,12 @@ std::vector<TraceRecord> ReadText(std::istream& is) {
     std::string op;
     std::string addr;
     if (!(ls >> rec.cycle >> op >> addr)) {
+      if (torn_tail) {
+        throw ParseError("trace: truncated final line " +
+                         std::to_string(line_no) +
+                         " at EOF (no trailing newline — interrupted "
+                         "writer?)");
+      }
       throw ParseError("trace: malformed line " + std::to_string(line_no));
     }
     if (op == "W" || op == "w") {
@@ -87,6 +120,7 @@ std::vector<TraceRecord> ReadText(std::istream& is) {
     }
     records.push_back(rec);
   }
+  CheckReadHealth(is, line_no);
   return records;
 }
 
@@ -127,17 +161,27 @@ std::vector<TraceRecord> ReadBinary(std::istream& is) {
 
 void WriteTextFile(const std::string& path,
                    const std::vector<TraceRecord>& records) {
+  errno = 0;
   std::ofstream os(path);
   if (!os) {
-    throw ParseError("trace: cannot open '" + path + "' for writing");
+    throw ParseError("trace: cannot open '" + path + "' for writing" +
+                     ErrnoDetail());
   }
   WriteText(os, records);
+  os.flush();
+  if (!os) {
+    // ENOSPC and friends surface here, not at open(): without the check a
+    // full disk would silently leave a truncated trace behind.
+    throw ParseError("trace: write to '" + path + "' failed" +
+                     ErrnoDetail());
+  }
 }
 
 std::vector<TraceRecord> ReadTextFile(const std::string& path) {
+  errno = 0;
   std::ifstream is(path);
   if (!is) {
-    throw ParseError("trace: cannot open '" + path + "'");
+    throw ParseError("trace: cannot open '" + path + "'" + ErrnoDetail());
   }
   return ReadText(is);
 }
@@ -150,8 +194,10 @@ std::vector<TraceRecord> ReadRamulatorTrace(std::istream& is,
   std::vector<TraceRecord> records;
   std::string line;
   std::size_t line_no = 0;
+  errno = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    const bool torn_tail = is.eof();  // Final line had no trailing newline.
     const auto hash = line.find('#');
     if (hash != std::string::npos) {
       line.erase(hash);
@@ -163,6 +209,12 @@ std::vector<TraceRecord> ReadRamulatorTrace(std::istream& is,
     std::string addr;
     std::string op;
     if (!(ls >> addr >> op)) {
+      if (torn_tail) {
+        throw ParseError("trace: truncated final ramulator line " +
+                         std::to_string(line_no) +
+                         " at EOF (no trailing newline — interrupted "
+                         "writer?)");
+      }
       throw ParseError("trace: malformed ramulator line " +
                        std::to_string(line_no));
     }
@@ -184,6 +236,7 @@ std::vector<TraceRecord> ReadRamulatorTrace(std::istream& is,
     }
     records.push_back(rec);
   }
+  CheckReadHealth(is, line_no);
   return records;
 }
 

@@ -145,6 +145,39 @@ TEST(ParseReportArgs, WatchdogTakesARulesPathAndRequiresIt) {
   EXPECT_THROW(Parse({"--watchdog"}), ConfigError);
 }
 
+TEST(ParseReportArgs, ResilienceFlagsParseAndValidate) {
+  const ReportOptions defaults = Parse({});
+  EXPECT_TRUE(defaults.resume_path.empty());
+  EXPECT_EQ(defaults.workers, 0u);
+  EXPECT_EQ(defaults.leg_timeout_s, 120.0);
+  EXPECT_EQ(defaults.max_retries, 3u);
+
+  const ReportOptions options =
+      Parse({"--resume", "run.journal", "--workers", "4", "--leg-timeout",
+             "2.5", "--max-retries", "7", "VRL"});
+  EXPECT_EQ(options.resume_path, "run.journal");
+  EXPECT_EQ(options.workers, 4u);
+  EXPECT_EQ(options.leg_timeout_s, 2.5);
+  EXPECT_EQ(options.max_retries, 7u);
+  EXPECT_EQ(options.positional, (std::vector<std::string>{"VRL"}));
+
+  EXPECT_THROW(Parse({"--resume"}), ConfigError);
+  EXPECT_THROW(Parse({"--workers", "two"}), ConfigError);
+  EXPECT_THROW(Parse({"--max-retries", "-1"}), ConfigError);
+  EXPECT_THROW(Parse({"--leg-timeout", "0"}), ConfigError);
+  EXPECT_THROW(Parse({"--leg-timeout", "fast"}), ConfigError);
+}
+
+TEST(ParseReportArgs, MakeRuntimeOptionsMapsTheResilienceFlags) {
+  const runtime::RuntimeOptions runtime = MakeRuntimeOptions(
+      Parse({"--resume", "j.jsonl", "--workers", "3", "--leg-timeout", "9",
+             "--max-retries", "1"}));
+  EXPECT_EQ(runtime.journal_path, "j.jsonl");
+  EXPECT_EQ(runtime.workers, 3u);
+  EXPECT_EQ(runtime.leg_timeout_s, 9.0);
+  EXPECT_EQ(runtime.max_retries, 1u);
+}
+
 // -- Emit ---------------------------------------------------------------------
 
 TEST(ReportEmit, UnopenablePathThrows) {

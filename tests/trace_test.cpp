@@ -130,6 +130,26 @@ TEST(TraceIo, TextRejectsMalformed) {
   EXPECT_THROW(ReadText(missing), ParseError);
 }
 
+TEST(TraceIo, TruncatedFinalLineIsDiagnosedNotDropped) {
+  // An interrupted writer leaves a final line without a newline; if it no
+  // longer parses, the reader must say "truncated", not "malformed".
+  std::stringstream torn("10 R 0x20\n20 W");
+  try {
+    ReadText(torn);
+    FAIL() << "expected ParseError for the torn tail";
+  } catch (const ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("truncated final line"),
+              std::string::npos)
+        << error.what();
+  }
+  // A *complete* final record without a trailing newline is still fine.
+  std::stringstream no_newline("10 R 0x20\n20 W 0x30");
+  EXPECT_EQ(ReadText(no_newline).size(), 2u);
+
+  std::stringstream ram_torn("0x100 R\n0x200");
+  EXPECT_THROW(ReadRamulatorTrace(ram_torn, 4), ParseError);
+}
+
 TEST(TraceIo, BinaryRejectsBadMagic) {
   std::stringstream ss("NOTATRACE........");
   EXPECT_THROW(ReadBinary(ss), ParseError);
