@@ -83,6 +83,8 @@ ReportOptions ParseReportArgs(int argc, char** argv) {
        : arg == "--watchdog" ? options.watchdog_path
        : arg == "--resume"   ? options.resume_path
                              : options.trace_path) = value_of(&i, arg);
+    } else if (arg == "--preset" || arg == "--topology") {
+      options.preset = value_of(&i, arg);
     } else if (arg == "--profile") {
       options.profile = true;
     } else if (arg == "--serve") {

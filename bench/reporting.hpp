@@ -30,6 +30,11 @@
 ///                       (ephemeral, announced on stdout)
 ///   --watchdog <rules.json>  attach an SloWatchdog evaluating the rules
 ///                       file on every Sample (drives /healthz)
+///   --preset <name>     timing-table preset the run's memory controller
+///                       uses (--topology is an alias): SingleBankEquivalent
+///                       (default — the flat model, byte-for-byte),
+///                       DDR3_1600, DDR4_2400 or LPDDR4_3200
+///                       (docs/TOPOLOGY.md)
 ///   --resume <journal>  journal campaign legs to <journal> and skip legs a
 ///                       previous (crashed) run already committed — the
 ///                       resumed report is byte-identical to an
@@ -69,6 +74,9 @@ struct ReportOptions {
   bool serve = false;      ///< Start the monitor server (--serve).
   int serve_port = 0;      ///< --serve's port; 0 = ephemeral.
   std::string watchdog_path;  ///< SLO rules file (--watchdog); empty = none.
+  /// Timing-table preset name (--preset/--topology); empty = the binary's
+  /// default.  Validated by the consumer via dram::PresetFromName.
+  std::string preset;
   std::string resume_path;    ///< Leg journal (--resume); empty = none.
   std::size_t workers = 0;    ///< Supervised worker processes (--workers).
   double leg_timeout_s = 120.0;  ///< Worker liveness timeout (--leg-timeout).

@@ -48,11 +48,28 @@ PolicyKind PolicyFromName(std::string_view name) {
                     "' (expected JEDEC, RAIDR, VRL or VRL-Access)");
 }
 
+void VrlConfig::ApplyPreset(dram::TimingPreset p) {
+  preset = p;
+  banks = dram::MakeTimingTable(p, banks).topology.TotalBanks();
+}
+
+dram::TimingTable VrlConfig::TimingTableFor() const {
+  dram::TimingTable table = dram::MakeTimingTable(preset, banks);
+  table.core = timing;
+  return table;
+}
+
 void VrlConfig::Validate() const {
   tech.Validate();
   timing.Validate();
   if (banks == 0) {
     throw ConfigError("VrlConfig: need at least one bank");
+  }
+  if (preset != dram::TimingPreset::kSingleBankEquivalent &&
+      banks != dram::MakeTimingTable(preset).topology.TotalBanks()) {
+    throw ConfigError(
+        "VrlConfig: banks does not match the preset's topology (use "
+        "ApplyPreset to keep them in sync)");
   }
   if (nbits == 0 || nbits > 8) {
     throw ConfigError("VrlConfig: nbits must be in [1, 8]");
@@ -204,9 +221,10 @@ dram::PolicyFactory VrlSystem::MakePolicyFactory(PolicyKind kind) const {
 
 dram::SimulationStats VrlSystem::Simulate(
     PolicyKind kind, const std::vector<dram::Request>& requests,
-    Cycles horizon, telemetry::Recorder* recorder) const {
-  dram::MemoryController controller(config_.banks, config_.tech.rows,
-                                    config_.timing, MakePolicyFactory(kind),
+    Cycles horizon, telemetry::Recorder* recorder,
+    dram::CommandLog* audit) const {
+  dram::MemoryController controller(config_.TimingTableFor(),
+                                    config_.tech.rows, MakePolicyFactory(kind),
                                     config_.scheduler, config_.page_policy,
                                     config_.subarrays);
   if (recorder == nullptr) {
@@ -215,7 +233,16 @@ dram::SimulationStats VrlSystem::Simulate(
   if (recorder != nullptr) {
     controller.AttachTelemetry(recorder);
   }
-  return controller.Run(requests, horizon);
+  if (audit != nullptr) {
+    controller.EnableAudit();
+  }
+  auto stats = controller.Run(requests, horizon);
+  if (audit != nullptr) {
+    for (const dram::Command& cmd : controller.audit_log()->commands()) {
+      audit->Append(cmd);
+    }
+  }
+  return stats;
 }
 
 telemetry::Recorder* VrlSystem::EnableTelemetry(

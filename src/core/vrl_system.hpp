@@ -13,6 +13,7 @@
 #include "dram/controller.hpp"
 #include "dram/refresh_policy.hpp"
 #include "dram/timing.hpp"
+#include "dram/timing_table.hpp"
 #include "fault/adaptive_policy.hpp"
 #include "fault/campaign.hpp"
 #include "fault/injector.hpp"
@@ -90,6 +91,12 @@ struct VrlConfig {
   std::size_t nbits = 2;      ///< Counter width; caps MPRSF at 2^nbits - 1.
   std::uint64_t seed = 42;    ///< Profiling Monte-Carlo seed.
 
+  /// Timing-table preset the controller runs under.  The default degenerate
+  /// preset reproduces the flat model byte-for-byte; the hardware presets
+  /// (DDR3_1600, DDR4_2400, LPDDR4_3200) bring their own topology — set
+  /// them via ApplyPreset so `banks` tracks the topology's bank count.
+  dram::TimingPreset preset = dram::TimingPreset::kSingleBankEquivalent;
+
   /// Request scheduling discipline of the memory controller.
   dram::SchedulerKind scheduler = dram::SchedulerKind::kFcfs;
 
@@ -118,6 +125,14 @@ struct VrlConfig {
 
   /// Maximum MPRSF representable with the configured counter width.
   std::size_t MprsfCap() const { return (std::size_t{1} << nbits) - 1; }
+
+  /// Selects a preset and syncs `banks` to its topology (the degenerate
+  /// preset keeps the current bank count).
+  void ApplyPreset(dram::TimingPreset p);
+
+  /// The timing table Simulate() hands the controller: the preset's
+  /// topology and inter-bank constraints over this config's core `timing`.
+  dram::TimingTable TimingTableFor() const;
 
   void Validate() const;
 };
@@ -168,10 +183,13 @@ class VrlSystem {
   /// this run; when null the system recorder (EnableTelemetry) is used, if
   /// enabled.  Parallel drivers must pass an explicit per-task recorder —
   /// never share one across threads (telemetry::ShardedRecorder).
+  /// `audit`, when non-null, additionally records every DRAM command the
+  /// run issues (PRE/ACT/RD/WR/REF) for dram::TimingAuditor replay.
   dram::SimulationStats Simulate(PolicyKind kind,
                                  const std::vector<dram::Request>& requests,
                                  Cycles horizon,
-                                 telemetry::Recorder* recorder = nullptr) const;
+                                 telemetry::Recorder* recorder = nullptr,
+                                 dram::CommandLog* audit = nullptr) const;
 
   /// Enables the system-owned telemetry recorder: subsequent Simulate /
   /// RunFaultCampaign calls without an explicit recorder feed it.  Returns

@@ -1,0 +1,262 @@
+#include "dram/auditor.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace vrl::dram {
+
+std::string CommandName(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kActivate:
+      return "ACT";
+    case CommandKind::kRead:
+      return "RD";
+    case CommandKind::kWrite:
+      return "WR";
+    case CommandKind::kPrecharge:
+      return "PRE";
+    case CommandKind::kRefresh:
+      return "REF";
+  }
+  return "?";
+}
+
+std::string AuditReport::ToText(const std::string& label) const {
+  std::ostringstream os;
+  os << "# vrl timing audit v1\n";
+  os << "# preset=" << label << " commands=" << commands_checked
+     << " violations=" << violations.size() << "\n";
+  for (const TimingViolation& v : violations) {
+    os << "violation at=" << v.at << " rule=" << v.rule << " ch="
+       << v.addr.channel << " rk=" << v.addr.rank << " bg="
+       << v.addr.bank_group << " bk=" << v.addr.bank << " " << v.detail
+       << "\n";
+  }
+  os << "# end\n";
+  return os.str();
+}
+
+void WriteAuditReport(const AuditReport& report, const std::string& label,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw ConfigError("WriteAuditReport: cannot open '" + path + "'");
+  }
+  out << report.ToText(label);
+  if (!out) {
+    throw ConfigError("WriteAuditReport: write to '" + path + "' failed");
+  }
+}
+
+TimingAuditor::TimingAuditor(const TimingTable& table) : table_(table) {
+  table_.Validate();
+}
+
+namespace {
+
+/// Deterministic "need >= X (had Y, rule Z)" detail line.
+std::string Need(Cycles need, Cycles reference, const std::string& what) {
+  std::ostringstream os;
+  os << "need >= " << need << " (" << what << " " << reference << ")";
+  return os.str();
+}
+
+struct SubarrayState {
+  bool act_seen = false;
+  Cycles last_act = 0;
+  bool pre_seen = false;
+  Cycles last_pre = 0;
+  bool wr_seen = false;
+  Cycles last_wr_burst_end = 0;
+  bool ref_seen = false;
+  Cycles ref_start = 0;
+  Cycles ref_end = 0;
+};
+
+struct RankAuditState {
+  std::map<std::size_t, Cycles> last_act_by_group;
+  std::map<std::size_t, Cycles> last_col_by_group;
+  std::deque<Cycles> faw_window;  ///< ACTs within the trailing tFAW window.
+};
+
+struct BusState {
+  bool any = false;
+  Cycles last_end = 0;
+  std::size_t last_rank = 0;
+};
+
+}  // namespace
+
+AuditReport TimingAuditor::Audit(const CommandLog& log) const {
+  AuditReport report;
+  report.commands_checked = log.size();
+
+  // Replay in cycle order; stable on log order so a bank's own issue
+  // sequence breaks same-cycle ties.
+  std::vector<std::size_t> order(log.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return log.commands()[a].at < log.commands()[b].at;
+                   });
+
+  const TimingParams& core = table_.core;
+  std::map<std::pair<std::size_t, std::size_t>, SubarrayState> subarrays;
+  std::map<std::size_t, RankAuditState> ranks;
+  std::map<std::size_t, BusState> buses;
+
+  const auto flag = [&](const Command& c, const std::string& rule,
+                        std::string detail) {
+    report.violations.push_back({c.at, rule, c.addr, std::move(detail)});
+  };
+
+  for (const std::size_t i : order) {
+    const Command& c = log.commands()[i];
+    const std::size_t flat = FlattenBank(table_.topology, c.addr);
+    const std::size_t global_rank =
+        c.addr.channel * table_.topology.ranks_per_channel + c.addr.rank;
+    SubarrayState& sub = subarrays[{flat, c.subarray}];
+
+    // Refresh occupancy: nothing may touch the subarray while a refresh op
+    // holds it.
+    if (sub.ref_seen && c.at >= sub.ref_start && c.at < sub.ref_end) {
+      flag(c, "refresh-occupancy",
+           Need(sub.ref_end, sub.ref_start, "refresh busy since"));
+    }
+
+    switch (c.kind) {
+      case CommandKind::kActivate: {
+        if (sub.pre_seen && c.at < sub.last_pre + core.t_rp) {
+          flag(c, "tRP", Need(sub.last_pre + core.t_rp, sub.last_pre,
+                              "last PRE"));
+        }
+        RankAuditState& rank = ranks[global_rank];
+        for (const auto& [group, last] : rank.last_act_by_group) {
+          const Cycles gap =
+              group == c.addr.bank_group ? table_.t_rrd_l : table_.t_rrd_s;
+          if (gap != 0 && c.at < last + gap) {
+            flag(c, group == c.addr.bank_group ? "tRRD_L" : "tRRD_S",
+                 Need(last + gap, last, "last ACT"));
+          }
+        }
+        if (table_.t_faw != 0) {
+          while (!rank.faw_window.empty() &&
+                 rank.faw_window.front() + table_.t_faw <= c.at) {
+            rank.faw_window.pop_front();
+          }
+          if (rank.faw_window.size() >= 4) {
+            flag(c, "tFAW",
+                 Need(rank.faw_window.front() + table_.t_faw,
+                      rank.faw_window.front(),
+                      "5th ACT in window since"));
+          }
+          rank.faw_window.push_back(c.at);
+        }
+        auto [it, inserted] =
+            rank.last_act_by_group.try_emplace(c.addr.bank_group, c.at);
+        if (!inserted) {
+          it->second = std::max(it->second, c.at);
+        }
+        sub.act_seen = true;
+        sub.last_act = c.at;
+        break;
+      }
+      case CommandKind::kRead:
+      case CommandKind::kWrite: {
+        if (sub.act_seen && c.at < sub.last_act + core.t_rcd) {
+          flag(c, "tRCD", Need(sub.last_act + core.t_rcd, sub.last_act,
+                               "last ACT"));
+        }
+        RankAuditState& rank = ranks[global_rank];
+        for (const auto& [group, last] : rank.last_col_by_group) {
+          const Cycles gap =
+              group == c.addr.bank_group ? table_.t_ccd_l : table_.t_ccd_s;
+          if (gap != 0 && c.at < last + gap) {
+            flag(c, group == c.addr.bank_group ? "tCCD_L" : "tCCD_S",
+                 Need(last + gap, last, "last column command"));
+          }
+        }
+        auto [it, inserted] =
+            rank.last_col_by_group.try_emplace(c.addr.bank_group, c.at);
+        if (!inserted) {
+          it->second = std::max(it->second, c.at);
+        }
+
+        // Data burst occupancy: per channel when the bus is shared, per
+        // bank in the flat model.
+        const Cycles burst_start = c.at + core.t_cas;
+        const Cycles burst_end = burst_start + core.t_bus;
+        const std::size_t bus_key =
+            table_.per_channel_bus ? c.addr.channel : flat;
+        BusState& bus = buses[bus_key];
+        if (bus.any) {
+          if (burst_start < bus.last_end) {
+            flag(c, "bus-overlap",
+                 Need(bus.last_end, bus.last_end, "previous burst ends"));
+          } else if (table_.per_channel_bus && table_.t_rtrs != 0 &&
+                     bus.last_rank != c.addr.rank &&
+                     burst_start < bus.last_end + table_.t_rtrs) {
+            flag(c, "tRTRS",
+                 Need(bus.last_end + table_.t_rtrs, bus.last_end,
+                      "rank switch after burst ending"));
+          }
+        }
+        if (!bus.any || burst_end > bus.last_end) {
+          bus.last_end = burst_end;
+          bus.last_rank = c.addr.rank;
+          bus.any = true;
+        }
+
+        if (c.kind == CommandKind::kWrite) {
+          sub.wr_seen = true;
+          sub.last_wr_burst_end = std::max(sub.last_wr_burst_end, burst_end);
+        }
+        break;
+      }
+      case CommandKind::kPrecharge: {
+        if (sub.act_seen && c.at < sub.last_act + core.t_ras) {
+          flag(c, "tRAS", Need(sub.last_act + core.t_ras, sub.last_act,
+                               "last ACT"));
+        }
+        if (sub.wr_seen && c.at < sub.last_wr_burst_end + core.t_wr) {
+          flag(c, "tWR",
+               Need(sub.last_wr_burst_end + core.t_wr, sub.last_wr_burst_end,
+                    "write burst end"));
+        }
+        sub.pre_seen = true;
+        sub.last_pre = c.at;
+        break;
+      }
+      case CommandKind::kRefresh: {
+        if (c.trfc == 0) {
+          flag(c, "refresh-zero-trfc", "refresh op with zero tRFC");
+          break;
+        }
+        sub.ref_seen = true;
+        sub.ref_start = c.at;
+        sub.ref_end = c.at + c.trfc;
+        break;
+      }
+    }
+  }
+
+  std::stable_sort(
+      report.violations.begin(), report.violations.end(),
+      [](const TimingViolation& a, const TimingViolation& b) {
+        return std::tie(a.at, a.rule, a.addr.channel, a.addr.rank,
+                        a.addr.bank_group, a.addr.bank, a.detail) <
+               std::tie(b.at, b.rule, b.addr.channel, b.addr.rank,
+                        b.addr.bank_group, b.addr.bank, b.detail);
+      });
+  return report;
+}
+
+}  // namespace vrl::dram

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/timing_table.hpp"
+#include "dram/topology.hpp"
+
+/// \file auditor.hpp
+/// Passive timing conformance: a command log recorded during simulation and
+/// an auditor that replays it against a TimingTable, reporting every window
+/// violation.
+///
+/// The TimingAuditor is deliberately a from-scratch re-implementation of
+/// the timing rules — it shares no scheduling code with the
+/// ConstraintEngine, so a bug in the active engine (or in the bank state
+/// machine) shows up as a reported violation instead of passing silently.
+/// That makes timing correctness a *checkable property* of any run: enable
+/// command logging (MemoryController::EnableAudit), simulate, audit, and
+/// assert zero violations.  The audit report text is byte-deterministic —
+/// CI diffs it across thread counts and uploads it as an artifact
+/// (docs/TOPOLOGY.md).
+
+namespace vrl::dram {
+
+/// DRAM bus commands the simulator issues.
+enum class CommandKind : std::uint8_t {
+  kActivate,
+  kRead,
+  kWrite,
+  kPrecharge,
+  kRefresh,
+};
+
+/// Short uppercase mnemonic ("ACT", "RD", "WR", "PRE", "REF").
+std::string CommandName(CommandKind kind);
+
+/// One logged command.  `at` is the issue cycle: for kRead/kWrite the
+/// column-command cycle (the data burst occupies [at + tCAS, at + tCAS +
+/// tBUS)); for kRefresh the cycle the refresh starts occupying its
+/// subarray, for `trfc` cycles.
+struct Command {
+  Cycles at = 0;
+  CommandKind kind = CommandKind::kActivate;
+  BankAddress addr;
+  std::size_t subarray = 0;  ///< Busy unit within the bank (SALP).
+  std::size_t row = 0;
+  Cycles trfc = 0;           ///< kRefresh only: this op's refresh latency.
+};
+
+/// Append-only command stream, recorded by the banks in issue order.
+class CommandLog {
+ public:
+  void Append(const Command& command) { commands_.push_back(command); }
+  const std::vector<Command>& commands() const { return commands_; }
+  std::size_t size() const { return commands_.size(); }
+  bool empty() const { return commands_.empty(); }
+  void Clear() { commands_.clear(); }
+
+ private:
+  std::vector<Command> commands_;
+};
+
+/// One timing-rule violation found by the auditor.
+struct TimingViolation {
+  Cycles at = 0;        ///< Cycle of the offending (later) command.
+  std::string rule;     ///< "tRRD_L", "tFAW", "bus-overlap", ...
+  BankAddress addr;     ///< Of the offending command.
+  std::string detail;   ///< Human-readable specifics (deterministic).
+};
+
+/// Result of one audit pass.
+struct AuditReport {
+  std::size_t commands_checked = 0;
+  std::vector<TimingViolation> violations;
+
+  bool clean() const { return violations.empty(); }
+
+  /// Byte-deterministic text rendering:
+  ///   # vrl timing audit v1
+  ///   # preset=<label> commands=<n> violations=<k>
+  ///   violation at=<cycle> rule=<rule> ch=<c> rk=<r> bg=<g> bk=<b> <detail>
+  ///   ...
+  ///   # end
+  /// Violations are ordered by (cycle, rule, address).
+  std::string ToText(const std::string& label) const;
+};
+
+/// Writes report.ToText(label) to `path`.  \throws vrl::ConfigError when
+/// the file cannot be opened.
+void WriteAuditReport(const AuditReport& report, const std::string& label,
+                      const std::string& path);
+
+/// Replays command logs against a timing table.
+///
+/// Checked rules (zero-valued constraints are skipped):
+///  - per (bank, subarray): tRCD (ACT -> column), tRAS (ACT -> PRE), tRP
+///    (PRE -> ACT), tWR (write burst end -> PRE), and refresh occupancy
+///    (no command while a refresh op holds the subarray).
+///  - per rank: tRRD_S/tRRD_L between ACTs (bank group aware), the rolling
+///    four-ACT tFAW window, tCCD_S/tCCD_L between column commands.
+///  - data bus: burst non-overlap — per bank when the table keeps per-bank
+///    data paths (the flat model), per channel when per_channel_bus — and
+///    tRTRS turnaround between bursts of different ranks.
+class TimingAuditor {
+ public:
+  /// Copies the table (the auditor outlives no one).
+  explicit TimingAuditor(const TimingTable& table);
+
+  /// Audits `log`; commands may be appended in any order (the auditor
+  /// sorts a copy by cycle, stable on log order).
+  AuditReport Audit(const CommandLog& log) const;
+
+  const TimingTable& table() const { return table_; }
+
+ private:
+  TimingTable table_;
+};
+
+}  // namespace vrl::dram

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "dram/auditor.hpp"
 
 namespace vrl::dram {
 
@@ -50,34 +51,74 @@ Cycles Bank::ServiceRequest(const Request& request) {
   if (request.row >= rows_) {
     throw ConfigError("Bank: request row out of range");
   }
-  Subarray& sa = subarrays_[SubarrayOf(request.row)];
+  const std::size_t sub = SubarrayOf(request.row);
+  Subarray& sa = subarrays_[sub];
   const Cycles start = std::max(request.arrival, sa.busy_until);
   Cycles ready = start;
 
   if (!sa.open_row.has_value()) {
-    // Row empty: ACTIVATE only.
-    sa.activated_at = start;
-    ready += timing_.t_rcd;
+    // Row empty: ACTIVATE only, floored by tRRD/tFAW when a constraint
+    // engine is attached.
+    Cycles act = start;
+    if (engine_ != nullptr) {
+      act = engine_->EarliestActivate(addr_, act);
+      engine_->RecordActivate(addr_, act);
+    }
+    sa.activated_at = act;
+    ready = act + timing_.t_rcd;
     sa.open_row = request.row;
     ++stats_.activations;
     ++stats_.row_misses;
+    if (audit_ != nullptr) {
+      audit_->Append(
+          {act, CommandKind::kActivate, addr_, sub, request.row, 0});
+    }
   } else if (*sa.open_row != request.row) {
     // Conflict: PRECHARGE (honoring tRAS/tWR) + ACTIVATE.
+    const std::size_t closed_row = *sa.open_row;
     const Cycles pre_start = EarliestPrecharge(sa, start);
-    sa.activated_at = pre_start + timing_.t_rp;
-    ready = sa.activated_at + timing_.t_rcd;
+    Cycles act = pre_start + timing_.t_rp;
+    if (engine_ != nullptr) {
+      act = engine_->EarliestActivate(addr_, act);
+      engine_->RecordActivate(addr_, act);
+    }
+    sa.activated_at = act;
+    ready = act + timing_.t_rcd;
     sa.open_row = request.row;
     ++stats_.activations;
     ++stats_.row_misses;
+    if (audit_ != nullptr) {
+      audit_->Append(
+          {pre_start, CommandKind::kPrecharge, addr_, sub, closed_row, 0});
+      audit_->Append(
+          {act, CommandKind::kActivate, addr_, sub, request.row, 0});
+    }
   } else {
     ++stats_.row_hits;
   }
 
-  // Column access; the data burst serializes on the shared bus.
-  const Cycles burst_start =
-      std::max(ready + timing_.t_cas, bus_busy_until_);
+  // Column access; the data burst serializes on the shared bus — the
+  // bank's own with the flat model, the channel's under a hierarchy.
+  Cycles burst_start;
+  if (engine_ != nullptr) {
+    const Cycles col = engine_->EarliestColumn(addr_, ready);
+    burst_start = engine_->EarliestBurst(
+        addr_, std::max(col + timing_.t_cas, bus_busy_until_));
+  } else {
+    burst_start = std::max(ready + timing_.t_cas, bus_busy_until_);
+  }
   const Cycles completion = burst_start + timing_.t_bus;
   bus_busy_until_ = completion;
+  if (engine_ != nullptr) {
+    engine_->RecordColumn(addr_, burst_start - timing_.t_cas);
+    engine_->RecordBurst(addr_, burst_start, completion);
+  }
+  if (audit_ != nullptr) {
+    audit_->Append({burst_start - timing_.t_cas,
+                    request.type == RequestType::kWrite ? CommandKind::kWrite
+                                                        : CommandKind::kRead,
+                    addr_, sub, request.row, 0});
+  }
 
   if (request.type == RequestType::kWrite) {
     ++stats_.writes;
@@ -98,6 +139,10 @@ Cycles Bank::ServiceRequest(const Request& request) {
     const Cycles pre_start = EarliestPrecharge(sa, completion);
     sa.busy_until = pre_start + timing_.t_rp;
     sa.open_row.reset();
+    if (audit_ != nullptr) {
+      audit_->Append(
+          {pre_start, CommandKind::kPrecharge, addr_, sub, request.row, 0});
+    }
   }
   return completion;
 }
@@ -109,14 +154,24 @@ Cycles Bank::ExecuteRefresh(const RefreshOp& op, Cycles now) {
   if (op.trfc == 0) {
     throw ConfigError("Bank: refresh with zero tRFC");
   }
-  Subarray& sa = subarrays_[SubarrayOf(op.row)];
+  const std::size_t sub = SubarrayOf(op.row);
+  Subarray& sa = subarrays_[sub];
   Cycles start = std::max(now, sa.busy_until);
   // Refresh requires the subarray precharged; close any open row first.
   if (sa.open_row.has_value()) {
-    start = EarliestPrecharge(sa, start) + timing_.t_rp;
+    const Cycles pre_start = EarliestPrecharge(sa, start);
+    if (audit_ != nullptr) {
+      audit_->Append(
+          {pre_start, CommandKind::kPrecharge, addr_, sub, *sa.open_row, 0});
+    }
+    start = pre_start + timing_.t_rp;
     sa.open_row.reset();
   }
   const Cycles completion = start + op.trfc;
+  if (audit_ != nullptr) {
+    audit_->Append({start, CommandKind::kRefresh, addr_, sub, op.row,
+                    op.trfc});
+  }
   if (op.is_full) {
     ++stats_.full_refreshes;
   } else {

@@ -10,6 +10,7 @@
 #include "dram/refresh_policy.hpp"
 #include "dram/request.hpp"
 #include "dram/timing.hpp"
+#include "dram/topology.hpp"
 #include "telemetry/metrics.hpp"
 
 /// \file bank.hpp
@@ -30,6 +31,8 @@
 /// subarrays.
 
 namespace vrl::dram {
+
+class CommandLog;  // auditor.hpp
 
 /// Row-buffer management policy.
 enum class RowBufferPolicy {
@@ -102,6 +105,24 @@ class Bank {
     return row / rows_per_subarray_;
   }
 
+  /// Attaches the inter-bank constraint engine and this bank's position in
+  /// the hierarchy.  The engine floors every ACTIVATE, column command and
+  /// data burst to its earliest legal cycle (tRRD/tFAW/tCCD/bus/tRTRS);
+  /// null (the default) leaves the flat model's arithmetic untouched.
+  void SetConstraintEngine(ConstraintEngine* engine, const BankAddress& addr) {
+    engine_ = engine;
+    addr_ = addr;
+  }
+
+  /// Attaches a command log: every PRE/ACT/RD/WR/REF this bank issues is
+  /// appended, for passive replay by the TimingAuditor.  Null (the default)
+  /// disables logging.  Works with or without a constraint engine — flat
+  /// runs can be audited too.
+  void SetAudit(CommandLog* log, const BankAddress& addr) {
+    audit_ = log;
+    addr_ = addr;
+  }
+
  private:
   struct Subarray {
     Cycles busy_until = 0;
@@ -120,6 +141,9 @@ class Bank {
   std::vector<Subarray> subarrays_;
   Cycles bus_busy_until_ = 0;  ///< Shared data-bus horizon.
   BankStats stats_;
+  ConstraintEngine* engine_ = nullptr;  ///< Optional inter-bank constraints.
+  CommandLog* audit_ = nullptr;         ///< Optional command logging.
+  BankAddress addr_;                    ///< Position in the hierarchy.
 };
 
 }  // namespace vrl::dram

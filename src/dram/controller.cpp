@@ -91,17 +91,40 @@ double SimulationStats::AverageRequestLatency() const {
                     : static_cast<double>(total) / static_cast<double>(count);
 }
 
+namespace {
+
+/// The degenerate timing table of the flat constructor: today's model,
+/// wrapped so both constructors share one body.
+TimingTable FlatTable(const TimingParams& timing, std::size_t banks) {
+  if (banks == 0) {
+    throw ConfigError("MemoryController: need at least one bank");
+  }
+  TimingTable table;
+  table.core = timing;
+  table.topology = {1, 1, 1, banks};
+  return table;
+}
+
+}  // namespace
+
 MemoryController::MemoryController(std::size_t banks, std::size_t rows,
                                    const TimingParams& timing,
                                    const PolicyFactory& factory,
                                    SchedulerKind scheduler,
                                    RowBufferPolicy page_policy,
                                    std::size_t subarrays)
-    : timing_(timing), scheduler_(scheduler) {
-  if (banks == 0) {
-    throw ConfigError("MemoryController: need at least one bank");
-  }
-  timing_.Validate();
+    : MemoryController(FlatTable(timing, banks), rows, factory, scheduler,
+                       page_policy, subarrays) {}
+
+MemoryController::MemoryController(const TimingTable& table, std::size_t rows,
+                                   const PolicyFactory& factory,
+                                   SchedulerKind scheduler,
+                                   RowBufferPolicy page_policy,
+                                   std::size_t subarrays)
+    : table_(table), timing_(table.core), scheduler_(scheduler) {
+  table_.Validate();
+  hierarchical_ = table_.IsHierarchical();
+  const std::size_t banks = table_.topology.TotalBanks();
   banks_.reserve(banks);
   policies_.reserve(banks);
   for (std::size_t b = 0; b < banks; ++b) {
@@ -115,6 +138,23 @@ MemoryController::MemoryController(std::size_t banks, std::size_t rows,
     }
     policies_.push_back(std::move(policy));
   }
+  if (hierarchical_) {
+    engine_ = std::make_unique<ConstraintEngine>(table_);
+    for (std::size_t b = 0; b < banks; ++b) {
+      banks_[b].SetConstraintEngine(engine_.get(),
+                                    DecomposeBank(table_.topology, b));
+    }
+  }
+}
+
+CommandLog& MemoryController::EnableAudit() {
+  if (!audit_log_) {
+    audit_log_ = std::make_unique<CommandLog>();
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+      banks_[b].SetAudit(audit_log_.get(), DecomposeBank(table_.topology, b));
+    }
+  }
+  return *audit_log_;
 }
 
 void MemoryController::AttachTelemetry(telemetry::Recorder* recorder) {
@@ -132,7 +172,12 @@ SimulationStats MemoryController::Run(const std::vector<Request>& requests,
                       })) {
     throw ConfigError("MemoryController::Run: requests must be arrival-sorted");
   }
+  return hierarchical_ ? RunHierarchical(requests, horizon)
+                       : RunFlat(requests, horizon);
+}
 
+SimulationStats MemoryController::RunFlat(const std::vector<Request>& requests,
+                                          Cycles horizon) {
   const telemetry::ScopedTimer run_timer(telemetry_, "time.controller_run");
   // The service loop is only tens of nanoseconds per request, so the
   // telemetry-gated per-request work is kept to this one accumulator;
@@ -296,47 +341,7 @@ SimulationStats MemoryController::Run(const std::vector<Request>& requests,
     stats.per_bank.push_back(bank.stats());
   }
 
-  if (telemetry_ != nullptr) {
-    // Everything below is a delta of the banks' always-on stats, so a
-    // repeated Run() of the same controller exports only its own work.
-    std::vector<std::uint64_t> latency_counts(telemetry::kLatencyBucketCount,
-                                              0);
-    Cycles latency_total = 0;
-    std::uint64_t picks_n = 0;
-    for (std::size_t b = 0; b < stats.per_bank.size(); ++b) {
-      const BankStats& now = stats.per_bank[b];
-      const BankStats& then = before.per_bank[b];
-      for (std::size_t i = 0; i < latency_counts.size(); ++i) {
-        latency_counts[i] += now.latency_hist[i] - then.latency_hist[i];
-      }
-      latency_total += now.total_request_latency - then.total_request_latency;
-      picks_n += (now.reads + now.writes) - (then.reads + then.writes);
-    }
-    telemetry_->counter("scheduler.picks").Add(picks_n);
-    telemetry_->counter("scheduler.reordered_picks").Add(reordered_picks_n);
-    telemetry_
-        ->histogram("dram.request_latency_cycles",
-                    telemetry::LatencyBucketEdges())
-        .MergeCounts(latency_counts, static_cast<double>(latency_total));
-    const auto add = [&](std::string_view name, std::size_t now_total,
-                         std::size_t before_total) {
-      telemetry_->counter(name).Add(
-          static_cast<std::uint64_t>(now_total - before_total));
-    };
-    add("dram.reads", stats.TotalReads(), before.TotalReads());
-    add("dram.writes", stats.TotalWrites(), before.TotalWrites());
-    add("dram.row_hits", stats.TotalRowHits(), before.TotalRowHits());
-    add("dram.row_misses", stats.TotalRowMisses(), before.TotalRowMisses());
-    add("dram.activations", stats.TotalActivations(),
-        before.TotalActivations());
-    add("dram.full_refreshes", stats.TotalFullRefreshes(),
-        before.TotalFullRefreshes());
-    add("dram.partial_refreshes", stats.TotalPartialRefreshes(),
-        before.TotalPartialRefreshes());
-    telemetry_->counter("dram.refresh_busy_cycles")
-        .Add(stats.TotalRefreshBusyCycles() - before.TotalRefreshBusyCycles());
-    telemetry_->counter("dram.simulated_cycles").Add(end);
-  }
+  ExportRunTelemetry(before, stats, reordered_picks_n, end);
   if (profile) {
     // The flush phase covers the policy folds plus the delta export above.
     telemetry_->metrics()
@@ -348,6 +353,287 @@ SimulationStats MemoryController::Run(const std::vector<Request>& requests,
         .Record(collect_s);
   }
   return stats;
+}
+
+SimulationStats MemoryController::RunHierarchical(
+    const std::vector<Request>& requests, Cycles horizon) {
+  const telemetry::ScopedTimer run_timer(telemetry_, "time.controller_run");
+  const Topology& topo = table_.topology;
+  std::uint64_t reordered_picks_n = 0;
+  telemetry::Tracer* tracer =
+      telemetry_ == nullptr ? nullptr : telemetry_->tracer();
+  // One track group per rank (a Chrome "process" per ch<c>.rk<r>), one
+  // track per bank within the rank — the hierarchy is visible in the trace.
+  std::vector<std::uint32_t> rank_groups;
+  std::uint32_t burst_label = 0;
+  if (tracer != nullptr) {
+    rank_groups.reserve(topo.TotalRanks());
+    for (std::size_t c = 0; c < topo.channels; ++c) {
+      for (std::size_t r = 0; r < topo.ranks_per_channel; ++r) {
+        rank_groups.push_back(tracer->NewTrackGroup(
+            "run:" + policies_[0]->Name() + "/ch" + std::to_string(c) +
+            ".rk" + std::to_string(r)));
+      }
+    }
+    burst_label = tracer->Intern("refresh_burst");
+  }
+  const bool profile =
+      telemetry_ != nullptr && telemetry_->options().profile_phases;
+  double scheduler_s = 0.0;
+  double collect_s = 0.0;
+  const auto phase_clock = [] { return std::chrono::steady_clock::now(); };
+  const auto seconds_since =
+      [](std::chrono::steady_clock::time_point from) {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             from)
+            .count();
+      };
+  SimulationStats before;
+  if (telemetry_ != nullptr) {
+    for (const Bank& bank : banks_) {
+      before.per_bank.push_back(bank.stats());
+    }
+  }
+  const ConstraintStats engine_before = engine_->stats();
+  const HierarchyActivity activity_before = engine_->activity();
+
+  std::vector<std::vector<Request>> queues(banks_.size());
+  for (const Request& r : requests) {
+    if (r.bank >= banks_.size()) {
+      throw ConfigError("MemoryController::Run: request bank out of range");
+    }
+    queues[r.bank].push_back(r);
+  }
+
+  struct BankCursor {
+    std::size_t qi = 0;
+    std::vector<Request> pending;  // arrived but not yet serviced
+  };
+  std::vector<BankCursor> cursors(banks_.size());
+
+  const std::size_t banks_per_rank = topo.BanksPerRank();
+  std::vector<telemetry::SpanId> bank_spans;
+  if (tracer != nullptr) {
+    bank_spans.reserve(banks_.size());
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+      bank_spans.push_back(tracer->BeginSpan(
+          "bank_run", 0, rank_groups[b / banks_per_rank],
+          b % banks_per_rank));
+    }
+  }
+
+  // Services every request arriving before `limit`, interleaving the banks
+  // globally: each step picks the bank with the earliest decision instant
+  // (ties to the lowest index), so the constraint engine sees commands in
+  // approximate issue order and its conservative floors apply.
+  const auto service_until = [&](Cycles limit) {
+    while (true) {
+      bool found = false;
+      std::size_t pick_bank = 0;
+      Cycles t_decide = 0;
+      for (std::size_t b = 0; b < banks_.size(); ++b) {
+        const BankCursor& cur = cursors[b];
+        Cycles t = banks_[b].busy_until();
+        if (cur.pending.empty()) {
+          const auto& queue = queues[b];
+          if (cur.qi >= queue.size() || queue[cur.qi].arrival >= limit) {
+            continue;
+          }
+          t = std::max(t, queue[cur.qi].arrival);
+        }
+        if (!found || t < t_decide) {
+          t_decide = t;
+          pick_bank = b;
+          found = true;
+        }
+      }
+      if (!found) {
+        return;
+      }
+      Bank& bank = banks_[pick_bank];
+      BankCursor& cur = cursors[pick_bank];
+      const auto& queue = queues[pick_bank];
+      // Everything arrived by the decision instant competes for the slot.
+      while (cur.qi < queue.size() && queue[cur.qi].arrival <= t_decide &&
+             queue[cur.qi].arrival < limit) {
+        cur.pending.push_back(queue[cur.qi]);
+        ++cur.qi;
+      }
+      const std::size_t pick =
+          SelectNextRequest(scheduler_, cur.pending, bank);
+      bank.ServiceRequest(cur.pending[pick]);
+      policies_[pick_bank]->OnRowAccess(cur.pending[pick].row);
+      if (telemetry_ != nullptr) {
+        reordered_picks_n += pick != 0 ? 1 : 0;
+      }
+      cur.pending.erase(cur.pending.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+    }
+  };
+  const auto run_service_until = [&](Cycles limit) {
+    if (!profile) {
+      service_until(limit);
+      return;
+    }
+    const auto t0 = phase_clock();
+    service_until(limit);
+    scheduler_s += seconds_since(t0);
+  };
+  const auto collect_due = [&](std::size_t b, Cycles now) {
+    if (!profile) {
+      return policies_[b]->CollectDue(now);
+    }
+    const auto t0 = phase_clock();
+    auto ops = policies_[b]->CollectDue(now);
+    collect_s += seconds_since(t0);
+    return ops;
+  };
+
+  Cycles end = horizon;
+  for (Cycles tick = 0; tick <= horizon; tick += timing_.t_refi) {
+    // Service requests arriving before this refresh tick, then execute the
+    // tick's refresh operations bank by bank (index order — deterministic).
+    run_service_until(tick);
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+      const std::vector<RefreshOp> ops = collect_due(b, tick);
+      for (const RefreshOp& op : ops) {
+        banks_[b].ExecuteRefresh(op, tick);
+      }
+      if (tracer != nullptr && !ops.empty()) {
+        Cycles busy = 0;
+        std::int64_t fulls = 0;
+        for (const RefreshOp& op : ops) {
+          busy += op.trfc;
+          fulls += op.is_full ? 1 : 0;
+        }
+        tracer->CompleteSpan(burst_label, tick, tick + busy,
+                             rank_groups[b / banks_per_rank],
+                             b % banks_per_rank,
+                             static_cast<std::int64_t>(ops.size()), fulls);
+      }
+    }
+  }
+  // Drain any requests arriving up to the horizon after the last tick.
+  run_service_until(horizon + 1);
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    end = std::max(end, banks_[b].stats().last_completion);
+    if (tracer != nullptr) {
+      tracer->EndSpan(bank_spans[b],
+                      std::max(horizon, banks_[b].stats().last_completion));
+    }
+  }
+
+  const auto flush_t0 = phase_clock();
+  for (const auto& policy : policies_) {
+    policy->FlushTelemetry();
+  }
+
+  SimulationStats stats;
+  stats.simulated_cycles = end;
+  stats.per_bank.reserve(banks_.size());
+  for (const Bank& bank : banks_) {
+    stats.per_bank.push_back(bank.stats());
+  }
+
+  ExportRunTelemetry(before, stats, reordered_picks_n, end);
+  if (telemetry_ != nullptr) {
+    // Hierarchy-only export: the constraint engine's stall accounting and
+    // per-rank/channel activity.  Never registered in flat mode, so flat
+    // reports stay byte-identical.
+    const ConstraintStats& cs = engine_->stats();
+    const auto delta = [&](std::string_view name, std::uint64_t now,
+                           std::uint64_t then) {
+      telemetry_->counter(name).Add(now - then);
+    };
+    delta("dram.hier.trrd_stalls", cs.trrd_stalls, engine_before.trrd_stalls);
+    delta("dram.hier.trrd_stall_cycles", cs.trrd_stall_cycles,
+          engine_before.trrd_stall_cycles);
+    delta("dram.hier.tfaw_stalls", cs.tfaw_stalls, engine_before.tfaw_stalls);
+    delta("dram.hier.tfaw_stall_cycles", cs.tfaw_stall_cycles,
+          engine_before.tfaw_stall_cycles);
+    delta("dram.hier.tccd_stalls", cs.tccd_stalls, engine_before.tccd_stalls);
+    delta("dram.hier.tccd_stall_cycles", cs.tccd_stall_cycles,
+          engine_before.tccd_stall_cycles);
+    delta("dram.hier.trtrs_stalls", cs.trtrs_stalls,
+          engine_before.trtrs_stalls);
+    delta("dram.hier.trtrs_stall_cycles", cs.trtrs_stall_cycles,
+          engine_before.trtrs_stall_cycles);
+    delta("dram.hier.bus_stalls", cs.bus_stalls, engine_before.bus_stalls);
+    delta("dram.hier.bus_stall_cycles", cs.bus_stall_cycles,
+          engine_before.bus_stall_cycles);
+    const HierarchyActivity& act = engine_->activity();
+    for (std::size_t g = 0; g < act.rank_activations.size(); ++g) {
+      const std::string suffix =
+          ".ch" + std::to_string(g / topo.ranks_per_channel) + ".rk" +
+          std::to_string(g % topo.ranks_per_channel);
+      delta("dram.hier.rank_activations" + suffix, act.rank_activations[g],
+            activity_before.rank_activations[g]);
+      delta("dram.hier.rank_columns" + suffix, act.rank_columns[g],
+            activity_before.rank_columns[g]);
+    }
+    for (std::size_t c = 0; c < act.channel_bursts.size(); ++c) {
+      delta("dram.hier.channel_bursts.ch" + std::to_string(c),
+            act.channel_bursts[c], activity_before.channel_bursts[c]);
+    }
+  }
+  if (profile) {
+    telemetry_->metrics()
+        .GetTimer("time.phase.telemetry_flush")
+        .Record(seconds_since(flush_t0));
+    telemetry_->metrics().GetTimer("time.phase.scheduler").Record(scheduler_s);
+    telemetry_->metrics()
+        .GetTimer("time.phase.policy_collect_due")
+        .Record(collect_s);
+  }
+  return stats;
+}
+
+void MemoryController::ExportRunTelemetry(const SimulationStats& before,
+                                          const SimulationStats& stats,
+                                          std::uint64_t reordered_picks_n,
+                                          Cycles end) {
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  // Everything below is a delta of the banks' always-on stats, so a
+  // repeated Run() of the same controller exports only its own work.
+  std::vector<std::uint64_t> latency_counts(telemetry::kLatencyBucketCount,
+                                            0);
+  Cycles latency_total = 0;
+  std::uint64_t picks_n = 0;
+  for (std::size_t b = 0; b < stats.per_bank.size(); ++b) {
+    const BankStats& now = stats.per_bank[b];
+    const BankStats& then = before.per_bank[b];
+    for (std::size_t i = 0; i < latency_counts.size(); ++i) {
+      latency_counts[i] += now.latency_hist[i] - then.latency_hist[i];
+    }
+    latency_total += now.total_request_latency - then.total_request_latency;
+    picks_n += (now.reads + now.writes) - (then.reads + then.writes);
+  }
+  telemetry_->counter("scheduler.picks").Add(picks_n);
+  telemetry_->counter("scheduler.reordered_picks").Add(reordered_picks_n);
+  telemetry_
+      ->histogram("dram.request_latency_cycles",
+                  telemetry::LatencyBucketEdges())
+      .MergeCounts(latency_counts, static_cast<double>(latency_total));
+  const auto add = [&](std::string_view name, std::size_t now_total,
+                       std::size_t before_total) {
+    telemetry_->counter(name).Add(
+        static_cast<std::uint64_t>(now_total - before_total));
+  };
+  add("dram.reads", stats.TotalReads(), before.TotalReads());
+  add("dram.writes", stats.TotalWrites(), before.TotalWrites());
+  add("dram.row_hits", stats.TotalRowHits(), before.TotalRowHits());
+  add("dram.row_misses", stats.TotalRowMisses(), before.TotalRowMisses());
+  add("dram.activations", stats.TotalActivations(),
+      before.TotalActivations());
+  add("dram.full_refreshes", stats.TotalFullRefreshes(),
+      before.TotalFullRefreshes());
+  add("dram.partial_refreshes", stats.TotalPartialRefreshes(),
+      before.TotalPartialRefreshes());
+  telemetry_->counter("dram.refresh_busy_cycles")
+      .Add(stats.TotalRefreshBusyCycles() - before.TotalRefreshBusyCycles());
+  telemetry_->counter("dram.simulated_cycles").Add(end);
 }
 
 }  // namespace vrl::dram

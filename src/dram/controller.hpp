@@ -6,17 +6,29 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "dram/auditor.hpp"
 #include "dram/bank.hpp"
 #include "dram/refresh_policy.hpp"
 #include "dram/request.hpp"
 #include "dram/scheduler.hpp"
 #include "dram/timing.hpp"
+#include "dram/timing_table.hpp"
+#include "dram/topology.hpp"
 
 /// \file controller.hpp
 /// The memory controller: per-bank request streams interleaved with tREFI
 /// refresh ticks, each tick executing whatever refresh operations the bank's
 /// policy declares due (the paper's §3.2 implementation point — VRL-DRAM
 /// lives entirely in the controller).
+///
+/// Two run loops live side by side.  The flat loop — the original — walks
+/// the banks one at a time, each on its own independent timeline; it is
+/// what every TimingTable with IsHierarchical() == false gets, preserved
+/// byte-for-byte (the golden-master tests in tests/golden_master_test.cpp
+/// pin this).  The hierarchical loop interleaves the banks globally by
+/// decision instant so the ConstraintEngine sees commands in approximate
+/// issue order, and charges tRRD/tFAW/tCCD/tRTRS/bus stalls where the
+/// hierarchy binds (docs/TOPOLOGY.md).
 
 namespace vrl::dram {
 
@@ -62,6 +74,17 @@ class MemoryController {
                    RowBufferPolicy page_policy = RowBufferPolicy::kOpenPage,
                    std::size_t subarrays = 1);
 
+  /// Hierarchical construction: the bank count is the table's topology
+  /// product and each bank knows its channel/rank/bank-group address.  A
+  /// degenerate table (TimingPreset::kSingleBankEquivalent) runs the flat
+  /// loop byte-for-byte; anything else runs the hierarchical loop with the
+  /// table's inter-bank constraints enforced.
+  MemoryController(const TimingTable& table, std::size_t rows,
+                   const PolicyFactory& factory,
+                   SchedulerKind scheduler = SchedulerKind::kFcfs,
+                   RowBufferPolicy page_policy = RowBufferPolicy::kOpenPage,
+                   std::size_t subarrays = 1);
+
   /// Runs the simulation: services `requests` (must be sorted by arrival)
   /// and executes refresh ticks until `horizon` cycles have elapsed (and at
   /// least until the last request completes).
@@ -78,11 +101,39 @@ class MemoryController {
 
   std::size_t banks() const { return banks_.size(); }
 
+  const TimingTable& timing_table() const { return table_; }
+  bool hierarchical() const { return hierarchical_; }
+
+  /// Turns on command logging: every PRE/ACT/RD/WR/REF the banks issue from
+  /// now on lands in the returned log, for TimingAuditor replay.  Idempotent;
+  /// the log lives as long as the controller.
+  CommandLog& EnableAudit();
+
+  /// The command log, or nullptr before EnableAudit().
+  const CommandLog* audit_log() const { return audit_log_.get(); }
+
+  /// The inter-bank constraint engine (stall stats, per-rank activity), or
+  /// nullptr when running flat.
+  const ConstraintEngine* constraint_engine() const { return engine_.get(); }
+
  private:
-  TimingParams timing_;
+  SimulationStats RunFlat(const std::vector<Request>& requests,
+                          Cycles horizon);
+  SimulationStats RunHierarchical(const std::vector<Request>& requests,
+                                  Cycles horizon);
+  /// The per-run telemetry delta export shared by both loops.
+  void ExportRunTelemetry(const SimulationStats& before,
+                          const SimulationStats& stats,
+                          std::uint64_t reordered_picks_n, Cycles end);
+
+  TimingTable table_;
+  TimingParams timing_;  ///< = table_.core (the flat loop's working copy).
+  bool hierarchical_ = false;
   SchedulerKind scheduler_;
   std::vector<Bank> banks_;
   std::vector<std::unique_ptr<RefreshPolicy>> policies_;
+  std::unique_ptr<ConstraintEngine> engine_;  ///< Hierarchical runs only.
+  std::unique_ptr<CommandLog> audit_log_;     ///< Non-null after EnableAudit.
   telemetry::Recorder* telemetry_ = nullptr;
 };
 

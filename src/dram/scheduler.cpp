@@ -1,5 +1,7 @@
 #include "dram/scheduler.hpp"
 
+#include <cctype>
+
 #include "common/error.hpp"
 #include "dram/bank.hpp"
 
@@ -13,6 +15,26 @@ std::string SchedulerName(SchedulerKind kind) {
       return "FR-FCFS";
   }
   return "?";
+}
+
+SchedulerKind SchedulerFromName(std::string_view name) {
+  std::string canon;
+  canon.reserve(name.size());
+  for (const char c : name) {
+    if (c == '-' || c == '_') {
+      continue;
+    }
+    canon.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (canon == "fcfs") {
+    return SchedulerKind::kFcfs;
+  }
+  if (canon == "frfcfs") {
+    return SchedulerKind::kFrFcfs;
+  }
+  throw ConfigError("SchedulerFromName: unknown scheduler '" +
+                    std::string(name) + "' (expected FCFS or FR-FCFS)");
 }
 
 std::size_t SelectNextRequest(SchedulerKind kind,

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dram/request.hpp"
@@ -25,6 +26,11 @@ enum class SchedulerKind { kFcfs, kFrFcfs };
 
 /// Human-readable scheduler name.
 std::string SchedulerName(SchedulerKind kind);
+
+/// Round-trip inverse of SchedulerName.  Case-insensitive; '-' and '_' are
+/// interchangeable and ignorable ("fr-fcfs", "FR_FCFS" and "frfcfs" all
+/// parse).  \throws vrl::ConfigError on an unknown name.
+SchedulerKind SchedulerFromName(std::string_view name);
 
 /// Picks the index of the next request to service from `pending`
 /// (non-empty, ordered by arrival) given the bank's open row.

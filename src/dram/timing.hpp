@@ -10,6 +10,11 @@
 /// they come from the analytical model (model::RefreshModel) and are carried
 /// per refresh operation, since variable refresh latency is the point of
 /// the paper.
+///
+/// TimingParams carries the *per-bank* timings.  The inter-bank constraints
+/// of a real channel/rank/bank-group hierarchy (tRRD, tFAW, tCCD, tRTRS)
+/// live in dram::TimingTable (timing_table.hpp), which embeds a TimingParams
+/// as its core.
 
 namespace vrl::dram {
 
@@ -21,10 +26,14 @@ struct TimingParams {
   Cycles t_wr = 12;   ///< Write recovery before PRECHARGE.
   Cycles t_bus = 4;   ///< Data burst occupancy (BL8 @ 2:1).
 
-  /// Refresh command interval tREFI: 7.8 us at the 2.5 ns cycle.
-  Cycles t_refi = 3120;
+  /// Refresh command interval tREFI: tREFW / 8192 refresh ticks per window
+  /// (JESD79-3), 7.8125 us at the 2.5 ns cycle.
+  Cycles t_refi = 3125;
 
-  /// Base refresh window tREFW (64 ms at the 2.5 ns cycle).
+  /// Base refresh window tREFW (64 ms at the 2.5 ns cycle).  Must be an
+  /// exact multiple of t_refi: the controller tick loop walks the window in
+  /// tREFI steps, and a ragged final window would silently shortchange the
+  /// rows due in it.
   Cycles t_refw = 25'600'000;
 
   void Validate() const {
@@ -36,6 +45,11 @@ struct TimingParams {
     }
     if (t_refi == 0 || t_refw < t_refi) {
       throw ConfigError("TimingParams: refresh interval/window inconsistent");
+    }
+    if (t_refw % t_refi != 0) {
+      throw ConfigError(
+          "TimingParams: tREFW must be a multiple of tREFI (a ragged final "
+          "refresh window would be silently truncated)");
     }
   }
 };

@@ -1,0 +1,130 @@
+#include "dram/timing_table.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace vrl::dram {
+
+void TimingTable::Validate() const {
+  core.Validate();
+  topology.Validate();
+  if ((t_rrd_s != 0 || t_rrd_l != 0) && t_rrd_l < t_rrd_s) {
+    throw ConfigError(
+        "TimingTable: tRRD_L (same bank group) must cover tRRD_S");
+  }
+  if ((t_ccd_s != 0 || t_ccd_l != 0) && t_ccd_l < t_ccd_s) {
+    throw ConfigError(
+        "TimingTable: tCCD_L (same bank group) must cover tCCD_S");
+  }
+  if (t_faw != 0 && t_faw < t_rrd_l) {
+    throw ConfigError(
+        "TimingTable: tFAW shorter than tRRD can never bind");
+  }
+}
+
+std::string PresetName(TimingPreset preset) {
+  switch (preset) {
+    case TimingPreset::kSingleBankEquivalent:
+      return "SingleBankEquivalent";
+    case TimingPreset::kDdr3_1600:
+      return "DDR3_1600";
+    case TimingPreset::kDdr4_2400:
+      return "DDR4_2400";
+    case TimingPreset::kLpddr4_3200:
+      return "LPDDR4_3200";
+  }
+  return "?";
+}
+
+TimingPreset PresetFromName(std::string_view name) {
+  std::string canon;
+  canon.reserve(name.size());
+  for (const char c : name) {
+    if (c == '-' || c == '_') {
+      continue;
+    }
+    canon.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (canon == "singlebankequivalent" || canon == "flat") {
+    return TimingPreset::kSingleBankEquivalent;
+  }
+  if (canon == "ddr31600") {
+    return TimingPreset::kDdr3_1600;
+  }
+  if (canon == "ddr42400") {
+    return TimingPreset::kDdr4_2400;
+  }
+  if (canon == "lpddr43200") {
+    return TimingPreset::kLpddr4_3200;
+  }
+  throw ConfigError("PresetFromName: unknown timing preset '" +
+                    std::string(name) +
+                    "' (expected SingleBankEquivalent, DDR3_1600, DDR4_2400 "
+                    "or LPDDR4_3200)");
+}
+
+TimingTable MakeTimingTable(TimingPreset preset, std::size_t banks) {
+  // All values are controller cycles at the paper's 2.5 ns clock, the JEDEC
+  // nanosecond minima rounded up (SecondsToCyclesCeil semantics); where the
+  // 2.5 ns grid collapses a short/long pair, the long (same-bank-group)
+  // value is rounded up one further cycle so the bank-group penalty
+  // survives.  docs/TOPOLOGY.md tabulates the sources.
+  TimingTable table;
+  switch (preset) {
+    case TimingPreset::kSingleBankEquivalent:
+      if (banks == 0) {
+        throw ConfigError(
+            "MakeTimingTable: SingleBankEquivalent needs at least one bank");
+      }
+      // The degenerate hierarchy: today's flat model, byte-for-byte.
+      table.topology = {1, 1, 1, banks};
+      break;
+    case TimingPreset::kDdr3_1600:
+      // JESD79-3F: no bank groups; tRRD(2KB) = 7.5 ns, tFAW(2KB) = 40 ns,
+      // tCCD = 4 nCK = 5 ns, tRFC(4Gb) = 260 ns.
+      table.topology = {1, 2, 1, 8};
+      table.t_rrd_s = 3;
+      table.t_rrd_l = 3;
+      table.t_faw = 16;
+      table.t_ccd_s = 2;
+      table.t_ccd_l = 2;
+      table.t_rtrs = 2;
+      table.t_rfc = 104;
+      table.per_channel_bus = true;
+      break;
+    case TimingPreset::kDdr4_2400:
+      // JESD79-4B: 4 bank groups; tRRD_S = 5.3 ns / tRRD_L = 6.4 ns (x8),
+      // tFAW = 30 ns, tCCD_S = 4 nCK = 3.33 ns / tCCD_L = 6.4 ns,
+      // tRFC1(8Gb) = 350 ns.
+      table.topology = {1, 2, 4, 4};
+      table.t_rrd_s = 3;
+      table.t_rrd_l = 4;
+      table.t_faw = 12;
+      table.t_ccd_s = 2;
+      table.t_ccd_l = 3;
+      table.t_rtrs = 2;
+      table.t_rfc = 140;
+      table.per_channel_bus = true;
+      break;
+    case TimingPreset::kLpddr4_3200:
+      // JESD209-4B: two independent half-width channels, single rank;
+      // tRRD = 10 ns, tFAW = 40 ns, tCCD = 8 tCK = 5 ns, tRFCab(8Gb) =
+      // 280 ns.  No second rank, so no turnaround.
+      table.topology = {2, 1, 1, 8};
+      table.t_rrd_s = 4;
+      table.t_rrd_l = 4;
+      table.t_faw = 16;
+      table.t_ccd_s = 2;
+      table.t_ccd_l = 2;
+      table.t_rtrs = 0;
+      table.t_rfc = 112;
+      table.per_channel_bus = true;
+      break;
+  }
+  table.Validate();
+  return table;
+}
+
+}  // namespace vrl::dram

@@ -39,7 +39,7 @@ struct SensingFailureEvent {
 
 struct CampaignSetup {
   double clock_period_s = 2.5e-9;
-  Cycles t_refi = 3120;
+  Cycles t_refi = 3125;  ///< tREFW / 8192, matching dram::TimingParams.
   Cycles base_window = 25'600'000;
   std::size_t windows = 8;
   double tau_post_full_s = 0.0;     ///< Full-refresh τpost budget [s].

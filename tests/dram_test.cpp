@@ -39,6 +39,41 @@ TEST(Timing, RejectsInconsistent) {
   EXPECT_THROW(t.Validate(), ConfigError);
 }
 
+TEST(Timing, RejectsRaggedRefreshWindow) {
+  // tREFW must divide into whole tREFI ticks: the controller walks the
+  // window in tREFI steps and a ragged remainder would silently shortchange
+  // the rows due in it.  The message is pinned — callers (and docs) quote it.
+  TimingParams t;
+  t.t_refi = 1000;
+  t.t_refw = 64500;  // 64.5 ticks
+  try {
+    t.Validate();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_STREQ(e.what(),
+                 "TimingParams: tREFW must be a multiple of tREFI (a ragged "
+                 "final refresh window would be silently truncated)");
+  }
+}
+
+TEST(Timing, DefaultRefreshWindowIsWholeTicks) {
+  // The JESD79-3 ratio: 8192 tREFI ticks per tREFW window, exactly.
+  const TimingParams t;
+  EXPECT_EQ(t.t_refw % t.t_refi, 0u);
+  EXPECT_EQ(t.t_refw / t.t_refi, 8192u);
+}
+
+TEST(Scheduler, NamesRoundTrip) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kFcfs, SchedulerKind::kFrFcfs}) {
+    EXPECT_EQ(SchedulerFromName(SchedulerName(kind)), kind);
+  }
+  EXPECT_EQ(SchedulerFromName("fr-fcfs"), SchedulerKind::kFrFcfs);
+  EXPECT_EQ(SchedulerFromName("FR_FCFS"), SchedulerKind::kFrFcfs);
+  EXPECT_EQ(SchedulerFromName("fcfs"), SchedulerKind::kFcfs);
+  EXPECT_THROW(SchedulerFromName("round-robin"), ConfigError);
+}
+
 // ---------------------------------------------------------------------------
 // Bank
 // ---------------------------------------------------------------------------
