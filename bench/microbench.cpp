@@ -23,6 +23,7 @@
 #include "common/tridiagonal.hpp"
 #include "core/vrl_system.hpp"
 #include "dram/refresh_policy.hpp"
+#include "dram/scheduler.hpp"
 #include "model/refresh_model.hpp"
 #include "retention/mprsf.hpp"
 #include "retention/profile.hpp"
@@ -141,6 +142,72 @@ BENCHMARK(BM_VrlPolicyCollectDueTelemetry)
     ->Arg(0)   // counters + histograms only
     ->Arg(1)   // plus per-op trace events
     ->Arg(2);  // plus transitions-only tracing (no per-op lineage)
+
+// Propose/grant shim overhead: the same VRL schedule pulled through
+// dram::GrantRefreshes (legacy proposals are urgent and granted
+// immediately) instead of the direct CollectDue call.  The ratio against
+// BM_VrlPolicyCollectDue is the price every legacy caller pays for the
+// two-phase refresh API; bench_baseline gates it as
+// propose_grant_shim_overhead.
+void BM_VrlPolicyGrantRefreshes(benchmark::State& state) {
+  const retention::RetentionProfile profile(
+      std::vector<double>(8192, 1.0));
+  const auto binning =
+      retention::BinRows(profile, retention::StandardBinPeriods());
+  const auto plan = dram::MakeRefreshPlan(
+      binning, 2.5e-9, std::vector<std::size_t>(8192, 2));
+  dram::VrlPolicy policy(plan, 26, 15);
+  dram::RefreshGrantContext ctx;
+  Cycles now = 0;
+  for (auto _ : state) {
+    now += 3120;  // one tREFI tick
+    ctx.now = now;
+    ctx.demand.now = now;
+    benchmark::DoNotOptimize(dram::GrantRefreshes(policy, ctx));
+  }
+}
+BENCHMARK(BM_VrlPolicyGrantRefreshes);
+
+// The scheduler-coupled family on the same tick loop: DARP (deferrable
+// REFpb), SARP (subarray granularity) and VRL-Skip (charge-aware skip),
+// all granted with no demand pressure so the measured cost is the
+// propose/grant machinery itself.
+void BM_ProposingPolicyGrant(benchmark::State& state) {
+  constexpr std::size_t kRows = 8192;
+  constexpr Cycles kWindow = 25'600'000;
+  constexpr Cycles kDefer = 25'000;  // 8 x tREFI
+  std::unique_ptr<dram::RefreshPolicy> policy;
+  switch (state.range(0)) {
+    case 0:
+      policy = std::make_unique<dram::DarpPolicy>(kRows, kWindow, 26, kDefer);
+      break;
+    case 1:
+      policy = std::make_unique<dram::SarpPolicy>(kRows, kWindow, 26, kDefer);
+      break;
+    default: {
+      const retention::RetentionProfile profile(
+          std::vector<double>(kRows, 1.0));
+      const auto binning =
+          retention::BinRows(profile, retention::StandardBinPeriods());
+      const auto plan = dram::MakeRefreshPlan(
+          binning, 2.5e-9, std::vector<std::size_t>(kRows, 2));
+      policy = std::make_unique<dram::VrlSkipPolicy>(plan, 26, 15, kDefer);
+      break;
+    }
+  }
+  dram::RefreshGrantContext ctx;
+  Cycles now = 0;
+  for (auto _ : state) {
+    now += 3120;  // one tREFI tick
+    ctx.now = now;
+    ctx.demand.now = now;
+    benchmark::DoNotOptimize(dram::GrantRefreshes(*policy, ctx));
+  }
+}
+BENCHMARK(BM_ProposingPolicyGrant)
+    ->Arg(0)   // DARP
+    ->Arg(1)   // SARP
+    ->Arg(2);  // VRL-Skip
 
 // End-to-end instrumentation overhead: one full 64 ms window of the
 // single-bank system under the streamcluster workload, detached vs.

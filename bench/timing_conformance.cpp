@@ -59,9 +59,12 @@ int main(int argc, char** argv) {
   } else {
     presets = {dram::PresetFromName(report_options.preset)};
   }
-  const core::PolicyKind policies[] = {core::PolicyKind::kRaidr,
-                                       core::PolicyKind::kVrl,
-                                       core::PolicyKind::kVrlAccess};
+  // The scheduler-coupled policies ride along so REFpb (DARP) and
+  // subarray-granular (SARP) command streams are conformance-audited too.
+  const core::PolicyKind policies[] = {
+      core::PolicyKind::kRaidr, core::PolicyKind::kVrl,
+      core::PolicyKind::kVrlAccess, core::PolicyKind::kDarp,
+      core::PolicyKind::kSarp};
 
   bench::Report report("timing_conformance");
   report.AddMeta("windows", windows);

@@ -2,7 +2,8 @@
 // at runtime, detect the resulting sensing failures online, and report how
 // gracefully the adaptive degradation layer holds up.
 //
-//   ./fault_campaign [--config FILE] [--policy raidr|vrl|vrl-access]
+//   ./fault_campaign [--config FILE] [--policy NAME]
+//     (NAME: any dram::PolicyRegistry entry, e.g. raidr|vrl|vrl-skip|darp|sarp)
 //                    [--windows N] [--seed S]
 //                    [--row-fraction F] [--low-ratio R] [--dwell-s D]
 //                    [--temp-excursion C] [--drift RATE] [--corruption F]

@@ -2,7 +2,8 @@
 // no row ever loses data — at profiling conditions and across a temperature
 // sweep, with optional worst-case VRT.
 //
-//   ./integrity_audit [--config FILE] [--policy raidr|vrl|vrl-access]
+//   ./integrity_audit [--config FILE] [--policy NAME]
+//     (NAME: any dram::PolicyRegistry entry, e.g. raidr|vrl|vrl-skip|darp|sarp)
 //                     [--windows N] [--max-celsius T] [--vrt]
 //                     [--json PATH] [--csv PATH]
 //

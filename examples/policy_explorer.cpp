@@ -1,7 +1,8 @@
 // Policy explorer: run any workload under any refresh policy with custom
 // parameters and print detailed per-bank statistics.
 //
-//   ./policy_explorer [--workload NAME] [--policy jedec|raidr|vrl|vrl-access]
+//   ./policy_explorer [--workload NAME] [--policy NAME]
+//     (NAME: any dram::PolicyRegistry entry, e.g. jedec|vrl|vrl-skip|darp|sarp)
 //                     [--windows N] [--nbits N] [--banks N] [--seed S]
 //                     [--config FILE]   (key=value file, see core/config_io.hpp)
 //                     [--json PATH] [--csv PATH]

@@ -74,6 +74,29 @@ RATIO_KEYS = [
         "BM_VrlPolicyCollectDueTelemetry/2",
         "BM_VrlPolicyCollectDue",
     ),
+    # Two-phase refresh API (PR 8): the cost of pulling a legacy policy
+    # through dram::GrantRefreshes instead of CollectDue directly, and the
+    # scheduler-coupled policies against the same direct-pull baseline.
+    (
+        "propose_grant_shim_overhead",
+        "BM_VrlPolicyGrantRefreshes",
+        "BM_VrlPolicyCollectDue",
+    ),
+    (
+        "darp_grant_vs_collect_due",
+        "BM_ProposingPolicyGrant/0",
+        "BM_VrlPolicyCollectDue",
+    ),
+    (
+        "sarp_grant_vs_collect_due",
+        "BM_ProposingPolicyGrant/1",
+        "BM_VrlPolicyCollectDue",
+    ),
+    (
+        "vrl_skip_grant_vs_collect_due",
+        "BM_ProposingPolicyGrant/2",
+        "BM_VrlPolicyCollectDue",
+    ),
 ]
 
 

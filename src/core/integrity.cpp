@@ -1,6 +1,7 @@
 #include "core/integrity.hpp"
 
 #include "common/error.hpp"
+#include "dram/scheduler.hpp"
 #include "fault/charge_tracker.hpp"
 
 namespace vrl::core {
@@ -73,7 +74,13 @@ IntegrityReport IntegrityChecker::Replay(dram::RefreshPolicy& policy,
 
   for (Cycles tick = 0; tick <= horizon; tick += t_refi) {
     const double now_s = CyclesToSeconds(tick, clock);
-    for (const auto& op : policy.CollectDue(tick)) {
+    // Propose/grant with no bank context: every proposal is granted, which
+    // matches the old blind CollectDue pull for legacy policies and lets
+    // the checker audit the scheduler-coupled policies' schedules too.
+    dram::RefreshGrantContext grant_ctx;
+    grant_ctx.now = tick;
+    grant_ctx.demand.now = tick;
+    for (const auto& op : dram::GrantRefreshes(policy, grant_ctx)) {
       const double budget_s =
           op.is_full ? system_.FullTimings().tau_post_s
                      : system_.PartialTimings().tau_post_s;

@@ -1,11 +1,21 @@
 #include "core/vrl_system.hpp"
 
 #include <algorithm>
-#include <cctype>
 
 #include "common/error.hpp"
+#include "dram/policy_registry.hpp"
 
 namespace vrl::core {
+
+namespace {
+
+constexpr PolicyKind kAllPolicyKinds[] = {
+    PolicyKind::kJedec,  PolicyKind::kRaidr, PolicyKind::kVrl,
+    PolicyKind::kVrlAccess, PolicyKind::kVrlSkip, PolicyKind::kDarp,
+    PolicyKind::kSarp,
+};
+
+}  // namespace
 
 std::string PolicyName(PolicyKind kind) {
   switch (kind) {
@@ -17,35 +27,27 @@ std::string PolicyName(PolicyKind kind) {
       return "VRL";
     case PolicyKind::kVrlAccess:
       return "VRL-Access";
+    case PolicyKind::kVrlSkip:
+      return "VRL-Skip";
+    case PolicyKind::kDarp:
+      return "DARP";
+    case PolicyKind::kSarp:
+      return "SARP";
   }
   return "?";
 }
 
 PolicyKind PolicyFromName(std::string_view name) {
-  // Canonicalize: lower-case, separators ('-', '_') dropped.
-  std::string canon;
-  canon.reserve(name.size());
-  for (const char c : name) {
-    if (c == '-' || c == '_') {
-      continue;
+  // The registry canonicalizes and throws with the full valid-name list.
+  const dram::PolicyInfo& info = dram::PolicyRegistry::Global().Get(name);
+  for (const PolicyKind kind : kAllPolicyKinds) {
+    if (PolicyName(kind) == info.name) {
+      return kind;
     }
-    canon.push_back(
-        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
   }
-  if (canon == "jedec") {
-    return PolicyKind::kJedec;
-  }
-  if (canon == "raidr") {
-    return PolicyKind::kRaidr;
-  }
-  if (canon == "vrl") {
-    return PolicyKind::kVrl;
-  }
-  if (canon == "vrlaccess") {
-    return PolicyKind::kVrlAccess;
-  }
-  throw ConfigError("PolicyFromName: unknown policy '" + std::string(name) +
-                    "' (expected JEDEC, RAIDR, VRL or VRL-Access)");
+  throw ConfigError("PolicyFromName: policy '" + info.name +
+                    "' is registered but has no PolicyKind (use "
+                    "dram::PolicyRegistry directly)");
 }
 
 void VrlConfig::ApplyPreset(dram::TimingPreset p) {
@@ -184,39 +186,32 @@ trace::AddressGeometry VrlSystem::Geometry() const {
 }
 
 dram::PolicyFactory VrlSystem::MakePolicyFactory(PolicyKind kind) const {
-  const Cycles trfc_full = TauFullCycles();
-  const Cycles trfc_partial = TauPartialCycles();
+  // Every kind builds through the registry; the context only carries the
+  // plans the policy actually consumes (computed identically to the
+  // pre-registry factories, keeping the emitted op streams byte-identical).
+  dram::PolicyBuildContext ctx;
+  ctx.rows = config_.tech.rows;
+  ctx.base_window = config_.timing.t_refw;
+  ctx.t_refi = config_.timing.t_refi;
+  ctx.trfc_full = TauFullCycles();
+  ctx.trfc_partial = TauPartialCycles();
   const double clock = config_.tech.clock_period_s;
-  const std::size_t rows = config_.tech.rows;
-  const Cycles window = config_.timing.t_refw;
-
   switch (kind) {
-    case PolicyKind::kJedec:
-      return [rows, window, trfc_full]() {
-        return std::make_unique<dram::JedecPolicy>(rows, window, trfc_full);
-      };
-    case PolicyKind::kRaidr: {
-      auto plan = dram::MakeRefreshPlan(binning_, clock);
-      return [plan, trfc_full]() {
-        return std::make_unique<dram::RaidrPolicy>(plan, trfc_full);
-      };
-    }
-    case PolicyKind::kVrl: {
-      auto plan = dram::MakeRefreshPlan(binning_, clock, row_mprsf_);
-      return [plan, trfc_full, trfc_partial]() {
-        return std::make_unique<dram::VrlPolicy>(plan, trfc_full,
-                                                 trfc_partial);
-      };
-    }
-    case PolicyKind::kVrlAccess: {
-      auto plan = dram::MakeRefreshPlan(binning_, clock, row_mprsf_);
-      return [plan, trfc_full, trfc_partial]() {
-        return std::make_unique<dram::VrlAccessPolicy>(plan, trfc_full,
-                                                       trfc_partial);
-      };
-    }
+    case PolicyKind::kRaidr:
+      ctx.binned_plan = dram::MakeRefreshPlan(binning_, clock);
+      break;
+    case PolicyKind::kVrl:
+    case PolicyKind::kVrlAccess:
+    case PolicyKind::kVrlSkip:
+      ctx.vrl_plan = dram::MakeRefreshPlan(binning_, clock, row_mprsf_);
+      break;
+    default:
+      break;
   }
-  throw ConfigError("VrlSystem: unknown policy kind");
+  const std::string name = PolicyName(kind);
+  return [ctx, name]() {
+    return dram::PolicyRegistry::Global().Build(name, ctx);
+  };
 }
 
 dram::SimulationStats VrlSystem::Simulate(
@@ -282,6 +277,10 @@ fault::CampaignReport VrlSystem::RunFaultCampaign(
   dram::RowRefreshPlan plan;
   switch (kind) {
     case PolicyKind::kJedec:
+    case PolicyKind::kDarp:
+    case PolicyKind::kSarp:
+      // Base-window schedules: every row's base setting is t_refw (DARP and
+      // SARP reschedule *when* a refresh lands, not how often).
       plan.period_cycles.assign(config_.tech.rows, config_.timing.t_refw);
       break;
     case PolicyKind::kRaidr:
@@ -289,6 +288,7 @@ fault::CampaignReport VrlSystem::RunFaultCampaign(
       break;
     case PolicyKind::kVrl:
     case PolicyKind::kVrlAccess:
+    case PolicyKind::kVrlSkip:
       plan = dram::MakeRefreshPlan(binning_, config_.tech.clock_period_s,
                                    row_mprsf_);
       break;

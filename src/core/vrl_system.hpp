@@ -41,7 +41,19 @@
 namespace vrl::core {
 
 /// Which refresh scheduling policy to simulate.
-enum class PolicyKind { kJedec, kRaidr, kVrl, kVrlAccess };
+///
+/// Legacy enum: the authoritative policy table (names, descriptions,
+/// factories) is dram::PolicyRegistry — prefer it in new code; this enum
+/// delegates to it and exists for the PolicyKind-typed core APIs below.
+enum class PolicyKind {
+  kJedec,
+  kRaidr,
+  kVrl,
+  kVrlAccess,
+  kVrlSkip,
+  kDarp,
+  kSarp,
+};
 
 /// Options for VrlSystem::RunFaultCampaign.
 struct FaultCampaignOptions {
@@ -70,11 +82,14 @@ struct FaultCampaignOptions {
   std::function<void()> heartbeat;
 };
 
-/// Human-readable policy name.
+/// Human-readable policy name (the dram::PolicyRegistry canonical name).
+/// Legacy shim over the registry — prefer dram::PolicyRegistry directly.
 std::string PolicyName(PolicyKind kind);
 
 /// Round-trip inverse of PolicyName.  Case-insensitive; '-' and '_' are
 /// interchangeable ("VRL-Access", "vrl_access" and "vrlaccess" all parse).
+/// Delegates to dram::PolicyRegistry, so the error lists every registered
+/// name.  Legacy shim — prefer dram::PolicyRegistry directly.
 /// \throws vrl::ConfigError on an unknown name.
 PolicyKind PolicyFromName(std::string_view name);
 

@@ -91,6 +91,13 @@ struct BusState {
   std::size_t last_rank = 0;
 };
 
+/// Latest bank-level refresh window (REFpb / all-bank REF).
+struct BankRefState {
+  bool seen = false;
+  Cycles start = 0;
+  Cycles end = 0;
+};
+
 }  // namespace
 
 AuditReport TimingAuditor::Audit(const CommandLog& log) const {
@@ -112,10 +119,43 @@ AuditReport TimingAuditor::Audit(const CommandLog& log) const {
   std::map<std::pair<std::size_t, std::size_t>, SubarrayState> subarrays;
   std::map<std::size_t, RankAuditState> ranks;
   std::map<std::size_t, BusState> buses;
+  std::map<std::size_t, BankRefState> bank_refresh;
 
   const auto flag = [&](const Command& c, const std::string& rule,
                         std::string detail) {
     report.violations.push_back({c.at, rule, c.addr, std::move(detail)});
+  };
+
+  // ACT-side rank windows (tRRD_S/tRRD_L + tFAW): checked and recorded for
+  // real ACTIVATEs and for REFpb commands alike.
+  const auto act_windows = [&](const Command& c, std::size_t global_rank) {
+    RankAuditState& rank = ranks[global_rank];
+    for (const auto& [group, last] : rank.last_act_by_group) {
+      const Cycles gap =
+          group == c.addr.bank_group ? table_.t_rrd_l : table_.t_rrd_s;
+      if (gap != 0 && c.at < last + gap) {
+        flag(c, group == c.addr.bank_group ? "tRRD_L" : "tRRD_S",
+             Need(last + gap, last, "last ACT"));
+      }
+    }
+    if (table_.t_faw != 0) {
+      while (!rank.faw_window.empty() &&
+             rank.faw_window.front() + table_.t_faw <= c.at) {
+        rank.faw_window.pop_front();
+      }
+      if (rank.faw_window.size() >= 4) {
+        flag(c, "tFAW",
+             Need(rank.faw_window.front() + table_.t_faw,
+                  rank.faw_window.front(),
+                  "5th ACT in window since"));
+      }
+      rank.faw_window.push_back(c.at);
+    }
+    auto [it, inserted] =
+        rank.last_act_by_group.try_emplace(c.addr.bank_group, c.at);
+    if (!inserted) {
+      it->second = std::max(it->second, c.at);
+    }
   };
 
   for (const std::size_t i : order) {
@@ -131,6 +171,13 @@ AuditReport TimingAuditor::Audit(const CommandLog& log) const {
       flag(c, "refresh-occupancy",
            Need(sub.ref_end, sub.ref_start, "refresh busy since"));
     }
+    // Bank-level refresh occupancy: a REFpb / all-bank REF blocks every
+    // subarray of the bank.
+    BankRefState& bref = bank_refresh[flat];
+    if (bref.seen && c.at >= bref.start && c.at < bref.end) {
+      flag(c, "refresh-occupancy",
+           Need(bref.end, bref.start, "bank refresh busy since"));
+    }
 
     switch (c.kind) {
       case CommandKind::kActivate: {
@@ -138,33 +185,7 @@ AuditReport TimingAuditor::Audit(const CommandLog& log) const {
           flag(c, "tRP", Need(sub.last_pre + core.t_rp, sub.last_pre,
                               "last PRE"));
         }
-        RankAuditState& rank = ranks[global_rank];
-        for (const auto& [group, last] : rank.last_act_by_group) {
-          const Cycles gap =
-              group == c.addr.bank_group ? table_.t_rrd_l : table_.t_rrd_s;
-          if (gap != 0 && c.at < last + gap) {
-            flag(c, group == c.addr.bank_group ? "tRRD_L" : "tRRD_S",
-                 Need(last + gap, last, "last ACT"));
-          }
-        }
-        if (table_.t_faw != 0) {
-          while (!rank.faw_window.empty() &&
-                 rank.faw_window.front() + table_.t_faw <= c.at) {
-            rank.faw_window.pop_front();
-          }
-          if (rank.faw_window.size() >= 4) {
-            flag(c, "tFAW",
-                 Need(rank.faw_window.front() + table_.t_faw,
-                      rank.faw_window.front(),
-                      "5th ACT in window since"));
-          }
-          rank.faw_window.push_back(c.at);
-        }
-        auto [it, inserted] =
-            rank.last_act_by_group.try_emplace(c.addr.bank_group, c.at);
-        if (!inserted) {
-          it->second = std::max(it->second, c.at);
-        }
+        act_windows(c, global_rank);
         sub.act_seen = true;
         sub.last_act = c.at;
         break;
@@ -240,9 +261,33 @@ AuditReport TimingAuditor::Audit(const CommandLog& log) const {
           flag(c, "refresh-zero-trfc", "refresh op with zero tRFC");
           break;
         }
-        sub.ref_seen = true;
-        sub.ref_start = c.at;
-        sub.ref_end = c.at + c.trfc;
+        if (c.granularity == RefreshGranularity::kSubarray) {
+          sub.ref_seen = true;
+          sub.ref_start = c.at;
+          sub.ref_end = c.at + c.trfc;
+          break;
+        }
+        // Bank-level refresh: may not start while any *other* subarray's
+        // refresh is in flight (its own subarray was checked above).
+        for (auto it = subarrays.lower_bound({flat, 0});
+             it != subarrays.end() && it->first.first == flat; ++it) {
+          if (it->first.second == c.subarray) {
+            continue;
+          }
+          const SubarrayState& other = it->second;
+          if (other.ref_seen && c.at >= other.ref_start &&
+              c.at < other.ref_end) {
+            flag(c, "refresh-occupancy",
+                 Need(other.ref_end, other.ref_start, "refresh busy since"));
+          }
+        }
+        if (c.granularity == RefreshGranularity::kPerBank) {
+          // REFpb is scheduled like an ACTIVATE within the rank.
+          act_windows(c, global_rank);
+        }
+        bref.seen = true;
+        bref.start = c.at;
+        bref.end = c.at + c.trfc;
         break;
       }
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "dram/refresh_policy.hpp"
 #include "dram/timing_table.hpp"
 #include "dram/topology.hpp"
 
@@ -41,8 +42,11 @@ std::string CommandName(CommandKind kind);
 
 /// One logged command.  `at` is the issue cycle: for kRead/kWrite the
 /// column-command cycle (the data burst occupies [at + tCAS, at + tCAS +
-/// tBUS)); for kRefresh the cycle the refresh starts occupying its
-/// subarray, for `trfc` cycles.
+/// tBUS)); for kRefresh the cycle the refresh starts occupying its target —
+/// the row's subarray at kSubarray granularity, the whole bank at kPerBank
+/// (REFpb) or kAllBank (REF) — for `trfc` cycles.  A kPerBank refresh is
+/// additionally subject to (and counts in) the rank's tRRD/tFAW activation
+/// windows, mirroring how LPDDR4 schedules REFpb like an ACTIVATE.
 struct Command {
   Cycles at = 0;
   CommandKind kind = CommandKind::kActivate;
@@ -50,6 +54,8 @@ struct Command {
   std::size_t subarray = 0;  ///< Busy unit within the bank (SALP).
   std::size_t row = 0;
   Cycles trfc = 0;           ///< kRefresh only: this op's refresh latency.
+  /// kRefresh only: command scope (see refresh_policy.hpp).
+  RefreshGranularity granularity = RefreshGranularity::kSubarray;
 };
 
 /// Append-only command stream, recorded by the banks in issue order.
@@ -101,8 +107,13 @@ void WriteAuditReport(const AuditReport& report, const std::string& label,
 ///  - per (bank, subarray): tRCD (ACT -> column), tRAS (ACT -> PRE), tRP
 ///    (PRE -> ACT), tWR (write burst end -> PRE), and refresh occupancy
 ///    (no command while a refresh op holds the subarray).
+///  - per bank: bank-level refresh occupancy — a kPerBank (REFpb) or
+///    kAllBank (REF) refresh blocks every subarray, so no command may touch
+///    the bank inside its window, and the refresh itself may not start
+///    while any subarray refresh is in flight.
 ///  - per rank: tRRD_S/tRRD_L between ACTs (bank group aware), the rolling
-///    four-ACT tFAW window, tCCD_S/tCCD_L between column commands.
+///    four-ACT tFAW window, tCCD_S/tCCD_L between column commands.  REFpb
+///    commands participate in the ACT windows on both sides.
 ///  - data bus: burst non-overlap — per bank when the table keeps per-bank
 ///    data paths (the flat model), per channel when per_channel_bus — and
 ///    tRTRS turnaround between bursts of different ranks.

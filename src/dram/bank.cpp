@@ -29,6 +29,13 @@ Cycles Bank::busy_until() const {
   return earliest;
 }
 
+Cycles Bank::SubarrayBusyUntil(std::size_t sub) const {
+  if (sub >= subarrays_.size()) {
+    throw ConfigError("Bank: subarray index out of range");
+  }
+  return subarrays_[sub].busy_until;
+}
+
 bool Bank::IsRowOpen(std::size_t row) const {
   if (row >= rows_) {
     return false;
@@ -155,22 +162,65 @@ Cycles Bank::ExecuteRefresh(const RefreshOp& op, Cycles now) {
     throw ConfigError("Bank: refresh with zero tRFC");
   }
   const std::size_t sub = SubarrayOf(op.row);
-  Subarray& sa = subarrays_[sub];
-  Cycles start = std::max(now, sa.busy_until);
-  // Refresh requires the subarray precharged; close any open row first.
-  if (sa.open_row.has_value()) {
+
+  if (op.granularity == RefreshGranularity::kSubarray) {
+    Subarray& sa = subarrays_[sub];
+    Cycles start = std::max(now, sa.busy_until);
+    // Refresh requires the subarray precharged; close any open row first.
+    if (sa.open_row.has_value()) {
+      const Cycles pre_start = EarliestPrecharge(sa, start);
+      if (audit_ != nullptr) {
+        audit_->Append({pre_start, CommandKind::kPrecharge, addr_, sub,
+                        *sa.open_row, 0});
+      }
+      start = pre_start + timing_.t_rp;
+      sa.open_row.reset();
+    }
+    const Cycles completion = start + op.trfc;
+    if (audit_ != nullptr) {
+      audit_->Append({start, CommandKind::kRefresh, addr_, sub, op.row,
+                      op.trfc, op.granularity});
+    }
+    if (op.is_full) {
+      ++stats_.full_refreshes;
+    } else {
+      ++stats_.partial_refreshes;
+    }
+    stats_.refresh_busy_cycles += op.trfc;
+    sa.busy_until = completion;
+    return completion;
+  }
+
+  // Bank-level refresh (REFpb / all-bank REF): wait for every subarray,
+  // close every open row, then occupy the whole bank.
+  Cycles start = now;
+  for (const Subarray& sa : subarrays_) {
+    start = std::max(start, sa.busy_until);
+  }
+  Cycles ref_start = start;
+  for (std::size_t s = 0; s < subarrays_.size(); ++s) {
+    Subarray& sa = subarrays_[s];
+    if (!sa.open_row.has_value()) {
+      continue;
+    }
     const Cycles pre_start = EarliestPrecharge(sa, start);
     if (audit_ != nullptr) {
       audit_->Append(
-          {pre_start, CommandKind::kPrecharge, addr_, sub, *sa.open_row, 0});
+          {pre_start, CommandKind::kPrecharge, addr_, s, *sa.open_row, 0});
     }
-    start = pre_start + timing_.t_rp;
+    ref_start = std::max(ref_start, pre_start + timing_.t_rp);
     sa.open_row.reset();
   }
-  const Cycles completion = start + op.trfc;
+  if (op.granularity == RefreshGranularity::kPerBank && engine_ != nullptr) {
+    // REFpb participates in the rank's activation windows: floor it like
+    // an ACTIVATE and record it so subsequent ACTs see it.
+    ref_start = engine_->EarliestActivate(addr_, ref_start);
+    engine_->RecordActivate(addr_, ref_start);
+  }
+  const Cycles completion = ref_start + op.trfc;
   if (audit_ != nullptr) {
-    audit_->Append({start, CommandKind::kRefresh, addr_, sub, op.row,
-                    op.trfc});
+    audit_->Append({ref_start, CommandKind::kRefresh, addr_, sub, op.row,
+                    op.trfc, op.granularity});
   }
   if (op.is_full) {
     ++stats_.full_refreshes;
@@ -178,7 +228,9 @@ Cycles Bank::ExecuteRefresh(const RefreshOp& op, Cycles now) {
     ++stats_.partial_refreshes;
   }
   stats_.refresh_busy_cycles += op.trfc;
-  sa.busy_until = completion;
+  for (Subarray& sa : subarrays_) {
+    sa.busy_until = completion;
+  }
   return completion;
 }
 

@@ -78,13 +78,23 @@ class Bank {
   Cycles ServiceRequest(const Request& request);
 
   /// Executes one refresh operation at or after `now`; returns completion.
-  /// Only the refreshed row's subarray is blocked.
+  /// What it blocks follows the op's granularity: kSubarray occupies only
+  /// the refreshed row's subarray (the legacy behaviour); kPerBank (REFpb)
+  /// and kAllBank (REF) wait for every subarray, close every open row, and
+  /// block the whole bank for the op's tRFC.  A REFpb additionally counts
+  /// as an activation in the rank's tRRD/tFAW windows when a constraint
+  /// engine is attached (JEDEC LPDDR4 §4.x: REFpb is scheduled like an
+  /// ACTIVATE); an all-bank REF is not subject to those windows.
   Cycles ExecuteRefresh(const RefreshOp& op, Cycles now);
 
   /// First cycle at which *any* subarray is free (the controller's
   /// decision-instant hint; individual requests still wait for their own
   /// subarray inside ServiceRequest).
   Cycles busy_until() const;
+
+  /// Busy horizon of one subarray (the refresh grant scheduler's collision
+  /// probe).  \throws vrl::ConfigError on an out-of-range index.
+  Cycles SubarrayBusyUntil(std::size_t sub) const;
 
   /// True if `row` is open in its subarray's row buffer (row-hit check for
   /// FR-FCFS scheduling).

@@ -184,6 +184,7 @@ SimulationStats MemoryController::RunFlat(const std::vector<Request>& requests,
   // everything else exported below is a delta of the banks' always-on
   // stats (docs/TELEMETRY.md).
   std::uint64_t reordered_picks_n = 0;
+  RefreshGrantStats grant_stats;
   // Spans land on a fresh track group (one Chrome "process" per run) with
   // one track per bank; null tracer costs one compare per refresh tick.
   telemetry::Tracer* tracer =
@@ -280,12 +281,24 @@ SimulationStats MemoryController::RunFlat(const std::vector<Request>& requests,
       service_until(limit);
       scheduler_s += seconds_since(t0);
     };
+    // Propose/grant per refresh tick.  service_until drains `pending`
+    // completely before returning, so the queue cursor *is* the demand
+    // view: the next request this bank will see.
     const auto collect_due = [&](Cycles now) {
+      RefreshGrantContext ctx;
+      ctx.now = now;
+      ctx.demand.now = now;
+      if (qi < queue.size()) {
+        ctx.demand.has_next = true;
+        ctx.demand.next_arrival = queue[qi].arrival;
+        ctx.demand.next_row = queue[qi].row;
+      }
+      ctx.bank = &bank;
       if (!profile) {
-        return policy.CollectDue(now);
+        return GrantRefreshes(policy, ctx, &grant_stats);
       }
       const auto t0 = phase_clock();
-      auto ops = policy.CollectDue(now);
+      auto ops = GrantRefreshes(policy, ctx, &grant_stats);
       collect_s += seconds_since(t0);
       return ops;
     };
@@ -342,6 +355,7 @@ SimulationStats MemoryController::RunFlat(const std::vector<Request>& requests,
   }
 
   ExportRunTelemetry(before, stats, reordered_picks_n, end);
+  ExportGrantTelemetry(grant_stats);
   if (profile) {
     // The flush phase covers the policy folds plus the delta export above.
     telemetry_->metrics()
@@ -360,6 +374,7 @@ SimulationStats MemoryController::RunHierarchical(
   const telemetry::ScopedTimer run_timer(telemetry_, "time.controller_run");
   const Topology& topo = table_.topology;
   std::uint64_t reordered_picks_n = 0;
+  RefreshGrantStats grant_stats;
   telemetry::Tracer* tracer =
       telemetry_ == nullptr ? nullptr : telemetry_->tracer();
   // One track group per rank (a Chrome "process" per ch<c>.rk<r>), one
@@ -479,12 +494,29 @@ SimulationStats MemoryController::RunHierarchical(
     service_until(limit);
     scheduler_s += seconds_since(t0);
   };
+  // Propose/grant per (bank, tick).  service_until drains every bank's
+  // `pending` before returning, so each bank's queue cursor is its demand
+  // view; the constraint engine joins the context so non-urgent REFpb
+  // proposals defer instead of stalling in the rank's ACT windows.
   const auto collect_due = [&](std::size_t b, Cycles now) {
+    RefreshGrantContext ctx;
+    ctx.now = now;
+    ctx.demand.now = now;
+    const BankCursor& cur = cursors[b];
+    const auto& queue = queues[b];
+    if (cur.qi < queue.size()) {
+      ctx.demand.has_next = true;
+      ctx.demand.next_arrival = queue[cur.qi].arrival;
+      ctx.demand.next_row = queue[cur.qi].row;
+    }
+    ctx.bank = &banks_[b];
+    ctx.engine = engine_.get();
+    ctx.addr = DecomposeBank(table_.topology, b);
     if (!profile) {
-      return policies_[b]->CollectDue(now);
+      return GrantRefreshes(*policies_[b], ctx, &grant_stats);
     }
     const auto t0 = phase_clock();
-    auto ops = policies_[b]->CollectDue(now);
+    auto ops = GrantRefreshes(*policies_[b], ctx, &grant_stats);
     collect_s += seconds_since(t0);
     return ops;
   };
@@ -536,6 +568,7 @@ SimulationStats MemoryController::RunHierarchical(
   }
 
   ExportRunTelemetry(before, stats, reordered_picks_n, end);
+  ExportGrantTelemetry(grant_stats);
   if (telemetry_ != nullptr) {
     // Hierarchy-only export: the constraint engine's stall accounting and
     // per-rank/channel activity.  Never registered in flat mode, so flat
@@ -586,6 +619,23 @@ SimulationStats MemoryController::RunHierarchical(
         .Record(collect_s);
   }
   return stats;
+}
+
+void MemoryController::ExportGrantTelemetry(const RefreshGrantStats& grants) {
+  // Registered only when a scheduler-coupled policy actually produced
+  // non-urgent proposals: legacy policies (whose shim proposals are all
+  // urgent) leave the snapshot untouched, keeping the golden fixtures
+  // byte-identical through the new propose/grant path.
+  if (telemetry_ == nullptr || grants.nonurgent_proposals == 0) {
+    return;
+  }
+  telemetry_->counter("dram.refresh.proposals").Add(grants.proposals);
+  telemetry_->counter("dram.refresh.nonurgent_proposals")
+      .Add(grants.nonurgent_proposals);
+  telemetry_->counter("dram.refresh.granted").Add(grants.granted);
+  telemetry_->counter("dram.refresh.deferred").Add(grants.deferred);
+  telemetry_->counter("dram.refresh.urgent_grants")
+      .Add(grants.urgent_grants);
 }
 
 void MemoryController::ExportRunTelemetry(const SimulationStats& before,

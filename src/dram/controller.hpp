@@ -125,6 +125,10 @@ class MemoryController {
   void ExportRunTelemetry(const SimulationStats& before,
                           const SimulationStats& stats,
                           std::uint64_t reordered_picks_n, Cycles end);
+  /// Exports `dram.refresh.*` grant/deferral counters — only when the run
+  /// saw non-urgent proposals (scheduler-coupled policies), so legacy runs
+  /// register nothing new.
+  void ExportGrantTelemetry(const RefreshGrantStats& grants);
 
   TimingTable table_;
   TimingParams timing_;  ///< = table_.core (the flat loop's working copy).

@@ -26,6 +26,44 @@ DeadlineQueue StaggeredDeadlines(const std::vector<Cycles>& periods) {
 
 }  // namespace
 
+std::string RefreshGranularityName(RefreshGranularity granularity) {
+  switch (granularity) {
+    case RefreshGranularity::kSubarray:
+      return "subarray";
+    case RefreshGranularity::kPerBank:
+      return "per-bank";
+    case RefreshGranularity::kAllBank:
+      return "all-bank";
+  }
+  return "?";
+}
+
+std::vector<RefreshOp> RefreshPolicy::CollectDue(Cycles now) {
+  // Legacy shim over the two-phase contract: propose with no demand in
+  // sight and grant everything on the spot.  Subclasses override this or
+  // Propose (the defaults are mutually recursive — see the header).
+  std::vector<RefreshOp> ops;
+  for (const RefreshProposal& proposal : Propose(now, DemandView{})) {
+    OnGrant(proposal, now);
+    ops.push_back(proposal.op);
+  }
+  return ops;
+}
+
+std::vector<RefreshProposal> RefreshPolicy::Propose(Cycles now,
+                                                    const DemandView& demand) {
+  (void)demand;
+  // Legacy policies pull through CollectDue, which already records
+  // telemetry and re-arms deadlines, so these proposals are pre-granted:
+  // urgent with a deadline of `now` (the scheduler may not defer them) and
+  // an OnGrant that is a no-op.
+  std::vector<RefreshProposal> proposals;
+  for (const RefreshOp& op : CollectDue(now)) {
+    proposals.push_back({op, now, now, true});
+  }
+  return proposals;
+}
+
 void RefreshPolicy::set_telemetry(telemetry::Recorder* recorder) {
   FlushTelemetry();  // Batched state belongs to the previous recorder.
   telemetry_ = recorder;
@@ -275,6 +313,189 @@ void VrlAccessPolicy::OnRowAccess(std::size_t row) {
   // refreshes may again be partial: reset the counter (§3.2).
   RecordMprsfReset(row, rcount_[row]);
   rcount_[row] = 0;
+}
+
+// ---------------------------------------------------------------------------
+// ProposingPolicy
+// ---------------------------------------------------------------------------
+
+ProposingPolicy::ProposingPolicy(std::vector<Cycles> periods,
+                                 Cycles defer_window)
+    : periods_(std::move(periods)), defer_window_(defer_window) {
+  if (periods_.empty()) {
+    throw ConfigError("ProposingPolicy: need at least one row");
+  }
+  due_ = StaggeredDeadlines(periods_);
+}
+
+std::vector<RefreshProposal> ProposingPolicy::Propose(
+    Cycles now, const DemandView& demand) {
+  (void)demand;
+  RequireMonotonicNow(now);
+  // Rows coming due turn into outstanding proposals; the op (full/partial,
+  // latency) is frozen here.  AtCap bounds the outstanding set the same way
+  // it bounds a legacy CollectDue burst: excess rows stay in the queue.
+  while (!due_.empty() && due_.top().first <= now &&
+         !AtCap(outstanding_.size())) {
+    const auto [when, row] = due_.top();
+    due_.pop();
+    const Cycles resched = SkipUntil(row, when);
+    if (resched > when) {
+      due_.emplace(resched, row);
+      continue;
+    }
+    RefreshProposal proposal;
+    proposal.op = MakeOp(row);
+    proposal.due = when;
+    proposal.deadline = when + defer_window_;
+    outstanding_.push_back(proposal);
+  }
+  std::vector<RefreshProposal> out = outstanding_;
+  for (RefreshProposal& proposal : out) {
+    proposal.urgent = now >= proposal.deadline;
+  }
+  return out;
+}
+
+void ProposingPolicy::OnGrant(const RefreshProposal& proposal, Cycles at) {
+  const std::size_t row = proposal.op.row;
+  for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
+    if (it->op.row == row) {
+      outstanding_.erase(it);
+      break;
+    }
+  }
+  RecordOp(proposal.op, at, proposal.due);
+  // Re-arm anchored at the due cycle, not the grant cycle: deferral must
+  // not stretch the retention schedule.
+  due_.emplace(proposal.due + periods_[row], row);
+}
+
+bool ProposingPolicy::RearmOutstanding(std::size_t row, Cycles at) {
+  for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
+    if (it->op.row == row) {
+      outstanding_.erase(it);
+      due_.emplace(at, row);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// DarpPolicy / SarpPolicy
+// ---------------------------------------------------------------------------
+
+DarpPolicy::DarpPolicy(std::size_t rows, Cycles window_cycles,
+                       Cycles trfc_full, Cycles defer_window)
+    : ProposingPolicy(std::vector<Cycles>(rows, window_cycles), defer_window),
+      trfc_full_(trfc_full) {
+  if (window_cycles == 0 || trfc_full == 0) {
+    throw ConfigError("DarpPolicy: window and tRFC must be non-zero");
+  }
+}
+
+SarpPolicy::SarpPolicy(std::size_t rows, Cycles window_cycles,
+                       Cycles trfc_full, Cycles defer_window)
+    : ProposingPolicy(std::vector<Cycles>(rows, window_cycles), defer_window),
+      trfc_full_(trfc_full) {
+  if (window_cycles == 0 || trfc_full == 0) {
+    throw ConfigError("SarpPolicy: window and tRFC must be non-zero");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VrlSkipPolicy
+// ---------------------------------------------------------------------------
+
+VrlSkipPolicy::VrlSkipPolicy(RowRefreshPlan plan, Cycles trfc_full,
+                             Cycles trfc_partial, Cycles defer_window)
+    : ProposingPolicy(plan.period_cycles, defer_window),
+      plan_(std::move(plan)),
+      trfc_full_(trfc_full),
+      trfc_partial_(trfc_partial) {
+  if (plan_.mprsf.size() != plan_.period_cycles.size()) {
+    throw ConfigError("VrlSkipPolicy: plan must carry one MPRSF per row");
+  }
+  if (trfc_partial_ == 0 || trfc_partial_ >= trfc_full_) {
+    throw ConfigError("VrlSkipPolicy: need 0 < tau_partial < tau_full");
+  }
+  // Same staggered counter phases as VrlPolicy (see its constructor).
+  rcount_.resize(plan_.period_cycles.size());
+  for (std::size_t r = 0; r < rcount_.size(); ++r) {
+    rcount_[r] = static_cast<std::uint8_t>(
+        r % (static_cast<std::size_t>(plan_.mprsf[r]) + 1));
+  }
+  last_restore_.assign(rcount_.size(), kNeverRestored);
+}
+
+RefreshOp VrlSkipPolicy::MakeOp(std::size_t row) {
+  RefreshOp op;
+  op.row = row;
+  if (rcount_[row] == plan_.mprsf[row]) {
+    op.trfc = trfc_full_;
+    op.is_full = true;
+  } else {
+    op.trfc = trfc_partial_;
+    op.is_full = false;
+  }
+  return op;
+}
+
+Cycles VrlSkipPolicy::SkipUntil(std::size_t row, Cycles due) {
+  if (last_restore_[row] == kNeverRestored) {
+    return 0;  // The staggered initial schedule stays authoritative.
+  }
+  const Cycles safe = last_restore_[row] + PeriodOf(row);
+  if (safe > due) {
+    ++skipped_;
+    if (skipped_cell_ != nullptr) {
+      skipped_cell_->Add(1);
+    }
+    return safe;
+  }
+  return 0;
+}
+
+void VrlSkipPolicy::OnGrant(const RefreshProposal& proposal, Cycles at) {
+  const std::size_t row = proposal.op.row;
+  // Walk the MPRSF ladder at grant time (the op was frozen at propose time;
+  // nothing can change the counter in between — see docs/POLICIES.md).
+  if (proposal.op.is_full) {
+    rcount_[row] = 0;
+  } else {
+    ++rcount_[row];
+  }
+  // Any refresh restores at least one period of charge from its execution
+  // cycle, so a deferred grant pushes the row's next safe point out too.
+  last_restore_[row] = at;
+  ProposingPolicy::OnGrant(proposal, at);
+}
+
+void VrlSkipPolicy::OnRowAccess(std::size_t row) {
+  if (row >= rcount_.size()) {
+    throw ConfigError("VrlSkipPolicy: access to unknown row");
+  }
+  RecordMprsfReset(row, rcount_[row]);
+  rcount_[row] = 0;
+  // OnRowAccess arrives without its own clock; last_now() (the most recent
+  // tick) is earlier than the true access cycle, so the restore point is
+  // conservative.
+  last_restore_[row] = last_now();
+  if (RearmOutstanding(row, last_restore_[row] + PeriodOf(row))) {
+    // The access restored a row that was already proposed: the pending
+    // refresh is no longer needed at all.
+    ++skipped_;
+    if (skipped_cell_ != nullptr) {
+      skipped_cell_->Add(1);
+    }
+  }
+}
+
+void VrlSkipPolicy::OnTelemetryAttached() {
+  skipped_cell_ = telemetry() == nullptr
+                      ? nullptr
+                      : &telemetry()->counter("policy.skipped_refreshes");
 }
 
 }  // namespace vrl::dram

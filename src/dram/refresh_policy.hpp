@@ -21,9 +21,21 @@ class Tracer;
 /// \file refresh_policy.hpp
 /// Refresh scheduling policies for one DRAM bank.
 ///
-/// The memory controller consults the policy at every tREFI tick; the policy
-/// returns the refresh operations due for rows of this bank, each carrying
-/// its own tRFC (variable refresh latency is the paper's mechanism).
+/// The memory controller consults the policy at every tREFI tick through a
+/// two-phase scheduler-coupled interface: the policy *proposes* refresh
+/// commands (each with an urgency deadline and a target granularity —
+/// subarray, per-bank REFpb, or all-bank REF) and the controller's scheduler
+/// *grants* or *defers* them against the pending demand requests and the
+/// hierarchy's ConstraintEngine (see GrantRefreshes in scheduler.hpp and
+/// docs/POLICIES.md).  Each granted op carries its own tRFC — variable
+/// refresh latency is the paper's mechanism.
+///
+/// `CollectDue` is kept as a legacy shim: policies written against the old
+/// blind-pull contract keep working unchanged (their proposals come out
+/// urgent, so the scheduler grants them immediately and the emitted op
+/// stream is byte-identical — golden-master gated).  A policy must override
+/// at least one of CollectDue / Propose; the two defaults are implemented
+/// in terms of each other.
 ///
 /// Implemented policies:
 ///  * JedecPolicy     — every row refreshed each 64 ms window, full latency
@@ -36,23 +48,96 @@ class Tracer;
 ///  * VrlAccessPolicy — VRL-Access: a read/write activation fully restores
 ///                      the row, so it also resets the row's partial-refresh
 ///                      counter.
+///  * DarpPolicy      — DARP-style (arXiv:1712.07754) out-of-order per-bank
+///                      refresh: REFpb proposals deferrable around demand
+///                      bursts, forced at a deadline.
+///  * SarpPolicy      — SARP-style subarray-parallel refresh: subarray
+///                      proposals that overlap demand to other subarrays and
+///                      defer only on same-subarray collisions.
+///  * VrlSkipPolicy   — VRL-Access generalized into a charge-aware scheduler
+///                      hint: recently-restored rows skip their scheduled
+///                      refresh outright, and live proposals ride the same
+///                      deferral window as DARP/SARP.
 
 namespace vrl::dram {
+
+class Bank;
+
+/// Refresh command scope.  kSubarray (the legacy behaviour, and the
+/// aggregate-initializer default) occupies only the target row's subarray;
+/// kPerBank is a JEDEC REFpb blocking the whole bank and participating in
+/// the rank's tRRD/tFAW activation windows; kAllBank is the classic REF,
+/// blocking the whole bank without counting as an activation.
+enum class RefreshGranularity : std::uint8_t {
+  kSubarray = 0,
+  kPerBank,
+  kAllBank,
+};
+
+/// Short label for reports ("subarray", "per-bank", "all-bank").
+std::string RefreshGranularityName(RefreshGranularity granularity);
 
 /// One refresh operation to execute on a bank.
 struct RefreshOp {
   std::size_t row = 0;
   Cycles trfc = 0;
   bool is_full = true;
+  RefreshGranularity granularity = RefreshGranularity::kSubarray;
+};
+
+/// What the scheduler knows about pending demand when asking a policy for
+/// proposals: the next not-yet-serviced request targeting this bank (the
+/// demand queue is drained up to `now` before refresh decisions, so the
+/// head of the remaining queue is the whole picture).
+struct DemandView {
+  static constexpr Cycles kNever = ~Cycles{0};
+  Cycles now = 0;
+  Cycles next_arrival = kNever;  ///< Arrival cycle of the next request.
+  std::size_t next_row = 0;      ///< Row targeted by that request.
+  bool has_next = false;
+};
+
+/// A refresh command offered by a policy.  `due` is the cycle the schedule
+/// wanted it (slack accounting); `deadline` is the cycle by which it must be
+/// granted; `urgent` means the deadline has arrived and the scheduler may
+/// not defer it further.
+struct RefreshProposal {
+  RefreshOp op;
+  Cycles due = 0;
+  Cycles deadline = 0;
+  bool urgent = true;
 };
 
 class RefreshPolicy {
  public:
   virtual ~RefreshPolicy() = default;
 
-  /// Rows due for refresh at (or before) cycle `now`.  Advances internal
-  /// deadlines; each call must use a non-decreasing `now`.
-  virtual std::vector<RefreshOp> CollectDue(Cycles now) = 0;
+  /// Legacy shim: rows due for refresh at (or before) cycle `now`, granted
+  /// unconditionally.  Advances internal deadlines; each call must use a
+  /// non-decreasing `now`.  The default proposes (ignoring demand) and
+  /// self-grants everything — override this *or* Propose, never neither.
+  virtual std::vector<RefreshOp> CollectDue(Cycles now);
+
+  /// Phase one of the scheduler-coupled contract: the refresh commands this
+  /// policy wants considered at `now`.  Deferred proposals must be offered
+  /// again on later calls until granted.  The default wraps CollectDue as
+  /// urgent proposals, which makes every legacy policy byte-identical
+  /// through the new path.  `now` must be non-decreasing across calls.
+  virtual std::vector<RefreshProposal> Propose(Cycles now,
+                                               const DemandView& demand);
+
+  /// Phase two: the scheduler granted `proposal` for execution at cycle
+  /// `at` (>= the proposal's due cycle).  The policy re-arms the row's
+  /// schedule and records telemetry here.  No-op for legacy policies —
+  /// their CollectDue already did both.
+  virtual void OnGrant(const RefreshProposal& proposal, Cycles at) {
+    (void)proposal;
+    (void)at;
+  }
+
+  /// Phase two, negative edge: the scheduler deferred `proposal` to a later
+  /// tick.  Default no-op (deferred proposals simply stay outstanding).
+  virtual void OnDefer(const RefreshProposal& proposal) { (void)proposal; }
 
   /// Notification that a row was activated by a read/write access.
   virtual void OnRowAccess(std::size_t row) { (void)row; }
@@ -244,6 +329,135 @@ class VrlAccessPolicy : public VrlPolicy {
 
   void OnRowAccess(std::size_t row) override;
   std::string Name() const override { return "VRL-Access"; }
+};
+
+/// Shared machinery for the scheduler-coupled policies (DARP/SARP/VRL-Skip):
+/// a deadline queue plus the set of outstanding proposals.  Rows come due
+/// from the queue, turn into proposals with deadline = due + defer window,
+/// and stay outstanding (re-offered every Propose) until granted.  A grant
+/// records telemetry and re-arms the row one period after its *due* cycle,
+/// so deferral never stretches the retention schedule.
+class ProposingPolicy : public RefreshPolicy {
+ public:
+  std::vector<RefreshProposal> Propose(Cycles now,
+                                       const DemandView& demand) override;
+  void OnGrant(const RefreshProposal& proposal, Cycles at) override;
+  std::size_t rows() const override { return periods_.size(); }
+
+  /// Proposals currently offered but not yet granted (tests/inspection).
+  std::size_t outstanding() const { return outstanding_.size(); }
+  Cycles defer_window() const { return defer_window_; }
+
+ protected:
+  /// \param periods      per-row refresh period in cycles (deadlines start
+  ///                     staggered across the first period)
+  /// \param defer_window cycles a proposal may be deferred past its due
+  ///                     cycle before turning urgent (0 = always urgent)
+  ProposingPolicy(std::vector<Cycles> periods, Cycles defer_window);
+
+  /// Builds the refresh op for a row coming due (frozen at propose time).
+  virtual RefreshOp MakeOp(std::size_t row) = 0;
+
+  /// Charge-aware skip hook, consulted when (row, due) pops: returning a
+  /// cycle > due reschedules the row there without proposing a refresh
+  /// (VRL-Skip: the row was restored more recently than the schedule
+  /// assumed).  Default never skips.
+  virtual Cycles SkipUntil(std::size_t row, Cycles due) {
+    (void)row;
+    (void)due;
+    return 0;
+  }
+
+  Cycles PeriodOf(std::size_t row) const { return periods_[row]; }
+
+  /// Cancels row's outstanding proposal (if any) and reschedules it at
+  /// `at`.  Returns true when a proposal was cancelled (VRL-Skip uses this
+  /// when an access restores a row that is already proposed).
+  bool RearmOutstanding(std::size_t row, Cycles at);
+
+ private:
+  std::vector<Cycles> periods_;
+  Cycles defer_window_;
+  DeadlineQueue due_;
+  std::vector<RefreshProposal> outstanding_;  ///< Creation order.
+};
+
+/// DARP-style out-of-order per-bank refresh (arXiv:1712.07754): the JEDEC
+/// all-rows schedule expressed as deferrable REFpb proposals.  The grant
+/// scheduler slides each refresh into an idle gap of the demand queue; the
+/// defer window bounds the slide, after which the proposal turns urgent.
+class DarpPolicy : public ProposingPolicy {
+ public:
+  DarpPolicy(std::size_t rows, Cycles window_cycles, Cycles trfc_full,
+             Cycles defer_window);
+
+  std::string Name() const override { return "DARP"; }
+
+ protected:
+  RefreshOp MakeOp(std::size_t row) override {
+    return {row, trfc_full_, true, RefreshGranularity::kPerBank};
+  }
+
+ private:
+  Cycles trfc_full_;
+};
+
+/// SARP-style subarray-parallel refresh (arXiv:1712.07754): the same
+/// deferrable schedule at subarray granularity, so a granted refresh only
+/// occupies its own subarray and demand to the bank's other subarrays
+/// proceeds in parallel; only same-subarray collisions defer.
+class SarpPolicy : public ProposingPolicy {
+ public:
+  SarpPolicy(std::size_t rows, Cycles window_cycles, Cycles trfc_full,
+             Cycles defer_window);
+
+  std::string Name() const override { return "SARP"; }
+
+ protected:
+  RefreshOp MakeOp(std::size_t row) override {
+    return {row, trfc_full_, true, RefreshGranularity::kSubarray};
+  }
+
+ private:
+  Cycles trfc_full_;
+};
+
+/// VRL-Access generalized into a charge-aware scheduler hint: the VRL
+/// full/partial ladder, plus per-row restore tracking.  A row restored
+/// (accessed or refreshed) more recently than its scheduled due cycle skips
+/// the refresh entirely and reschedules one period after the restore; live
+/// proposals are deferrable like SARP's.  Skips are counted in the
+/// `policy.skipped_refreshes` telemetry counter.
+class VrlSkipPolicy : public ProposingPolicy {
+ public:
+  VrlSkipPolicy(RowRefreshPlan plan, Cycles trfc_full, Cycles trfc_partial,
+                Cycles defer_window);
+
+  void OnRowAccess(std::size_t row) override;
+  std::string Name() const override { return "VRL-Skip"; }
+
+  std::uint8_t RefreshCount(std::size_t row) const { return rcount_[row]; }
+  std::uint64_t skipped() const { return skipped_; }
+
+ protected:
+  RefreshOp MakeOp(std::size_t row) override;
+  Cycles SkipUntil(std::size_t row, Cycles due) override;
+  void OnGrant(const RefreshProposal& proposal, Cycles at) override;
+  void OnTelemetryAttached() override;
+
+ private:
+  static constexpr Cycles kNeverRestored = ~Cycles{0};
+
+  RowRefreshPlan plan_;
+  Cycles trfc_full_;
+  Cycles trfc_partial_;
+  std::vector<std::uint8_t> rcount_;
+  /// Cycle of the last full restore (access or granted refresh);
+  /// kNeverRestored until the first one, keeping the staggered initial
+  /// schedule authoritative.
+  std::vector<Cycles> last_restore_;
+  std::uint64_t skipped_ = 0;
+  telemetry::Counter* skipped_cell_ = nullptr;
 };
 
 }  // namespace vrl::dram

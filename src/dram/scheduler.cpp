@@ -1,40 +1,36 @@
 #include "dram/scheduler.hpp"
 
-#include <cctype>
+#include <algorithm>
 
 #include "common/error.hpp"
 #include "dram/bank.hpp"
+#include "dram/policy_registry.hpp"
 
 namespace vrl::dram {
 
 std::string SchedulerName(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kFcfs:
-      return "FCFS";
-    case SchedulerKind::kFrFcfs:
-      return "FR-FCFS";
+  for (const SchedulerInfo& entry : SchedulerEntries()) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
   }
   return "?";
 }
 
 SchedulerKind SchedulerFromName(std::string_view name) {
-  std::string canon;
-  canon.reserve(name.size());
-  for (const char c : name) {
-    if (c == '-' || c == '_') {
-      continue;
+  const std::string canon = CanonicalPolicyToken(name);
+  std::string known;
+  for (const SchedulerInfo& entry : SchedulerEntries()) {
+    if (CanonicalPolicyToken(entry.name) == canon) {
+      return entry.kind;
     }
-    canon.push_back(
-        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-  }
-  if (canon == "fcfs") {
-    return SchedulerKind::kFcfs;
-  }
-  if (canon == "frfcfs") {
-    return SchedulerKind::kFrFcfs;
+    if (!known.empty()) {
+      known += ", ";
+    }
+    known += entry.name;
   }
   throw ConfigError("SchedulerFromName: unknown scheduler '" +
-                    std::string(name) + "' (expected FCFS or FR-FCFS)");
+                    std::string(name) + "' (expected one of: " + known + ")");
 }
 
 std::size_t SelectNextRequest(SchedulerKind kind,
@@ -70,6 +66,75 @@ std::size_t SelectNextRequest(SchedulerKind kind,
     }
   }
   return 0;
+}
+
+namespace {
+
+/// Would granting `op` at `now` collide with the next demand request?
+bool CollidesWithDemand(const RefreshOp& op, const RefreshGrantContext& ctx) {
+  if (op.granularity == RefreshGranularity::kSubarray) {
+    // Only demand to the refreshed subarray waits behind the refresh.
+    const std::size_t sub = ctx.bank->SubarrayOf(op.row);
+    if (ctx.bank->SubarrayOf(ctx.demand.next_row) != sub) {
+      return false;
+    }
+    const Cycles start = std::max(ctx.now, ctx.bank->SubarrayBusyUntil(sub));
+    return ctx.demand.next_arrival < start + op.trfc;
+  }
+  // Bank-level refresh blocks every subarray.
+  Cycles start = ctx.now;
+  for (std::size_t s = 0; s < ctx.bank->subarray_count(); ++s) {
+    start = std::max(start, ctx.bank->SubarrayBusyUntil(s));
+  }
+  return ctx.demand.next_arrival < start + op.trfc;
+}
+
+}  // namespace
+
+std::vector<RefreshOp> GrantRefreshes(RefreshPolicy& policy,
+                                      const RefreshGrantContext& ctx,
+                                      RefreshGrantStats* stats) {
+  std::vector<RefreshOp> ops;
+  for (const RefreshProposal& proposal : policy.Propose(ctx.now, ctx.demand)) {
+    const bool urgent = proposal.urgent || ctx.now >= proposal.deadline;
+    if (stats != nullptr) {
+      ++stats->proposals;
+      if (!urgent) {
+        ++stats->nonurgent_proposals;
+      }
+    }
+    bool defer = false;
+    if (!urgent && ctx.bank != nullptr) {
+      if (ctx.demand.has_next && CollidesWithDemand(proposal.op, ctx)) {
+        defer = true;
+      } else if (proposal.op.granularity == RefreshGranularity::kPerBank &&
+                 ctx.engine != nullptr &&
+                 ctx.engine->PeekActivate(ctx.addr, ctx.now) > ctx.now) {
+        // The rank's ACT windows (tRRD/tFAW) would stall this REFpb; try
+        // again next tick instead of queueing behind demand ACTs.
+        defer = true;
+      }
+    }
+    if (defer) {
+      policy.OnDefer(proposal);
+      if (stats != nullptr) {
+        ++stats->deferred;
+      }
+      continue;
+    }
+    policy.OnGrant(proposal, ctx.now);
+    ops.push_back(proposal.op);
+    if (stats != nullptr) {
+      ++stats->granted;
+      if (urgent && proposal.deadline > proposal.due) {
+        // Deadline-forced grant of a genuinely deferrable proposal (the
+        // legacy shim's deadline equals its due cycle and is not counted).
+        // A high count means the defer window never found an idle gap.
+        ++stats->urgent_grants;
+      }
+    }
+  }
+  return ops;
 }
 
 }  // namespace vrl::dram

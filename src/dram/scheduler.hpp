@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "dram/refresh_policy.hpp"
 #include "dram/request.hpp"
+#include "dram/topology.hpp"
 
 /// \file scheduler.hpp
 /// Request scheduling disciplines for the memory controller.
@@ -19,6 +22,11 @@
 ///    open-page discipline and raises the row-buffer hit rate, which also
 ///    matters to VRL-Access (each activation resets a partial-refresh
 ///    counter; hits do not re-activate).
+///
+/// The refresh side of scheduling lives here too: GrantRefreshes is phase
+/// two of the propose/grant refresh contract (refresh_policy.hpp,
+/// docs/POLICIES.md) — it arbitrates a policy's proposals against the
+/// demand queue and the hierarchy's constraint engine.
 
 namespace vrl::dram {
 
@@ -38,12 +46,58 @@ std::size_t SelectNextRequest(SchedulerKind kind,
                               const std::vector<Request>& pending,
                               std::optional<std::size_t> open_row);
 
-class Bank;
-
 /// Overload consulting the bank's row buffers directly (covers banks with
 /// multiple subarrays, each with its own open row).
 std::size_t SelectNextRequest(SchedulerKind kind,
                               const std::vector<Request>& pending,
                               const Bank& bank);
+
+/// Grant accounting across one run, exported by the controller as
+/// `dram.refresh.*` telemetry when a scheduler-coupled policy was active
+/// (i.e. at least one non-urgent proposal was seen — legacy policies leave
+/// the export untouched, keeping golden snapshots byte-identical).
+struct RefreshGrantStats {
+  std::uint64_t proposals = 0;
+  std::uint64_t nonurgent_proposals = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t urgent_grants = 0;  ///< Grants forced by a deadline.
+};
+
+/// Everything the grant decision may consult.  `bank`, `engine` and `addr`
+/// are optional: without a bank there is no collision probe and non-urgent
+/// proposals are granted (the shim behaviour of campaign/integrity
+/// replays); without an engine the REFpb activation-window probe is
+/// skipped.
+struct RefreshGrantContext {
+  Cycles now = 0;
+  DemandView demand;
+  const Bank* bank = nullptr;
+  const ConstraintEngine* engine = nullptr;
+  BankAddress addr;
+};
+
+/// Phase two of the propose/grant refresh contract: asks `policy` for its
+/// proposals at `ctx.now` and grants or defers each one.
+///
+/// Grant rules, per proposal:
+///  - urgent (deadline reached) — always granted; the retention schedule
+///    outranks demand.
+///  - non-urgent, demand imminent — deferred when the next demand request
+///    would arrive before the refresh completes *and* would collide with
+///    it: any demand collides with a bank-level refresh (kPerBank /
+///    kAllBank), only same-subarray demand collides with a kSubarray
+///    refresh (SARP's parallelism).
+///  - non-urgent REFpb, activation window closed — deferred when the
+///    constraint engine's PeekActivate cannot issue it at `ctx.now`
+///    (tRRD/tFAW pressure from demand ACTs).
+///  - otherwise granted.
+///
+/// Granted proposals reach `policy.OnGrant` (telemetry + re-arm) and their
+/// ops are returned in proposal order; deferred ones reach `policy.OnDefer`
+/// and stay outstanding inside the policy.
+std::vector<RefreshOp> GrantRefreshes(RefreshPolicy& policy,
+                                      const RefreshGrantContext& ctx,
+                                      RefreshGrantStats* stats = nullptr);
 
 }  // namespace vrl::dram

@@ -21,6 +21,10 @@ void TimingTable::Validate() const {
     throw ConfigError(
         "TimingTable: tFAW shorter than tRRD can never bind");
   }
+  if (t_rfc != 0 && t_rfc_pb > t_rfc) {
+    throw ConfigError(
+        "TimingTable: per-bank tRFCpb cannot exceed all-bank tRFC");
+  }
 }
 
 std::string PresetName(TimingPreset preset) {
@@ -120,6 +124,9 @@ TimingTable MakeTimingTable(TimingPreset preset, std::size_t banks) {
       table.t_ccd_l = 2;
       table.t_rtrs = 0;
       table.t_rfc = 112;
+      // JESD209-4B per-bank refresh: tRFCpb(8Gb) = 140 ns.  DDR3/DDR4 have
+      // no REFpb command, so only this preset carries it.
+      table.t_rfc_pb = 56;
       table.per_channel_bus = true;
       break;
   }

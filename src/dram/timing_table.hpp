@@ -51,6 +51,12 @@ struct TimingTable {
   /// paper's variable refresh latency (refresh_policy.hpp).
   Cycles t_rfc = 0;
 
+  /// Nominal per-bank refresh latency tRFCpb (REFpb), for
+  /// reference/reporting; zero when the device has no per-bank refresh
+  /// command (DDR3/DDR4 — REFpb is an LPDDR feature).  Like t_rfc, the
+  /// simulated ops carry their own latency.
+  Cycles t_rfc_pb = 0;
+
   /// True when the banks of a channel share one data bus (bursts serialize
   /// channel-wide and tRTRS applies).  False reproduces the flat model,
   /// where each bank owns its data path.

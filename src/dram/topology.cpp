@@ -65,8 +65,8 @@ std::size_t ConstraintEngine::GlobalRank(const BankAddress& addr) const {
   return addr.channel * table_.topology.ranks_per_channel + addr.rank;
 }
 
-Cycles ConstraintEngine::EarliestActivate(const BankAddress& addr,
-                                          Cycles at) {
+std::pair<Cycles, Cycles> ConstraintEngine::ActivateFloors(
+    const BankAddress& addr, Cycles at) const {
   const RankState& rank = ranks_[GlobalRank(addr)];
 
   // tRRD: minimum ACT->ACT gap within the rank, long to the same bank
@@ -116,6 +116,12 @@ Cycles ConstraintEngine::EarliestActivate(const BankAddress& addr,
     faw_floor = found ? best : trrd_floor;
   }
 
+  return {trrd_floor, faw_floor};
+}
+
+Cycles ConstraintEngine::EarliestActivate(const BankAddress& addr,
+                                          Cycles at) {
+  const auto [trrd_floor, faw_floor] = ActivateFloors(addr, at);
   const Cycles floored = std::max(trrd_floor, faw_floor);
   if (floored > at) {
     if (faw_floor > trrd_floor) {
@@ -127,6 +133,12 @@ Cycles ConstraintEngine::EarliestActivate(const BankAddress& addr,
     }
   }
   return floored;
+}
+
+Cycles ConstraintEngine::PeekActivate(const BankAddress& addr,
+                                      Cycles at) const {
+  const auto [trrd_floor, faw_floor] = ActivateFloors(addr, at);
+  return std::max(trrd_floor, faw_floor);
 }
 
 void ConstraintEngine::RecordActivate(const BankAddress& addr, Cycles at) {

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -131,6 +132,12 @@ class ConstraintEngine {
   Cycles EarliestActivate(const BankAddress& addr, Cycles at);
   void RecordActivate(const BankAddress& addr, Cycles at);
 
+  /// EarliestActivate without the stall accounting: a side-effect-free
+  /// what-if for the refresh grant scheduler (GrantRefreshes), which probes
+  /// whether a REFpb could issue now without perturbing the `dram.hier.*`
+  /// stall telemetry of the demand path.
+  Cycles PeekActivate(const BankAddress& addr, Cycles at) const;
+
   // -- Column command: tCCD_S/tCCD_L within the rank -----------------------
   Cycles EarliestColumn(const BankAddress& addr, Cycles at);
   void RecordColumn(const BankAddress& addr, Cycles at);
@@ -164,6 +171,12 @@ class ConstraintEngine {
   };
 
   std::size_t GlobalRank(const BankAddress& addr) const;
+
+  /// The tRRD and tFAW floors of an ACTIVATE at `at` (tfaw_floor >=
+  /// trrd_floor).  Shared by EarliestActivate (which attributes the stall)
+  /// and PeekActivate (which must stay const).
+  std::pair<Cycles, Cycles> ActivateFloors(const BankAddress& addr,
+                                           Cycles at) const;
 
   const TimingTable& table_;
   std::vector<RankState> ranks_;

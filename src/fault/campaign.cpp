@@ -1,6 +1,7 @@
 #include "fault/campaign.hpp"
 
 #include "common/error.hpp"
+#include "dram/scheduler.hpp"
 #include "fault/charge_tracker.hpp"
 #include "telemetry/recorder.hpp"
 
@@ -120,7 +121,13 @@ CampaignReport RunCampaign(const model::RefreshModel& model,
     }
     const double now_s = CyclesToSeconds(tick, setup.clock_period_s);
     faults.Advance(now_s, rows);
-    for (const auto& op : policy.CollectDue(tick)) {
+    // Propose/grant with no bank context: every proposal is granted (the
+    // campaign replays physics, not bank timing), which is byte-identical
+    // to the old blind CollectDue pull for legacy policies.
+    dram::RefreshGrantContext grant_ctx;
+    grant_ctx.now = tick;
+    grant_ctx.demand.now = tick;
+    for (const auto& op : dram::GrantRefreshes(policy, grant_ctx)) {
       const double retention =
           truth.RowRetention(op.row) * faults.RowScale(op.row);
       const auto sense = tracker.Refresh(

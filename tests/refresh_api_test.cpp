@@ -1,0 +1,420 @@
+// Tests for the scheduler-coupled refresh API (propose/grant), the policy
+// registry, and the DARP/SARP/VRL-Skip deferral machinery.
+//
+// The load-bearing property: every legacy policy driven through the new
+// GrantRefreshes path emits the byte-identical op stream its CollectDue
+// shim emits, and the parallel experiment drivers stay bit-identical at
+// every thread count (the tests/golden fixtures pin the end-to-end bench
+// output; these tests pin the mechanism).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/experiments.hpp"
+#include "core/vrl_system.hpp"
+#include "dram/bank.hpp"
+#include "dram/policy_registry.hpp"
+#include "dram/refresh_policy.hpp"
+#include "dram/scheduler.hpp"
+#include "dram/timing_table.hpp"
+#include "dram/topology.hpp"
+#include "fault/adaptive_policy.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/trace_export.hpp"
+
+namespace {
+
+using namespace vrl;
+
+bool SameOp(const dram::RefreshOp& a, const dram::RefreshOp& b) {
+  return a.row == b.row && a.trfc == b.trfc && a.is_full == b.is_full &&
+         a.granularity == b.granularity;
+}
+
+/// Grants with no bank context: the shim replay used by campaign/integrity.
+std::vector<dram::RefreshOp> GrantAll(dram::RefreshPolicy& policy,
+                                      Cycles now) {
+  dram::RefreshGrantContext ctx;
+  ctx.now = now;
+  ctx.demand.now = now;
+  return dram::GrantRefreshes(policy, ctx);
+}
+
+core::VrlConfig SmallConfig() {
+  core::VrlConfig config;
+  config.tech.rows = 512;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Shim byte-identity
+// ---------------------------------------------------------------------------
+
+TEST(RefreshApiShim, LegacyPoliciesByteIdenticalThroughProposeGrant) {
+  const core::VrlSystem system(SmallConfig());
+  const Cycles t_refi = system.config().timing.t_refi;
+  const Cycles horizon = system.HorizonForWindows(2);
+
+  for (const core::PolicyKind kind :
+       {core::PolicyKind::kJedec, core::PolicyKind::kRaidr,
+        core::PolicyKind::kVrl, core::PolicyKind::kVrlAccess}) {
+    auto legacy = system.MakePolicyFactory(kind)();
+    auto granted = system.MakePolicyFactory(kind)();
+    for (Cycles tick = 0; tick <= horizon; tick += t_refi) {
+      const auto ops_a = legacy->CollectDue(tick);
+      const auto ops_b = GrantAll(*granted, tick);
+      ASSERT_EQ(ops_a.size(), ops_b.size())
+          << core::PolicyName(kind) << " at tick " << tick;
+      for (std::size_t i = 0; i < ops_a.size(); ++i) {
+        ASSERT_TRUE(SameOp(ops_a[i], ops_b[i]))
+            << core::PolicyName(kind) << " op " << i << " at tick " << tick;
+      }
+      // Exercise the activation-reset path identically on both instances.
+      if (tick / t_refi % 7 == 0) {
+        const std::size_t row = (tick / t_refi) % legacy->rows();
+        legacy->OnRowAccess(row);
+        granted->OnRowAccess(row);
+      }
+    }
+  }
+}
+
+TEST(RefreshApiShim, AdaptiveWrapperByteIdenticalThroughProposeGrant) {
+  const core::VrlSystem system(SmallConfig());
+  const auto& config = system.config();
+  const Cycles t_refi = config.timing.t_refi;
+  const Cycles horizon = system.HorizonForWindows(2);
+  const auto plan = dram::MakeRefreshPlan(
+      system.binning(), config.tech.clock_period_s, system.row_mprsf());
+
+  fault::AdaptiveVrlPolicy legacy(system.MakePolicyFactory(
+                                      core::PolicyKind::kVrl)(),
+                                  plan, system.TauFullCycles(),
+                                  system.TauPartialCycles(),
+                                  config.timing.t_refw, t_refi);
+  fault::AdaptiveVrlPolicy granted(system.MakePolicyFactory(
+                                       core::PolicyKind::kVrl)(),
+                                   plan, system.TauFullCycles(),
+                                   system.TauPartialCycles(),
+                                   config.timing.t_refw, t_refi);
+
+  for (Cycles tick = 0; tick <= horizon; tick += t_refi) {
+    const auto ops_a = legacy.CollectDue(tick);
+    const auto ops_b = GrantAll(granted, tick);
+    ASSERT_EQ(ops_a.size(), ops_b.size()) << "at tick " << tick;
+    for (std::size_t i = 0; i < ops_a.size(); ++i) {
+      ASSERT_TRUE(SameOp(ops_a[i], ops_b[i])) << "op " << i << " at tick "
+                                              << tick;
+    }
+    // Mirror a sensing failure mid-run so the demotion machinery is
+    // exercised through both paths.
+    if (tick == 64 * t_refi) {
+      legacy.OnSensingFailure(3, tick);
+      granted.OnSensingFailure(3, tick);
+    }
+  }
+}
+
+TEST(RefreshApiShim, SuiteTelemetryAndLineageIdenticalAcrossThreadCounts) {
+  const core::VrlSystem system(SmallConfig());
+
+  std::vector<core::WorkloadResult> base_results;
+  telemetry::MetricsSnapshot base_snapshot;
+  std::string base_lineage;
+  bool have_base = false;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ScopedThreadCount scoped(threads);
+    telemetry::RecorderOptions options;
+    options.enable_tracing = true;
+    options.tracing.lineage_ops = true;
+    telemetry::Recorder recorder(options);
+
+    core::ExperimentOptions experiment;
+    experiment.windows = 1;
+    experiment.telemetry = &recorder;
+    const auto results = core::RunEvaluationSuite(system, experiment);
+
+    const auto snapshot = recorder.Snapshot().WithoutTimers();
+    std::ostringstream lineage;
+    telemetry::WriteLineageJsonl(lineage, *recorder.tracer());
+
+    if (!have_base) {
+      base_results = results;
+      base_snapshot = snapshot;
+      base_lineage = lineage.str();
+      have_base = true;
+      EXPECT_FALSE(base_snapshot.metrics.empty());
+      continue;
+    }
+    EXPECT_EQ(base_results, results) << "threads=" << threads;
+    EXPECT_EQ(base_snapshot, snapshot) << "threads=" << threads;
+    EXPECT_EQ(base_lineage, lineage.str()) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deferral-window edge cases
+// ---------------------------------------------------------------------------
+
+TEST(RefreshDeferral, DemandBurstDefersUntilDeadlineForcesTheGrant) {
+  const dram::TimingParams timing;
+  dram::Bank bank(1, timing);
+  dram::DarpPolicy policy(1, 1000, 50, 300);  // row 0 due at cycle 0
+
+  const auto grant_at = [&](Cycles now, Cycles next_arrival,
+                            dram::RefreshGrantStats& stats) {
+    dram::RefreshGrantContext ctx;
+    ctx.now = now;
+    ctx.demand.now = now;
+    ctx.demand.has_next = true;
+    ctx.demand.next_arrival = next_arrival;
+    ctx.demand.next_row = 0;
+    ctx.bank = &bank;
+    return dram::GrantRefreshes(policy, ctx, &stats);
+  };
+
+  // Non-urgent proposal vs. imminent demand: deferred, stays outstanding.
+  dram::RefreshGrantStats stats;
+  EXPECT_TRUE(grant_at(0, 10, stats).empty());
+  EXPECT_EQ(stats.deferred, 1u);
+  EXPECT_EQ(policy.outstanding(), 1u);
+
+  // Still inside the window, demand still imminent: still deferred.
+  EXPECT_TRUE(grant_at(100, 110, stats).empty());
+  EXPECT_EQ(stats.deferred, 2u);
+
+  // Deadline (due 0 + window 300) reached: granted despite the burst.
+  const auto forced = grant_at(300, 310, stats);
+  ASSERT_EQ(forced.size(), 1u);
+  EXPECT_EQ(forced[0].row, 0u);
+  EXPECT_EQ(forced[0].granularity, dram::RefreshGranularity::kPerBank);
+  EXPECT_EQ(stats.urgent_grants, 1u);
+  EXPECT_EQ(policy.outstanding(), 0u);
+
+  // Re-arm anchors at the *due* cycle (0 + period 1000), not the grant
+  // cycle: deferral must never stretch the retention schedule.
+  dram::RefreshGrantStats quiet;
+  EXPECT_TRUE(GrantAll(policy, 999).empty());
+  const auto rearmed = grant_at(1000, dram::DemandView::kNever, quiet);
+  ASSERT_EQ(rearmed.size(), 1u);
+  EXPECT_EQ(quiet.urgent_grants, 0u);  // granted on time, not forced
+}
+
+TEST(RefreshDeferral, ActivationWindowPressureDefersRefpb) {
+  const dram::TimingTable table =
+      dram::MakeTimingTable(dram::TimingPreset::kDdr4_2400);
+  ASSERT_NE(table.t_faw, 0u);
+  dram::ConstraintEngine engine(table);
+  const dram::BankAddress addr = dram::DecomposeBank(table.topology, 0);
+  dram::Bank bank(1, table.core);
+  bank.SetConstraintEngine(&engine, addr);
+
+  // Four demand ACTs saturate the rank's tFAW window.
+  for (int i = 0; i < 4; ++i) {
+    const Cycles at = 100 + static_cast<Cycles>(i) * table.t_rrd_l;
+    engine.RecordActivate(addr, engine.EarliestActivate(addr, at));
+  }
+  const Cycles pressured = 100 + 3 * table.t_rrd_l + 1;
+  ASSERT_GT(engine.PeekActivate(addr, pressured), pressured);
+
+  dram::DarpPolicy policy(1, 100'000, 50, 50'000);  // row 0 due at cycle 0
+  dram::RefreshGrantContext ctx;
+  ctx.now = pressured;
+  ctx.demand.now = pressured;
+  ctx.bank = &bank;
+  ctx.engine = &engine;
+  ctx.addr = addr;
+
+  // No demand queued, but the REFpb cannot issue inside the closed
+  // activation window: deferred.
+  dram::RefreshGrantStats stats;
+  EXPECT_TRUE(dram::GrantRefreshes(policy, ctx, &stats).empty());
+  EXPECT_EQ(stats.deferred, 1u);
+
+  // Once the window reopens the proposal is granted.
+  Cycles open = pressured;
+  while (engine.PeekActivate(addr, open) > open) {
+    open = engine.PeekActivate(addr, open);
+  }
+  ctx.now = open;
+  ctx.demand.now = open;
+  const auto ops = dram::GrantRefreshes(policy, ctx, &stats);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].granularity, dram::RefreshGranularity::kPerBank);
+}
+
+TEST(RefreshDeferral, SarpOverlapsDemandToOtherSubarrays) {
+  const dram::TimingParams timing;
+  dram::Bank bank(8, timing, dram::RowBufferPolicy::kOpenPage, 2);
+  ASSERT_EQ(bank.SubarrayOf(2), 0u);
+  ASSERT_EQ(bank.SubarrayOf(5), 1u);
+
+  const auto grant_with_demand = [&](dram::SarpPolicy& policy,
+                                     std::size_t demand_row) {
+    dram::RefreshGrantContext ctx;
+    ctx.now = 0;
+    ctx.demand.now = 0;
+    ctx.demand.has_next = true;
+    ctx.demand.next_arrival = 10;
+    ctx.demand.next_row = demand_row;
+    ctx.bank = &bank;
+    return dram::GrantRefreshes(policy, ctx);
+  };
+
+  // Row 0 (subarray 0) comes due at cycle 0.  Demand to subarray 1 does
+  // not collide: the refresh is granted and runs in parallel.
+  dram::SarpPolicy parallel(8, 1000, 50, 300);
+  const auto ops = grant_with_demand(parallel, 5);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].granularity, dram::RefreshGranularity::kSubarray);
+
+  // Same-subarray demand collides: deferred.
+  dram::SarpPolicy colliding(8, 1000, 50, 300);
+  EXPECT_TRUE(grant_with_demand(colliding, 2).empty());
+  EXPECT_EQ(colliding.outstanding(), 1u);
+}
+
+TEST(RefreshDeferral, VrlSkipSkipsRecentlyRestoredRows) {
+  dram::RowRefreshPlan plan;
+  plan.period_cycles = {1000, 1000};
+  plan.mprsf = {1, 1};
+  dram::VrlSkipPolicy policy(plan, 50, 20, 300);
+
+  // Row 0 comes due at 0 and is granted; row 1 is due at 500.
+  auto ops = GrantAll(policy, 0);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].row, 0u);
+
+  // An access fully restores row 1 at tick 0: its scheduled refresh at 500
+  // is stale and gets skipped, rescheduled one period after the restore.
+  policy.OnRowAccess(1);
+  EXPECT_TRUE(GrantAll(policy, 500).empty());
+  EXPECT_EQ(policy.skipped(), 1u);
+
+  // At the rescheduled point (restore 0 + period 1000) it refreshes, and
+  // the access reset its MPRSF counter so the op is a partial.
+  ops = GrantAll(policy, 1000);
+  ASSERT_EQ(ops.size(), 2u);  // row 0's re-arm lands at 1000 too
+  for (const auto& op : ops) {
+    if (op.row == 1) {
+      EXPECT_FALSE(op.is_full);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// REFpb execution and timing-table plumbing
+// ---------------------------------------------------------------------------
+
+TEST(RefreshGranularity, BankLevelRefreshBlocksEverySubarray) {
+  const dram::TimingParams timing;
+  dram::Bank bank(8, timing, dram::RowBufferPolicy::kOpenPage, 2);
+
+  dram::RefreshOp sub;
+  sub.row = 0;
+  sub.trfc = 50;
+  const Cycles sub_done = bank.ExecuteRefresh(sub, 0);
+  EXPECT_EQ(bank.SubarrayBusyUntil(0), sub_done);
+  EXPECT_EQ(bank.SubarrayBusyUntil(1), 0u);  // SALP: other subarray free
+
+  dram::RefreshOp refpb;
+  refpb.row = 0;
+  refpb.trfc = 50;
+  refpb.granularity = dram::RefreshGranularity::kPerBank;
+  const Cycles pb_done = bank.ExecuteRefresh(refpb, sub_done);
+  EXPECT_EQ(bank.SubarrayBusyUntil(0), pb_done);
+  EXPECT_EQ(bank.SubarrayBusyUntil(1), pb_done);
+}
+
+TEST(RefreshGranularity, TimingTableCarriesAndValidatesTrfcPb) {
+  const dram::TimingTable lpddr4 =
+      dram::MakeTimingTable(dram::TimingPreset::kLpddr4_3200);
+  EXPECT_NE(lpddr4.t_rfc_pb, 0u);
+  EXPECT_LE(lpddr4.t_rfc_pb, lpddr4.t_rfc);
+
+  dram::TimingTable bad = lpddr4;
+  bad.t_rfc_pb = bad.t_rfc + 1;
+  EXPECT_THROW(bad.Validate(), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Policy registry
+// ---------------------------------------------------------------------------
+
+TEST(PolicyRegistry, RoundTripsEveryEntryThroughPolicyKind) {
+  const auto& registry = dram::PolicyRegistry::Global();
+  ASSERT_EQ(registry.entries().size(), 7u);
+  for (const dram::PolicyInfo& info : registry.entries()) {
+    const core::PolicyKind kind = core::PolicyFromName(info.name);
+    EXPECT_EQ(core::PolicyName(kind), info.name);
+    EXPECT_FALSE(info.description.empty());
+  }
+}
+
+TEST(PolicyRegistry, CanonicalizesSpellings) {
+  const auto& registry = dram::PolicyRegistry::Global();
+  EXPECT_EQ(registry.Get("vrl_skip").name, "VRL-Skip");
+  EXPECT_EQ(registry.Get("VRLACCESS").name, "VRL-Access");
+  EXPECT_EQ(registry.Get("darp").name, "DARP");
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+}
+
+TEST(PolicyRegistry, UnknownNameListsEveryValidName) {
+  try {
+    dram::PolicyRegistry::Global().Get("bogus");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    for (const char* name :
+         {"JEDEC", "RAIDR", "VRL", "VRL-Access", "VRL-Skip", "DARP",
+          "SARP"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(PolicyRegistry, BuildsEveryEntryAndValidatesMissingInputs) {
+  dram::PolicyBuildContext ctx;
+  ctx.rows = 4;
+  ctx.base_window = 1000;
+  ctx.t_refi = 125;
+  ctx.trfc_full = 50;
+  ctx.trfc_partial = 20;
+  ctx.binned_plan.period_cycles = {1000, 2000, 1000, 2000};
+  ctx.vrl_plan.period_cycles = {1000, 2000, 1000, 2000};
+  ctx.vrl_plan.mprsf = {1, 2, 1, 2};
+
+  const auto& registry = dram::PolicyRegistry::Global();
+  for (const dram::PolicyInfo& info : registry.entries()) {
+    const auto policy = registry.Build(info.name, ctx);
+    ASSERT_NE(policy, nullptr) << info.name;
+    EXPECT_EQ(policy->Name(), info.name);
+    EXPECT_EQ(policy->rows(), 4u) << info.name;
+  }
+
+  dram::PolicyBuildContext empty;
+  EXPECT_THROW(registry.Build("JEDEC", empty), ConfigError);
+  EXPECT_THROW(registry.Build("VRL", empty), ConfigError);
+  EXPECT_THROW(registry.Build("DARP", empty), ConfigError);
+}
+
+TEST(PolicyRegistry, SchedulerEntriesRoundTrip) {
+  for (const dram::SchedulerInfo& info : dram::SchedulerEntries()) {
+    EXPECT_EQ(dram::SchedulerName(info.kind), info.name);
+    EXPECT_EQ(dram::SchedulerFromName(info.name), info.kind);
+  }
+  EXPECT_EQ(dram::SchedulerFromName("fr_fcfs"), dram::SchedulerKind::kFrFcfs);
+  try {
+    dram::SchedulerFromName("rr");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("FR-FCFS"), std::string::npos);
+  }
+}
+
+}  // namespace
