@@ -10,46 +10,78 @@
 // `--resume <journal>` journals each completed point so an interrupted
 // sweep picks up where it crashed, and `--workers N` isolates points in
 // supervised worker processes — either way the table is byte-identical to
-// an uninterrupted in-process run.
+// an uninterrupted in-process run.  `--serve` adds the fleet view
+// (docs/OBSERVABILITY.md): /fleet liveness, /runs point progress and
+// federated per-worker /metrics while the sweep executes.
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "bench/reporting.hpp"
 #include "common/parallel.hpp"
 #include "core/sweep.hpp"
 #include "runtime/resilient.hpp"
+#include "telemetry/recorder.hpp"
 
 int main(int argc, char** argv) {
   using namespace vrl;
 
-  const auto report_options = bench::ParseReportArgs(argc, argv);
+  bench::ReportOptions report_options;
+  std::unique_ptr<obs::MonitorPlane> plane;
+  try {
+    report_options = bench::ParseReportArgs(argc, argv);
+    plane = bench::MakeMonitorPlane(report_options, std::cout);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
   bench::Report report("design_space");
   report.AddMeta("workload", "facesim");
   report.AddMeta("windows", std::size_t{8});
   report.AddMeta("threads", DefaultThreadCount());
 
-  core::VrlConfig base;
-  base.banks = 2;
-  const auto results =
-      runtime::RunSweep(base, core::DefaultGrid(),
-                        trace::SuiteWorkload("facesim"), 8,
-                        bench::MakeRuntimeOptions(report_options));
+  try {
+    core::VrlConfig base;
+    base.banks = 2;
+    const auto grid = core::DefaultGrid();
 
-  TextTable& table = report.AddTable(
-      "sweep", {"point", "VRL", "VRL-Access", "area um^2", "% bank",
-                "mean MPRSF", "clamped"});
-  for (const auto& r : results) {
-    table.AddRow({r.point.Label(), Fmt(r.vrl_normalized, 3),
-                  Fmt(r.vrl_access_normalized, 3),
-                  Fmt(r.logic_area_um2, 0),
-                  FmtPercent(r.area_fraction, 2), Fmt(r.mean_mprsf, 2),
-                  std::to_string(r.clamped_rows)});
+    telemetry::Recorder runtime_recorder;  // runtime.* counters + lineage
+    runtime::RuntimeOptions runtime_options =
+        bench::MakeRuntimeOptions(report_options);
+    runtime_options.runtime_telemetry = &runtime_recorder;
+    bench::AttachFleetObservability(plane.get(), "sweep", grid.size(),
+                                    &runtime_recorder, &runtime_options);
+    const auto results =
+        runtime::RunSweep(base, grid, trace::SuiteWorkload("facesim"), 8,
+                          runtime_options);
+
+    TextTable& table = report.AddTable(
+        "sweep", {"point", "VRL", "VRL-Access", "area um^2", "% bank",
+                  "mean MPRSF", "clamped"});
+    for (const auto& r : results) {
+      table.AddRow({r.point.Label(), Fmt(r.vrl_normalized, 3),
+                    Fmt(r.vrl_access_normalized, 3),
+                    Fmt(r.logic_area_um2, 0),
+                    FmtPercent(r.area_fraction, 2), Fmt(r.mean_mprsf, 2),
+                    std::to_string(r.clamped_rows)});
+    }
+    report.AddMeta("point_key",
+                   "n=nbits, t=partial restore target, g=guardband, "
+                   "s=subarrays.  Overheads normalized to RAIDR at the same "
+                   "guardband");
+    report.Emit(report_options, std::cout);
+
+    if (plane) {
+      // Final publish: how the sweep actually executed (resumes, retries,
+      // degradations), so a last /metrics scrape documents the run.
+      telemetry::Recorder view;
+      view.metrics().Absorb(runtime_recorder.Snapshot());
+      plane->Sample(view);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
   }
-  report.AddMeta("point_key",
-                 "n=nbits, t=partial restore target, g=guardband, "
-                 "s=subarrays.  Overheads normalized to RAIDR at the same "
-                 "guardband");
-  report.Emit(report_options, std::cout);
-  return 0;
 }

@@ -107,6 +107,26 @@ std::unique_ptr<obs::MonitorPlane> MakeMonitorPlane(
 /// (docs/RESILIENCE.md).  The caller wires runtime_telemetry/on_leg itself.
 runtime::RuntimeOptions MakeRuntimeOptions(const ReportOptions& options);
 
+/// Wires fleet observability (docs/OBSERVABILITY.md) into runtime options
+/// headed for RunJournaledLegs.  No-op unless `plane` has a live server.
+/// Installs:
+///   * an on_leg wrapper (composing with any already set) publishing the
+///     journaled-leg committed/resumed breakdown to /runs;
+/// and, when the options ask for supervised workers:
+///   * on_worker_frame — absorbs each worker 'S' frame into a
+///     FederatedRegistry and publishes it (labeled /metrics section);
+///   * on_fleet — publishes pool status to /fleet and drives
+///     plane->Sample() with an aggregate view (federation fold + the
+///     runtime's own counters + `fleet.*` liveness gauges), which is what
+///     the watchdog's max_worker_stale_s rule evaluates.
+/// The federation state lives inside the installed callbacks; it stays
+/// alive as long as the options (or copies of them) do.
+void AttachFleetObservability(obs::MonitorPlane* plane,
+                              const std::string& campaign,
+                              std::size_t legs_total,
+                              telemetry::Recorder* runtime_telemetry,
+                              runtime::RuntimeOptions* runtime_options);
+
 /// A named report: ordered metadata plus ordered named tables.
 class Report {
  public:

@@ -192,7 +192,6 @@ int main(int argc, char** argv) {
       core::FaultCampaignOptions options;
       options.windows = windows;
       options.adaptive = legs[leg].adaptive;
-      options.heartbeat = runtime::WorkerHeartbeat;
       // The adaptive leg uses the process recorder (trace/profile export
       // reads it afterwards) unless it runs in a worker child, whose
       // address space is its own; other legs get a local recorder so the
@@ -204,18 +203,40 @@ int main(int argc, char** argv) {
           legs[leg].adaptive && !runtime::InWorkerChild() ? &recorder
                                                           : &local;
       options.telemetry = leg_recorder;
-      if (plane && legs[leg].adaptive && !runtime::InWorkerChild()) {
+      // Worker children stream their recorder over the supervision pipe as
+      // rate-limited 'S' frames (docs/OBSERVABILITY.md) alongside the
+      // liveness heartbeat; in the parent the hook degenerates to a no-op.
+      options.heartbeat = [leg_recorder] {
+        runtime::WorkerHeartbeat();
+        if (runtime::InWorkerChild()) {
+          runtime::WorkerPublishTelemetry(*leg_recorder);
+        }
+      };
+      if (plane && legs[leg].adaptive) {
         // Live observability: publish the recorder (and feed the watchdog)
         // after every completed refresh window, so `curl /metrics` during
         // the campaign sees current counters, not just the end-of-run
-        // snapshot.  The plane belongs to this process — worker children
-        // must never touch it.
+        // snapshot.  The hook also advances the campaign.progress_cycles
+        // gauge, which is part of the leg's recorded telemetry under
+        // --serve (docs/RESILIENCE.md) — so it must fire in a worker child
+        // too, or a served worker run's report drifts from the served
+        // in-process one.  Only the parent may touch the plane; the child
+        // pushes a fresh 'S' frame instead.
         options.on_window = [&plane, leg_recorder](std::size_t, Cycles) {
-          plane->Sample(*leg_recorder);
+          if (runtime::InWorkerChild()) {
+            runtime::WorkerPublishTelemetry(*leg_recorder);
+          } else {
+            plane->Sample(*leg_recorder);
+          }
         };
       }
       const fault::CampaignReport leg_report =
           system.RunFaultCampaign(legs[leg].kind, faults, options);
+      if (runtime::InWorkerChild()) {
+        // Flush the final delta so the fleet aggregate converges on the
+        // leg's true totals even when the rate limiter just fired.
+        runtime::WorkerPublishTelemetry(*leg_recorder, /*force=*/true);
+      }
       std::ostringstream os;
       runtime::EncodeCampaignReport(os, leg_report);
       runtime::EncodeSnapshot(os, leg_recorder->Snapshot());
@@ -248,6 +269,9 @@ int main(int argc, char** argv) {
     runtime::RuntimeOptions runtime_options =
         bench::MakeRuntimeOptions(report_options);
     runtime_options.runtime_telemetry = &runtime_recorder;
+    bench::AttachFleetObservability(plane.get(), "fault_campaign",
+                                    std::size(legs), &runtime_recorder,
+                                    &runtime_options);
     runtime::RunnerStats stats;
     const auto payloads =
         runtime::RunJournaledLegs("fault_campaign", config_digest,

@@ -13,12 +13,24 @@ The structural mirror of scripts/check_trace.py for the monitoring plane
     (counters end in ``_total``; histograms expose only
     ``_bucket``/``_sum``/``_count`` series);
   * histogram buckets are cumulative: counts never decrease as ``le``
-    grows, an ``le="+Inf"`` bucket exists, and it equals ``_count``;
-  * no duplicate sample (same name + labels) within one scrape.
+    grows, an ``le="+Inf"`` bucket exists, and it equals ``_count`` —
+    validated per non-``le`` label set, so each federated
+    ``{worker,leg}`` member histogram stands on its own;
+  * no duplicate sample (same name + labels) within one scrape;
+  * fleet-federation label syntax: any sample carrying a ``worker`` label
+    must pair it with a ``leg`` label, ``worker`` values are decimal slot
+    ordinals and ``leg`` values match ``leg<N>`` (docs/OBSERVABILITY.md).
 
 With two or more files (oldest first), counters must additionally be
 monotone non-decreasing across scrapes — the live-publishing contract:
-a later scrape of the same run can never lose counted events.
+a later scrape of the same run can never lose counted events.  Labels are
+part of the sample identity, so this covers per-worker federated counters
+too: each ``{worker=...,leg=...}`` series must grow independently and may
+never vanish between scrapes (the federation registry is cumulative).
+
+``--federated`` additionally requires at least one worker-labeled sample
+per scrape — scraping a supervised campaign's /metrics must actually show
+the fleet, not silently degrade to the unlabeled aggregate.
 
 Exit code 0 when every file (and the cross-scrape check) passes, 1 with a
 diagnostic otherwise.
@@ -39,6 +51,8 @@ TYPE_RE = re.compile(
     r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$"
 )
 HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+WORKER_RE = re.compile(r"^[0-9]+$")
+LEG_RE = re.compile(r"^leg[0-9]+$")
 
 
 def fail(message):
@@ -118,6 +132,24 @@ def parse_exposition(path):
                     f"{where}: histogram {family} exposes a bare sample "
                     f"(expected {family}_bucket/_sum/_count)"
                 )
+            label_map = dict(labels)
+            if "worker" in label_map or "leg" in label_map:
+                worker = label_map.get("worker")
+                leg = label_map.get("leg")
+                if worker is None or leg is None:
+                    return fail(
+                        f"{where}: federated sample {name} must carry both "
+                        f"worker and leg labels, got {label_map}"
+                    )
+                if WORKER_RE.match(worker) is None:
+                    return fail(
+                        f"{where}: worker label {worker!r} is not a decimal "
+                        f"slot ordinal"
+                    )
+                if LEG_RE.match(leg) is None:
+                    return fail(
+                        f"{where}: leg label {leg!r} does not match leg<N>"
+                    )
             if (name, labels) in samples:
                 return fail(f"{where}: duplicate sample {name}{dict(labels)}")
             samples[(name, labels)] = value
@@ -127,48 +159,59 @@ def parse_exposition(path):
 
 
 def check_histograms(path, types, samples):
+    # Labeled histograms (the federated per-{worker,leg} series) are
+    # independent series sharing one family: group by the non-le label set
+    # so each member's buckets are validated on their own.
     ok = True
     for family, declared in types.items():
         if declared != "histogram":
             continue
-        buckets = []  # (le, value)
-        count = None
-        has_sum = False
+        series = {}  # non-le labels -> {"buckets": [...], "count", "sum"}
         for (name, labels), value in samples.items():
+            if name not in (f"{family}_bucket", f"{family}_count", f"{family}_sum"):
+                continue
+            others = tuple(pair for pair in labels if pair[0] != "le")
+            entry = series.setdefault(
+                others, {"buckets": [], "count": None, "sum": False}
+            )
             if name == f"{family}_bucket":
                 le = dict(labels).get("le")
                 if le is None:
                     fail(f"{path}: {name} sample without an le label")
                     ok = False
                     continue
-                buckets.append((float("inf") if le == "+Inf" else float(le), value))
-            elif name == f"{family}_count" and not labels:
-                count = value
-            elif name == f"{family}_sum" and not labels:
-                has_sum = True
-        buckets.sort()
-        if not buckets or buckets[-1][0] != float("inf"):
-            fail(f"{path}: histogram {family} has no le=\"+Inf\" bucket")
-            ok = False
-            continue
-        previous = -1.0
-        for le, value in buckets:
-            if value < previous:
+                entry["buckets"].append(
+                    (float("inf") if le == "+Inf" else float(le), value)
+                )
+            elif name == f"{family}_count":
+                entry["count"] = value
+            else:
+                entry["sum"] = True
+        for others, entry in series.items():
+            buckets = sorted(entry["buckets"])
+            tag = f"{family}{dict(others)}" if others else family
+            if not buckets or buckets[-1][0] != float("inf"):
+                fail(f"{path}: histogram {tag} has no le=\"+Inf\" bucket")
+                ok = False
+                continue
+            previous = -1.0
+            for le, value in buckets:
+                if value < previous:
+                    fail(
+                        f"{path}: histogram {tag} is not cumulative at "
+                        f'le="{le:g}": {value:g} < {previous:g}'
+                    )
+                    ok = False
+                previous = value
+            if entry["count"] is None or not entry["sum"]:
+                fail(f"{path}: histogram {tag} is missing _count or _sum")
+                ok = False
+            elif buckets[-1][1] != entry["count"]:
                 fail(
-                    f"{path}: histogram {family} is not cumulative at "
-                    f'le="{le:g}": {value:g} < {previous:g}'
+                    f"{path}: histogram {tag} le=\"+Inf\" bucket "
+                    f"{buckets[-1][1]:g} != _count {entry['count']:g}"
                 )
                 ok = False
-            previous = value
-        if count is None or not has_sum:
-            fail(f"{path}: histogram {family} is missing _count or _sum")
-            ok = False
-        elif buckets[-1][1] != count:
-            fail(
-                f"{path}: histogram {family} le=\"+Inf\" bucket "
-                f"{buckets[-1][1]:g} != _count {count:g}"
-            )
-            ok = False
     return ok
 
 
@@ -207,6 +250,12 @@ def main():
         metavar="SCRAPE",
         help="exposition file(s); with several, oldest first",
     )
+    parser.add_argument(
+        "--federated",
+        action="store_true",
+        help="require worker/leg-labeled samples in every scrape (a "
+        "supervised campaign's federated /metrics)",
+    )
     args = parser.parse_args()
 
     parsed = []
@@ -216,6 +265,22 @@ def main():
             return 1
         if not check_histograms(path, *result):
             return 1
+        if args.federated:
+            _, samples = result
+            workers = sorted(
+                {
+                    dict(labels)["worker"]
+                    for (_, labels) in samples
+                    if "worker" in dict(labels)
+                }
+            )
+            if not workers:
+                fail(f"{path}: --federated but no worker-labeled samples")
+                return 1
+            print(
+                f"check_metrics: {path}: federated series from "
+                f"worker(s) {', '.join(workers)}"
+            )
         parsed.append(result)
 
     for (earlier_path, earlier), (later_path, later) in zip(

@@ -20,10 +20,18 @@
 /// poll()-driven background thread, GET-only:
 ///
 ///   GET /metrics       Prometheus text exposition of the last published
-///                      snapshot plus exact drop/meta counters.
+///                      snapshot plus exact drop/meta counters; when a
+///                      federation is published, also every worker's series
+///                      with {worker,leg} labels (RenderPrometheusFederated)
+///                      and fleet liveness gauges.
 ///   GET /healthz       watchdog health ("ok"/"degraded" 200, "failing" 503).
 ///   GET /readyz        200 after the first publish, 503 before.
-///   GET /runs          JSON progress of ParallelFor fan-outs.
+///   GET /fleet         JSON per-worker liveness of a supervised pool:
+///                      heartbeat age, current leg/attempt, retry and
+///                      degradation state, exact frame-drop accounting.
+///   GET /runs          JSON progress of ParallelFor fan-outs, plus the
+///                      journaled-leg committed/running/pending breakdown
+///                      when a supervised or resumed campaign publishes it.
 ///   GET /trace?last=N  JSONL tail of the refresh-lineage ring.
 ///
 /// Thread safety follows a publish/scrape split: the *driver* thread owns
@@ -48,9 +56,28 @@ struct MonitorServerOptions {
   PrometheusOptions prometheus;
   /// /trace tail length when the request has no ?last=N.
   std::size_t trace_tail_default = 100;
+  /// A /fleet worker whose heartbeat age exceeds this is flagged "stale"
+  /// (the same threshold the SLO watchdog's max_worker_stale_s rule should
+  /// use to keep the two views consistent).
+  double fleet_stale_after_s = 2.0;
+  /// Log "monitor: serving on http://<addr>:<port>" to stderr once bound —
+  /// how a caller of port 0 learns the kernel's pick without plumbing.
+  bool announce = false;
   /// Monotonic seconds source for the publish-age gauge; defaults to
   /// steady_clock seconds since construction.  Injectable for tests.
   std::function<double()> clock;
+};
+
+/// Journaled-leg progress of the campaign driving this server — what /runs
+/// reports alongside fan-outs while a supervised or resumed run executes.
+struct LegProgress {
+  std::string campaign;       ///< Journal campaign name.
+  std::size_t total = 0;
+  std::size_t committed = 0;  ///< Journaled (including resumed).
+  std::size_t running = 0;    ///< In worker children right now.
+  std::size_t pending = 0;    ///< Queued, including retry backoff.
+  std::size_t staged = 0;     ///< Done, awaiting their commit turn.
+  std::size_t resumed = 0;    ///< Restored from the journal at startup.
 };
 
 class MonitorServer {
@@ -79,6 +106,17 @@ class MonitorServer {
   /// Publishes the watchdog verdict shown by /healthz.
   void SetHealth(HealthState state, std::string_view reason);
 
+  /// Publishes the supervised pool's status (from RunSupervised's on_fleet
+  /// callback) — the /fleet feed.  Driver-thread only.
+  void PublishFleet(const telemetry::FleetStatus& status);
+
+  /// Publishes an immutable copy of the federated per-worker registry —
+  /// the labeled section of /metrics.  Driver-thread only.
+  void PublishFederation(const telemetry::FederatedRegistry& registry);
+
+  /// Publishes journaled-leg progress for /runs.  Driver-thread only.
+  void PublishLegProgress(const LegProgress& progress);
+
   /// Builds the full HTTP response for GET `target` (path + optional query)
   /// — the socket loop's brain, exposed so tests can drive deterministic
   /// scrape/publish interleaves without a client socket.
@@ -92,6 +130,8 @@ class MonitorServer {
   void ServeLoop();
   std::string RenderMetrics();
   std::string RenderHealth(int* status) const;
+  std::string RenderFleet() const;
+  std::string RenderRuns() const;
   std::string RenderTraceTail(std::string_view query) const;
   static std::string BuildResponse(int status, std::string_view content_type,
                                    std::string_view body);
@@ -121,6 +161,15 @@ class MonitorServer {
   double last_publish_s_ = 0.0;
   std::uint64_t scrapes_metrics_ = 0;
   std::uint64_t scrapes_other_ = 0;
+
+  // Fleet federation state (all copies, published from the driver thread).
+  telemetry::FleetStatus fleet_;
+  bool fleet_published_ = false;
+  double fleet_publish_s_ = 0.0;  ///< Heartbeat ages stale-correct by this.
+  telemetry::FederatedRegistry federation_;
+  bool federation_published_ = false;
+  LegProgress legs_;
+  bool legs_published_ = false;
 };
 
 }  // namespace vrl::obs

@@ -27,6 +27,64 @@ double MetricNumber(const telemetry::MetricsSnapshot& snapshot,
   return value.value;
 }
 
+/// Rules-file field table — one row per WatchdogRules field, so the parser,
+/// the spelling-tolerant lookup and the unknown-key error all stay in sync.
+struct RuleField {
+  std::string_view name;
+  void (*apply)(WatchdogRules&, double);
+};
+
+constexpr RuleField kRuleFields[] = {
+    {"max_sensing_failure_rate",
+     [](WatchdogRules& r, double v) { r.max_sensing_failure_rate = v; }},
+    {"max_refresh_overhead",
+     [](WatchdogRules& r, double v) { r.max_refresh_overhead = v; }},
+    {"min_partial_full_ratio",
+     [](WatchdogRules& r, double v) { r.min_partial_full_ratio = v; }},
+    {"max_staleness_s",
+     [](WatchdogRules& r, double v) { r.max_staleness_s = v; }},
+    {"max_worker_stale_s",
+     [](WatchdogRules& r, double v) { r.max_worker_stale_s = v; }},
+    {"breach_samples",
+     [](WatchdogRules& r, double v) {
+       r.breach_samples = static_cast<std::size_t>(v);
+     }},
+    {"fail_samples",
+     [](WatchdogRules& r, double v) {
+       r.fail_samples = static_cast<std::size_t>(v);
+     }},
+    {"clear_samples",
+     [](WatchdogRules& r, double v) {
+       r.clear_samples = static_cast<std::size_t>(v);
+     }},
+};
+
+/// Case- and separator-insensitive key form, mirroring
+/// dram::PolicyRegistry's CanonicalPolicyToken so config UX matches.
+std::string CanonicalRuleToken(std::string_view name) {
+  std::string token;
+  token.reserve(name.size());
+  for (const char c : name) {
+    if (c == '-' || c == '_') {
+      continue;
+    }
+    token.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return token;
+}
+
+std::string RuleFieldNames() {
+  std::string names;
+  for (const RuleField& field : kRuleFields) {
+    if (!names.empty()) {
+      names += ", ";
+    }
+    names += field.name;
+  }
+  return names;
+}
+
 }  // namespace
 
 std::string_view HealthStateName(HealthState state) {
@@ -95,23 +153,19 @@ WatchdogRules ParseWatchdogRules(std::string_view json) {
       }
       pos += static_cast<std::size_t>(end - number_text.c_str());
 
-      if (key == "max_sensing_failure_rate") {
-        rules.max_sensing_failure_rate = value;
-      } else if (key == "max_refresh_overhead") {
-        rules.max_refresh_overhead = value;
-      } else if (key == "min_partial_full_ratio") {
-        rules.min_partial_full_ratio = value;
-      } else if (key == "max_staleness_s") {
-        rules.max_staleness_s = value;
-      } else if (key == "breach_samples") {
-        rules.breach_samples = static_cast<std::size_t>(value);
-      } else if (key == "fail_samples") {
-        rules.fail_samples = static_cast<std::size_t>(value);
-      } else if (key == "clear_samples") {
-        rules.clear_samples = static_cast<std::size_t>(value);
-      } else {
-        throw ConfigError("ParseWatchdogRules: unknown rule '" + key + "'");
+      const std::string token = CanonicalRuleToken(key);
+      const RuleField* match = nullptr;
+      for (const RuleField& field : kRuleFields) {
+        if (CanonicalRuleToken(field.name) == token) {
+          match = &field;
+          break;
+        }
       }
+      if (match == nullptr) {
+        throw ConfigError("ParseWatchdogRules: unknown rule '" + key +
+                          "' (expected one of: " + RuleFieldNames() + ")");
+      }
+      match->apply(rules, value);
 
       skip_ws();
       if (pos < json.size() && json[pos] == ',') {
@@ -206,6 +260,15 @@ HealthState SloWatchdog::Sample(const telemetry::MetricsSnapshot& snapshot,
       if (staleness > rules_.max_staleness_s) {
         breach("staleness_s", staleness);
       }
+    }
+  }
+  // Current-value rule (not a delta): the fleet glue publishes the stalest
+  // worker's heartbeat age as a gauge, so this works from the first sample.
+  if (rules_.max_worker_stale_s >= 0.0) {
+    const double worker_age =
+        MetricNumber(snapshot, "fleet.max_heartbeat_age_s");
+    if (worker_age > rules_.max_worker_stale_s) {
+      breach("worker_stale_s", worker_age);
     }
   }
   prev_detected_ = detected;

@@ -193,8 +193,10 @@ void EncodeSnapshot(std::ostream& os,
            << '\n';
         break;
       case telemetry::MetricKind::kGauge:
-        os << "metric " << EscapeToken(name) << " gauge "
-           << EncodeDouble(metric.value) << '\n';
+        // count is the written flag: Absorb() ignores never-written gauges,
+        // so dropping it would silently discard a worker leg's gauges.
+        os << "metric " << EscapeToken(name) << " gauge " << metric.count
+           << ' ' << EncodeDouble(metric.value) << '\n';
         break;
       case telemetry::MetricKind::kHistogram: {
         os << "metric " << EscapeToken(name) << " histogram " << metric.count
@@ -228,6 +230,7 @@ telemetry::MetricsSnapshot DecodeSnapshot(LineCursor& cursor) {
       value.count = ReadU64(is, "counter value", line);
     } else if (kind == "gauge") {
       value.kind = telemetry::MetricKind::kGauge;
+      value.count = ReadU64(is, "gauge written flag", line);
       value.value = ReadDouble(is, "gauge value", line);
     } else if (kind == "histogram") {
       value.kind = telemetry::MetricKind::kHistogram;
@@ -254,6 +257,63 @@ telemetry::MetricsSnapshot DecodeSnapshot(LineCursor& cursor) {
     Malformed("snapshot terminator", terminator);
   }
   return snapshot;
+}
+
+void EncodeWorkerFrame(std::ostream& os,
+                       const telemetry::WorkerFrame& frame) {
+  os << "worker " << frame.leg << ' ' << frame.attempt << ' ' << frame.seq
+     << ' ' << frame.frames_dropped << ' ' << frame.events_recorded << ' '
+     << frame.events_dropped << ' ' << frame.events.size() << '\n';
+  EncodeSnapshot(os, frame.delta);
+  // Event kinds travel as ordinals: the frame is an in-flight message
+  // between a fork()ed child and its own parent binary, never persisted, so
+  // the enum layout is shared by construction.
+  for (const telemetry::TraceEvent& event : frame.events) {
+    os << "wevent " << static_cast<unsigned>(event.kind) << ' ' << event.cycle
+       << ' ' << event.row << ' ' << event.a << ' '
+       << EncodeDouble(event.value) << '\n';
+  }
+  os << "end_worker\n";
+}
+
+telemetry::WorkerFrame DecodeWorkerFrame(LineCursor& cursor) {
+  telemetry::WorkerFrame frame;
+  const std::string& header = cursor.Next();
+  std::istringstream is = OpenRecord(header, "worker");
+  frame.leg = ReadSize(is, "worker leg", header);
+  frame.attempt = ReadSize(is, "worker attempt", header);
+  frame.seq = ReadU64(is, "worker seq", header);
+  frame.frames_dropped = ReadU64(is, "worker frames_dropped", header);
+  frame.events_recorded = ReadU64(is, "worker events_recorded", header);
+  frame.events_dropped = ReadU64(is, "worker events_dropped", header);
+  const std::size_t events = ReadSize(is, "worker event count", header);
+  frame.delta = DecodeSnapshot(cursor);
+  frame.events.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    const std::string& line = cursor.Next();
+    std::istringstream event_is = OpenRecord(line, "wevent");
+    telemetry::TraceEvent event;
+    const std::uint64_t kind = ReadU64(event_is, "wevent kind", line);
+    if (kind > static_cast<std::uint64_t>(
+                   telemetry::EventKind::kWorkerDegraded)) {
+      Malformed("wevent kind", line);
+    }
+    event.kind = static_cast<telemetry::EventKind>(kind);
+    event.cycle = ReadU64(event_is, "wevent cycle", line);
+    event.row = ReadU64(event_is, "wevent row", line);
+    long long a = 0;
+    if (!(event_is >> a)) {
+      Malformed("wevent payload", line);
+    }
+    event.a = static_cast<std::int64_t>(a);
+    event.value = ReadDouble(event_is, "wevent value", line);
+    frame.events.push_back(event);
+  }
+  const std::string& terminator = cursor.Next();
+  if (terminator != "end_worker") {
+    Malformed("worker frame terminator", terminator);
+  }
+  return frame;
 }
 
 void EncodeCampaignReport(std::ostream& os,

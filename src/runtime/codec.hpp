@@ -8,6 +8,7 @@
 #include "core/experiments.hpp"
 #include "core/sweep.hpp"
 #include "fault/campaign.hpp"
+#include "telemetry/federation.hpp"
 #include "telemetry/metrics.hpp"
 
 /// \file codec.hpp
@@ -69,6 +70,14 @@ class LineCursor {
 void EncodeSnapshot(std::ostream& os,
                     const telemetry::MetricsSnapshot& snapshot);
 telemetry::MetricsSnapshot DecodeSnapshot(LineCursor& cursor);
+
+/// One worker telemetry frame — the payload of a supervisor 'S' frame
+/// (docs/OBSERVABILITY.md): a "worker ..." header line, the timer-free
+/// metrics delta as a snapshot section, one "wevent ..." line per carried
+/// lineage event, and an "end_worker" terminator.
+void EncodeWorkerFrame(std::ostream& os,
+                       const telemetry::WorkerFrame& frame);
+telemetry::WorkerFrame DecodeWorkerFrame(LineCursor& cursor);
 
 /// Fault-campaign report including the failure-event log and the adaptive
 /// state-machine counters.

@@ -180,6 +180,9 @@ std::vector<std::string> RunJournaledLegs(
     pool.backoff_base_s = options.backoff_base_s;
     pool.backoff_cap_s = options.backoff_cap_s;
     pool.degrade_after = options.degrade_after;
+    pool.on_frame = options.on_worker_frame;
+    pool.on_fleet = options.on_fleet;
+    pool.fleet_interval_s = options.fleet_interval_s;
     RunSupervised(begin, legs, leg_fn, commit, pool, on_event);
     return payloads;
   }

@@ -62,6 +62,14 @@ struct RuntimeOptions {
 
   /// Progress callback: on_leg(done, total) after every commit.
   std::function<void(std::size_t, std::size_t)> on_leg;
+
+  /// Fleet observability taps, forwarded verbatim to WorkerPoolOptions when
+  /// `workers > 0` (silently unused otherwise — the in-process path has no
+  /// fleet).  Both run on the calling thread; see runtime/supervisor.hpp.
+  std::function<void(std::size_t, const telemetry::WorkerFrame&)>
+      on_worker_frame;
+  std::function<void(const telemetry::FleetStatus&)> on_fleet;
+  double fleet_interval_s = 0.25;  ///< on_fleet cadence (seconds).
 };
 
 /// What the runner did — mirrored into runtime_telemetry when set.

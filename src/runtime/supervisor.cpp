@@ -15,10 +15,13 @@
 #include <cstring>
 #include <deque>
 #include <map>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "runtime/codec.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace vrl::runtime {
 namespace {
@@ -33,6 +36,39 @@ std::uint64_t g_heartbeat_calls = 0;
 /// Heartbeats per pipe write: campaign ticks arrive thousands per second,
 /// one byte per tick would be pure overhead.
 constexpr std::uint64_t kHeartbeatStride = 256;
+
+/// Per-attempt telemetry publish state (child only, or test seam).  The
+/// delta baseline advances only on *delivered* frames, which is what makes
+/// drop accounting exact: a dropped frame's updates stay in the baseline
+/// diff until a frame gets through.
+std::size_t g_worker_leg = 0;
+std::size_t g_worker_attempt = 1;
+std::uint64_t g_frames_sent = 0;
+std::uint64_t g_frames_dropped = 0;
+std::uint64_t g_last_events_recorded = 0;
+telemetry::MetricsSnapshot g_last_sent;
+Clock::time_point g_last_publish;
+
+/// Lineage events one frame carries at most — bounds frame size after an
+/// event burst; older events are summarised by `events_recorded`.
+constexpr std::uint64_t kMaxFrameEvents = 64;
+
+Clock::duration PublishInterval() {
+  static const Clock::duration interval = [] {
+    double ms = 50.0;
+    if (const char* env = std::getenv("VRL_WORKER_PUBLISH_MS");
+        env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const double parsed = std::strtod(env, &end);
+      if (end != env && parsed >= 0.0) {
+        ms = parsed;
+      }
+    }
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+  }();
+  return interval;
+}
 
 double BackoffSeconds(const WorkerPoolOptions& options, std::size_t attempt) {
   double delay = options.backoff_base_s;
@@ -58,9 +94,11 @@ void WriteFully(int fd, const char* data, std::size_t size) {
 
 /// Child side: run the leg, write one result frame, exit without running
 /// static destructors (the parent's state is not ours to unwind).
-[[noreturn]] void RunChild(int write_fd, std::size_t leg,
+[[noreturn]] void RunChild(int write_fd, std::size_t leg, std::size_t attempt,
                            const std::function<std::string(std::size_t)>& fn) {
   g_worker_fd = write_fd;
+  g_worker_leg = leg;
+  g_worker_attempt = attempt;
   ::signal(SIGPIPE, SIG_IGN);  // A dead parent must not kill us mid-write.
 
   // Chaos hook (docs/RESILIENCE.md): make every worker attempt crash or
@@ -88,14 +126,8 @@ void WriteFully(int fd, const char* data, std::size_t size) {
     tag = 'E';
     body = "unknown exception";
   }
-  char header[9];
-  header[0] = tag;
-  const std::uint64_t length = body.size();
-  for (std::size_t i = 0; i < 8; ++i) {
-    header[1 + i] = static_cast<char>((length >> (8 * i)) & 0xFF);
-  }
-  WriteFully(write_fd, header, sizeof header);
-  WriteFully(write_fd, body.data(), body.size());
+  const std::string frame = FrameMessage(tag, body);
+  WriteFully(write_fd, frame.data(), frame.size());
   ::_exit(0);
 }
 
@@ -143,8 +175,12 @@ struct Child {
   int fd = -1;
   std::size_t leg = 0;
   std::size_t attempt = 1;
+  std::size_t slot = 0;  ///< Stable worker label (lowest free at spawn).
   std::string buffer;
   Clock::time_point deadline;
+  Clock::time_point last_activity;   ///< Last pipe byte (fleet liveness).
+  std::uint64_t frames = 0;          ///< 'S' frames received this attempt.
+  std::uint64_t frames_dropped = 0;  ///< Child's latest cumulative count.
 };
 
 struct PendingLeg {
@@ -176,6 +212,113 @@ void WorkerHeartbeat() {
   (void)rc;  // A full pipe or dead parent shows up at the result write.
 }
 
+std::string FrameMessage(char tag, std::string_view payload) {
+  std::string frame;
+  frame.reserve(9 + payload.size());
+  frame.push_back(tag);
+  const std::uint64_t length = payload.size();
+  for (std::size_t i = 0; i < 8; ++i) {
+    frame.push_back(static_cast<char>((length >> (8 * i)) & 0xFF));
+  }
+  frame.append(payload);
+  return frame;
+}
+
+bool TryWriteFrame(int fd, std::string_view frame) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags >= 0 && (flags & O_NONBLOCK) == 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  bool delivered = true;
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd, frame.data() + written, frame.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (written == 0) {
+        delivered = false;  // Nothing escaped: drop the frame whole.
+        break;
+      }
+      // Mid-frame: finish blocking so the stream stays framed — a torn
+      // frame would desynchronise every frame after it.
+      if (flags >= 0) {
+        ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+      }
+      WriteFully(fd, frame.data() + written, frame.size() - written);
+      written = frame.size();
+      break;
+    }
+    delivered = false;  // Dead reader; the result write will classify it.
+    break;
+  }
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags);
+  }
+  return delivered;
+}
+
+void WorkerPublishTelemetry(const telemetry::Recorder& recorder, bool force) {
+  if (g_worker_fd < 0) {
+    return;
+  }
+  const auto now = Clock::now();
+  if (!force && g_last_publish != Clock::time_point{} &&
+      now - g_last_publish < PublishInterval()) {
+    return;
+  }
+  g_last_publish = now;
+
+  telemetry::WorkerFrame frame;
+  frame.leg = g_worker_leg;
+  frame.attempt = g_worker_attempt;
+  frame.seq = g_frames_sent + 1;
+  frame.frames_dropped = g_frames_dropped;
+  const telemetry::EventTrace& events = recorder.events();
+  frame.events_recorded = events.recorded();
+  frame.events_dropped = events.dropped();
+
+  telemetry::MetricsSnapshot current = recorder.Snapshot().WithoutTimers();
+  frame.delta = current.Diff(g_last_sent);
+
+  // Newest events not yet carried by a delivered frame, capped so one
+  // frame stays bounded after a burst.
+  std::uint64_t take = events.recorded() - g_last_events_recorded;
+  const std::vector<telemetry::TraceEvent> all = events.Events();
+  take = std::min<std::uint64_t>(take, all.size());
+  take = std::min(take, kMaxFrameEvents);
+  frame.events.assign(all.end() - static_cast<std::ptrdiff_t>(take),
+                      all.end());
+
+  std::ostringstream payload;
+  EncodeWorkerFrame(payload, frame);
+  if (!TryWriteFrame(g_worker_fd, FrameMessage('S', payload.str()))) {
+    ++g_frames_dropped;  // The accumulated delta rides the next frame.
+    return;
+  }
+  ++g_frames_sent;
+  g_last_sent = std::move(current);
+  g_last_events_recorded = events.recorded();
+}
+
+int SetWorkerPipeForTesting(int fd) {
+  const int previous = g_worker_fd;
+  g_worker_fd = fd;
+  g_heartbeat_calls = 0;
+  g_frames_sent = 0;
+  g_frames_dropped = 0;
+  g_last_events_recorded = 0;
+  g_last_sent = telemetry::MetricsSnapshot{};
+  g_last_publish = {};
+  return previous;
+}
+
 void RunSupervised(
     std::size_t begin, std::size_t end,
     const std::function<std::string(std::size_t)>& leg_fn,
@@ -187,15 +330,45 @@ void RunSupervised(
   }
   if (options.workers == 0 || options.leg_timeout_s <= 0.0 ||
       options.backoff_base_s <= 0.0 ||
-      options.backoff_cap_s < options.backoff_base_s) {
+      options.backoff_cap_s < options.backoff_base_s ||
+      options.fleet_interval_s <= 0.0) {
     throw ConfigError("RunSupervised: invalid worker-pool options");
   }
   const auto timeout =
       std::chrono::duration_cast<Clock::duration>(
           std::chrono::duration<double>(options.leg_timeout_s));
+  const auto fleet_interval =
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(options.fleet_interval_s));
+
+  // Fleet accounting (telemetry::FleetStatus): incident tallies, frames
+  // received from live pipes, and drops from children already gone.
+  std::uint64_t retries = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t frames_received_total = 0;
+  std::uint64_t frames_dropped_completed = 0;
+  Clock::time_point last_fleet;
 
   const auto emit = [&](WorkerEvent::Kind kind, std::size_t leg,
                         std::size_t attempt, std::string detail) {
+    switch (kind) {
+      case WorkerEvent::Kind::kCrash:
+        ++crashes;
+        break;
+      case WorkerEvent::Kind::kTimeout:
+        ++timeouts;
+        break;
+      case WorkerEvent::Kind::kError:
+        ++errors;
+        break;
+      case WorkerEvent::Kind::kRetry:
+        ++retries;
+        break;
+      default:
+        break;
+    }
     if (on_event) {
       on_event({kind, leg, attempt, std::move(detail)});
     }
@@ -242,6 +415,7 @@ void RunSupervised(
                "in-process");
       for (Child& child : children) {
         ReapChild(child);
+        frames_dropped_completed += child.frames_dropped;
         pending.push_back({child.leg, child.attempt, Clock::now()});
       }
       children.clear();
@@ -280,16 +454,121 @@ void RunSupervised(
     }
     if (pid == 0) {
       ::close(fds[0]);
-      RunChild(fds[1], leg, leg_fn);  // Never returns.
+      RunChild(fds[1], leg, attempt, leg_fn);  // Never returns.
     }
     ::close(fds[1]);
     ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
-    children.push_back({pid, fds[0], leg, attempt, std::string(),
-                        Clock::now() + timeout});
+    // Lowest free slot, so /fleet worker labels stay stable as children
+    // come and go.
+    std::size_t slot = 0;
+    for (std::size_t probe = 0; probe <= children.size(); ++probe) {
+      bool taken = false;
+      for (const Child& child : children) {
+        taken = taken || child.slot == probe;
+      }
+      if (!taken) {
+        slot = probe;
+        break;
+      }
+    }
+    Child child;
+    child.pid = pid;
+    child.fd = fds[0];
+    child.leg = leg;
+    child.attempt = attempt;
+    child.slot = slot;
+    child.deadline = Clock::now() + timeout;
+    child.last_activity = Clock::now();
+    children.push_back(std::move(child));
+  };
+
+  // Consumes the child's buffered heartbeats and every *complete* 'S'
+  // telemetry frame, leaving partial frames and the terminal result frame
+  // for ParseResultFrame.  Must run even with on_frame unset — an
+  // unconsumed 'S' frame would make the final result parse fail.
+  const auto drain_frames = [&](Child& child) {
+    std::size_t i = 0;
+    for (;;) {
+      while (i < child.buffer.size() && child.buffer[i] == 'H') {
+        ++i;
+      }
+      if (i >= child.buffer.size() || child.buffer[i] != 'S' ||
+          child.buffer.size() - i < 9) {
+        break;
+      }
+      std::uint64_t length = 0;
+      for (std::size_t b = 0; b < 8; ++b) {
+        length |= static_cast<std::uint64_t>(
+                      static_cast<unsigned char>(child.buffer[i + 1 + b]))
+                  << (8 * b);
+      }
+      if (child.buffer.size() - i - 9 < length) {
+        break;  // Frame still in flight.
+      }
+      ++child.frames;
+      ++frames_received_total;
+      try {
+        LineCursor cursor(std::string_view(child.buffer)
+                              .substr(i + 9, static_cast<std::size_t>(length)));
+        const telemetry::WorkerFrame frame = DecodeWorkerFrame(cursor);
+        child.frames_dropped = frame.frames_dropped;
+        if (options.on_frame) {
+          options.on_frame(child.slot, frame);
+        }
+      } catch (const ParseError&) {
+        // A frame that decodes badly means a corrupted stream; keep the
+        // framing and let the terminal result parse classify the child.
+      }
+      i += 9 + static_cast<std::size_t>(length);
+    }
+    if (i > 0) {
+      child.buffer.erase(0, i);
+    }
+  };
+
+  const auto emit_fleet = [&](Clock::time_point now) {
+    if (!options.on_fleet) {
+      return;
+    }
+    telemetry::FleetStatus status;
+    status.workers_configured = options.workers;
+    status.legs_total = end - begin;
+    status.legs_committed = next_commit - begin;
+    status.legs_running = children.size();
+    status.legs_pending = pending.size();
+    status.legs_staged = staged.size();
+    status.retries = retries;
+    status.crashes = crashes;
+    status.timeouts = timeouts;
+    status.errors = errors;
+    status.pool_degraded = pool_degraded;
+    status.frames_received = frames_received_total;
+    status.frames_dropped = frames_dropped_completed;
+    for (const Child& child : children) {
+      status.frames_dropped += child.frames_dropped;
+      status.active.push_back(
+          {child.slot, child.leg, child.attempt,
+           std::chrono::duration<double>(now - child.last_activity).count(),
+           child.frames});
+    }
+    std::sort(status.active.begin(), status.active.end(),
+              [](const telemetry::FleetWorkerStatus& a,
+                 const telemetry::FleetWorkerStatus& b) {
+                return a.worker < b.worker;
+              });
+    options.on_fleet(status);
   };
 
   try {
     while (next_commit < end) {
+      if (options.on_fleet) {
+        const auto fleet_now = Clock::now();
+        if (last_fleet == Clock::time_point{} ||
+            fleet_now - last_fleet >= fleet_interval) {
+          last_fleet = fleet_now;
+          emit_fleet(fleet_now);
+        }
+      }
       if (pool_degraded) {
         // Degraded: everything not yet staged runs on this thread, leg
         // order, no further supervision.
@@ -379,6 +658,7 @@ void RunSupervised(
             if (got > 0) {
               child.buffer.append(chunk, static_cast<std::size_t>(got));
               child.deadline = now + timeout;
+              child.last_activity = now;
               continue;
             }
             if (got == 0) {
@@ -389,11 +669,15 @@ void RunSupervised(
             break;  // EOF or would-block.
           }
         }
+        if (!child.buffer.empty()) {
+          drain_frames(child);
+        }
         if (closed) {
           int status = 0;
           while (::waitpid(child.pid, &status, 0) < 0 && errno == EINTR) {
           }
           ::close(child.fd);
+          frames_dropped_completed += child.frames_dropped;
           char tag = 0;
           std::string body;
           if (ParseResultFrame(child.buffer, &tag, &body)) {
@@ -411,6 +695,7 @@ void RunSupervised(
         }
         if (child.deadline <= now) {
           ReapChild(child);
+          frames_dropped_completed += child.frames_dropped;
           char text[64];
           std::snprintf(text, sizeof text, "no heartbeat for %.1fs",
                         options.leg_timeout_s);
@@ -433,6 +718,7 @@ void RunSupervised(
         }
       }
     }
+    emit_fleet(Clock::now());  // Final state: everything committed.
   } catch (...) {
     for (Child& child : children) {
       ReapChild(child);

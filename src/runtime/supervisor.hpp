@@ -3,6 +3,9 @@
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <string_view>
+
+#include "telemetry/federation.hpp"
 
 /// \file supervisor.hpp
 /// Supervised worker processes for campaign legs (docs/RESILIENCE.md).
@@ -16,6 +19,14 @@
 ///     (WorkerHeartbeat(), wired into the campaign tick loop); any pipe
 ///     activity refreshes the child's deadline, and a child silent for
 ///     `leg_timeout_s` is SIGKILLed and counted as a timeout;
+///   * telemetry — the child may interleave 'S' frames (a 64-bit
+///     little-endian length plus a runtime/codec.hpp worker-frame payload:
+///     a timer-free MetricsSnapshot delta and the newest lineage events;
+///     WorkerPublishTelemetry()).  The parent decodes complete frames as
+///     they arrive and hands them to `WorkerPoolOptions::on_frame` — the
+///     feed behind federated /metrics and /fleet (docs/OBSERVABILITY.md).
+///     A frame that would block on a full pipe is dropped whole and counted
+///     exactly; the next delivered frame carries the accumulated delta;
 ///   * results — the child's final frame is 'R' (success) or 'E' (leg
 ///     exception) followed by a 64-bit little-endian length and the
 ///     payload/message, then process exit;
@@ -41,6 +52,10 @@
 /// degradation paths (only children honour it; degraded in-process
 /// execution ignores it, which is exactly the graceful-degradation story).
 
+namespace vrl::telemetry {
+class Recorder;
+}  // namespace vrl::telemetry
+
 namespace vrl::runtime {
 
 /// True in a forked worker child (between fork and result write).
@@ -50,6 +65,32 @@ bool InWorkerChild();
 /// parent.  Called per campaign tick (fault::CampaignSetup::heartbeat).
 void WorkerHeartbeat();
 
+/// Publishes the recorder's current state as one 'S' telemetry frame: a
+/// timer-free metrics delta since the previous delivered frame plus the
+/// newest lineage events.  No-op in the parent; rate-limited in the child
+/// (VRL_WORKER_PUBLISH_MS, default 50 — `force` bypasses the limit for
+/// end-of-leg flushes).  Never blocks the leg: a frame that cannot start
+/// on a full pipe is dropped whole and counted, and the *next* delivered
+/// frame carries the accumulated delta plus the cumulative drop counter —
+/// a slow driver costs freshness, never counts (docs/OBSERVABILITY.md).
+void WorkerPublishTelemetry(const telemetry::Recorder& recorder,
+                            bool force = false);
+
+/// Wire-frames a payload: tag byte + 64-bit little-endian length + payload.
+std::string FrameMessage(char tag, std::string_view payload);
+
+/// Non-blocking frame write with whole-frame drop semantics: false when the
+/// pipe could not take the first byte (the frame was dropped).  A frame
+/// that started is always finished (blocking if needed) so the stream stays
+/// framed.  Exposed for the drop-accounting tests.
+bool TryWriteFrame(int fd, std::string_view frame);
+
+/// Test seam: routes WorkerHeartbeat/WorkerPublishTelemetry at `fd` as if
+/// this process were a worker child, resetting the per-attempt publish
+/// state (delta baseline, sequence and drop counters).  Pass -1 to restore
+/// parent behaviour.  Returns the previous fd.
+int SetWorkerPipeForTesting(int fd);
+
 struct WorkerPoolOptions {
   std::size_t workers = 1;        ///< Concurrent worker processes.
   double leg_timeout_s = 120.0;   ///< Silence before a child is killed.
@@ -58,6 +99,15 @@ struct WorkerPoolOptions {
   double backoff_cap_s = 2.0;     ///< Exponential backoff ceiling.
   std::size_t degrade_after = 3;  ///< Consecutive failures before the pool
                                   ///< degrades to in-process execution.
+
+  /// Decoded worker telemetry frames, delivered on the calling thread with
+  /// the stable worker-slot ordinal they arrived from.  Null = off.
+  std::function<void(std::size_t worker, const telemetry::WorkerFrame&)>
+      on_frame;
+  /// Rate-limited pool status (per `fleet_interval_s`, plus once at pool
+  /// completion), on the calling thread.  Null = off.
+  std::function<void(const telemetry::FleetStatus&)> on_fleet;
+  double fleet_interval_s = 0.25;  ///< on_fleet cadence (seconds).
 };
 
 /// One supervision incident, reported to the caller as it happens.

@@ -4,6 +4,7 @@
 // the headline guarantee — a crashed-and-resumed campaign produces results
 // byte-identical to an uninterrupted one.
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -15,6 +16,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -597,6 +599,201 @@ TEST(Workers, InvalidOptionsThrow) {
                    0, 1, DemoLeg, [](std::size_t, const std::string&) {}, bad,
                    nullptr),
                ConfigError);
+}
+
+// -- Fleet telemetry federation (docs/OBSERVABILITY.md) ----------------------
+
+/// Decodes the supervisor 'S' frame at the start of `data`, returning the
+/// frame and advancing `data` past it.
+telemetry::WorkerFrame DecodeSFrame(std::string_view& data) {
+  EXPECT_GE(data.size(), 9u);
+  EXPECT_EQ(data[0], 'S');
+  std::uint64_t length = 0;
+  for (int i = 0; i < 8; ++i) {
+    length |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(data[1 + static_cast<std::size_t>(
+                                                          i)]))
+              << (8 * i);
+  }
+  EXPECT_GE(data.size(), 9 + length);
+  const std::string payload(data.substr(9, length));
+  data.remove_prefix(9 + static_cast<std::size_t>(length));
+  runtime::LineCursor cursor(payload);
+  return runtime::DecodeWorkerFrame(cursor);
+}
+
+/// Drains everything currently readable from `fd` without blocking.
+std::string DrainPipe(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  std::string data;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n <= 0) {
+      break;
+    }
+    data.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return data;
+}
+
+TEST(Codec, WorkerFrameRoundTrips) {
+  telemetry::WorkerFrame frame;
+  frame.leg = 2;
+  frame.attempt = 3;
+  frame.seq = 7;
+  frame.frames_dropped = 4;
+  frame.events_recorded = 99;
+  frame.events_dropped = 5;
+  telemetry::Recorder scratch;
+  scratch.counter("policy.full_refreshes").Add(12);
+  scratch.gauge("campaign.progress_cycles").Set(1.5);
+  scratch.histogram("policy.slack", {1.0, 2.0, 4.0}).Observe(3.0);
+  frame.delta = scratch.Snapshot().WithoutTimers();
+  frame.events = {{telemetry::EventKind::kPartialRefresh, 10, 20, 30, 0.25},
+                  {telemetry::EventKind::kWorkerRetry, 11, 1, 2, -1.0}};
+
+  std::ostringstream os;
+  runtime::EncodeWorkerFrame(os, frame);
+  runtime::LineCursor cursor(os.str());
+  EXPECT_EQ(runtime::DecodeWorkerFrame(cursor), frame);
+}
+
+TEST(Workers, TelemetryFramesFederateAcrossThePool) {
+  // Worker children publish their leg's counters as 'S' frames; the driver
+  // must see every delta exactly once and fold a correct aggregate, while
+  // the result payloads stay byte-identical to in-process execution.
+  const auto leg_fn = [](std::size_t leg) {
+    if (runtime::InWorkerChild()) {
+      telemetry::Recorder rec;
+      rec.counter("demo.widgets").Add(leg + 1);
+      rec.Record({telemetry::EventKind::kFullRefresh, 0, leg, 0, 0.0});
+      runtime::WorkerPublishTelemetry(rec, /*force=*/true);
+    }
+    return DemoLeg(leg);
+  };
+
+  telemetry::FederatedRegistry registry;
+  std::vector<telemetry::FleetStatus> fleets;
+  runtime::RuntimeOptions options;
+  options.workers = 2;
+  options.fleet_interval_s = 0.01;
+  options.on_worker_frame = [&](std::size_t worker,
+                                const telemetry::WorkerFrame& frame) {
+    registry.Absorb(std::to_string(worker), frame);
+  };
+  options.on_fleet = [&](const telemetry::FleetStatus& fleet) {
+    fleets.push_back(fleet);
+  };
+
+  const auto payloads =
+      runtime::RunJournaledLegs("federated", 59, 4, leg_fn, options);
+  ASSERT_EQ(payloads.size(), 4u);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(payloads[i], DemoLeg(i));  // Frames never touch results.
+  }
+
+  // 1+2+3+4 widgets across four legs, no frame lost on a healthy pipe.
+  EXPECT_EQ(registry.Aggregate().metrics.at("demo.widgets").count, 10u);
+  EXPECT_EQ(registry.members().size(), 4u);  // One member per (worker, leg).
+  EXPECT_GE(registry.frames_received(), 4u);
+  EXPECT_EQ(registry.frames_dropped(), 0u);
+  EXPECT_EQ(registry.events_received(), 4u);
+
+  ASSERT_FALSE(fleets.empty());
+  const telemetry::FleetStatus& last = fleets.back();
+  EXPECT_EQ(last.workers_configured, 2u);
+  EXPECT_EQ(last.legs_total, 4u);
+  EXPECT_EQ(last.legs_committed, 4u);
+  EXPECT_EQ(last.legs_running, 0u);
+  EXPECT_EQ(last.legs_pending, 0u);
+  EXPECT_EQ(last.frames_received, registry.frames_received());
+  EXPECT_FALSE(last.pool_degraded);
+}
+
+TEST(Workers, SlowPipeDropsWholeFramesAndCountsThemExactly) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+#ifdef F_SETPIPE_SZ
+  ::fcntl(fds[1], F_SETPIPE_SZ, 4096);  // Artificially tiny pipe.
+#endif
+  const int previous = runtime::SetWorkerPipeForTesting(fds[1]);
+  telemetry::Recorder rec;
+
+  rec.counter("demo.ticks").Add(3);
+  runtime::WorkerPublishTelemetry(rec, /*force=*/true);  // Delivered.
+
+  // Fill the pipe to the last byte so the next frame cannot even start.
+  const int flags = ::fcntl(fds[1], F_GETFL);
+  ::fcntl(fds[1], F_SETFL, flags | O_NONBLOCK);
+  const char filler = '#';
+  while (::write(fds[1], &filler, 1) == 1) {
+  }
+  ::fcntl(fds[1], F_SETFL, flags);
+
+  rec.counter("demo.ticks").Add(4);
+  runtime::WorkerPublishTelemetry(rec, /*force=*/true);  // Dropped whole.
+
+  std::string first = DrainPipe(fds[0]);
+  std::string_view first_view = first;
+  const telemetry::WorkerFrame delivered = DecodeSFrame(first_view);
+  EXPECT_EQ(delivered.seq, 1u);
+  EXPECT_EQ(delivered.frames_dropped, 0u);
+  EXPECT_EQ(delivered.delta.metrics.at("demo.ticks").count, 3u);
+  // Whatever remains is filler, never a torn frame.
+  EXPECT_EQ(first_view.find('S'), std::string_view::npos);
+
+  rec.counter("demo.ticks").Add(5);
+  runtime::WorkerPublishTelemetry(rec, /*force=*/true);  // Delivered again.
+  std::string second = DrainPipe(fds[0]);
+  std::string_view second_view = second;
+  const telemetry::WorkerFrame recovered = DecodeSFrame(second_view);
+
+  // The delivered frame after a drop carries the accumulated delta (4+5)
+  // and the cumulative drop counter — nothing was lost, only freshness.
+  EXPECT_EQ(recovered.seq, 2u);
+  EXPECT_EQ(recovered.frames_dropped, 1u);
+  EXPECT_EQ(recovered.delta.metrics.at("demo.ticks").count, 9u);
+
+  telemetry::FederatedRegistry registry;
+  registry.Absorb("0", delivered);
+  registry.Absorb("0", recovered);
+  EXPECT_EQ(registry.Aggregate().metrics.at("demo.ticks").count, 12u);
+  EXPECT_EQ(registry.frames_dropped(), 1u);
+
+  runtime::SetWorkerPipeForTesting(previous);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Workers, TryWriteFrameFinishesAStartedFrame) {
+  // A frame larger than the pipe begins with a partial non-blocking write;
+  // the rest must be written blocking so the stream stays framed.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+#ifdef F_SETPIPE_SZ
+  ::fcntl(fds[1], F_SETPIPE_SZ, 4096);
+#endif
+  const std::string frame =
+      runtime::FrameMessage('S', std::string(32768, 'x'));
+  std::string received;
+  std::thread reader([&] {
+    char buffer[4096];
+    for (;;) {
+      const ssize_t n = ::read(fds[0], buffer, sizeof buffer);
+      if (n <= 0) {
+        break;
+      }
+      received.append(buffer, static_cast<std::size_t>(n));
+    }
+  });
+  EXPECT_TRUE(runtime::TryWriteFrame(fds[1], frame));
+  ::close(fds[1]);
+  reader.join();
+  ::close(fds[0]);
+  EXPECT_EQ(received, frame);
 }
 
 // -- Resilient drivers == core drivers ---------------------------------------
