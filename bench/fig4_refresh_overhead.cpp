@@ -19,7 +19,12 @@ int main(int argc, char** argv) {
   const auto report_options = bench::ParseReportArgs(argc, argv);
   core::VrlConfig config;
   core::VrlSystem system(config);
-  system.EnableTelemetry();
+  telemetry::RecorderOptions recorder_options;
+  // --profile: the suite fans out across ParallelMap shards, so this is
+  // the thread-count byte-identity vehicle for attribution trees — the
+  // shard profilers merge in task-index order (docs/PROFILING.md).
+  recorder_options.profile_phases = report_options.profile;
+  system.EnableTelemetry(recorder_options);
 
   bench::Report report("fig4_refresh_overhead");
   report.AddMeta("bank", config.tech.GeometryLabel());
@@ -45,6 +50,10 @@ int main(int argc, char** argv) {
   report.AddMeta("vrl_vs_raidr_pct", (avg.vrl - 1.0) * 100.0, 1);
   report.AddMeta("vrl_access_vs_raidr_pct", (avg.vrl_access - 1.0) * 100.0, 1);
   report.AddTelemetry(system.telemetry()->Snapshot());
+  if (report_options.profile) {
+    report.AddProfile(*system.telemetry());
+    bench::WriteProfileOutput(report_options, *system.telemetry());
+  }
   report.Emit(report_options, std::cout);
   return 0;
 }

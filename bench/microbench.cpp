@@ -223,15 +223,19 @@ BENCHMARK(BM_ProposingPolicyGrant)
 // iterations (caps reached, ring in steady state), which is exactly the
 // long-run cost docs/TRACING.md budgets at <= 2%.  Arm 3 adds the per-op
 // lineage firehose (TracerOptions::lineage_ops) — deliberately outside
-// the budget, measured so the docs can quote its price.
+// the budget, measured so the docs can quote its price.  Arm 4 turns on
+// the attribution profiler instead of tracing (telemetry + profile_phases)
+// — scripts/bench_baseline.py ratios it against arm 1 to gate the <= 2%
+// profiler budget (docs/PROFILING.md).
 void BM_SimulateWindow(benchmark::State& state) {
   core::VrlConfig config;
   config.banks = 1;
   core::VrlSystem system(config);
   if (state.range(0) != 0) {
     telemetry::RecorderOptions options;
-    options.enable_tracing = state.range(0) >= 2;
+    options.enable_tracing = state.range(0) == 2 || state.range(0) == 3;
     options.tracing.lineage_ops = state.range(0) == 3;
+    options.profile_phases = state.range(0) == 4;
     system.EnableTelemetry(options);
   }
   const Cycles horizon = system.HorizonForWindows(1);
@@ -254,10 +258,12 @@ BENCHMARK(BM_SimulateWindow)
     ->Args({1, 1})  // loaded, telemetry on
     ->Args({2, 1})  // loaded, telemetry + tracing on
     ->Args({3, 1})  // loaded, + per-op lineage firehose
+    ->Args({4, 1})  // loaded, telemetry + attribution profiler
     ->Args({0, 0})  // idle worst case, telemetry off
     ->Args({1, 0})  // idle worst case, telemetry on
     ->Args({2, 0})  // idle worst case, telemetry + tracing on
     ->Args({3, 0})  // idle worst case, + per-op lineage firehose
+    ->Args({4, 0})  // idle worst case, telemetry + profiler
     ->Unit(benchmark::kMillisecond);
 
 // Fleet-federation overhead (docs/OBSERVABILITY.md): the worker-side

@@ -7,7 +7,9 @@
 #include <string_view>
 
 #include "common/error.hpp"
+#include "prof/report.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace vrl::bench {
 namespace {
@@ -78,16 +80,22 @@ ReportOptions ParseReportArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" || arg == "--csv" || arg == "--trace-out" ||
-        arg == "--watchdog" || arg == "--resume") {
-      (arg == "--json"       ? options.json_path
-       : arg == "--csv"      ? options.csv_path
-       : arg == "--watchdog" ? options.watchdog_path
-       : arg == "--resume"   ? options.resume_path
-                             : options.trace_path) = value_of(&i, arg);
+        arg == "--watchdog" || arg == "--resume" || arg == "--profile-out") {
+      (arg == "--json"          ? options.json_path
+       : arg == "--csv"         ? options.csv_path
+       : arg == "--watchdog"    ? options.watchdog_path
+       : arg == "--resume"      ? options.resume_path
+       : arg == "--profile-out" ? options.profile_path
+                                : options.trace_path) = value_of(&i, arg);
+      if (arg == "--profile-out") {
+        options.profile = true;  // An output file implies profiling.
+      }
     } else if (arg == "--preset" || arg == "--topology") {
       options.preset = value_of(&i, arg);
     } else if (arg == "--profile") {
       options.profile = true;
+    } else if (arg == "--profile-scrub") {
+      options.profile_scrub = true;
     } else if (arg == "--serve") {
       options.serve = true;
       if (i + 1 < argc && ParsePort(argv[i + 1], &options.serve_port)) {
@@ -317,6 +325,72 @@ void Report::AddProfile(const telemetry::MetricsSnapshot& snapshot) {
                     "-"});
     }
   }
+}
+
+void Report::AddProfile(const telemetry::Recorder& recorder) {
+  if (const prof::Profiler* profiler = recorder.profiler()) {
+    const prof::ProfileSnapshot snapshot = profiler->Snapshot();
+    TextTable& table = AddTable(
+        "profile_tree",
+        {"phase", "calls", "units", "incl_ms", "excl_ms", "excl_pct"});
+    double total = 0.0;
+    for (const prof::ProfileNode& node : snapshot.nodes) {
+      if (node.parent < 0) {
+        total += node.inclusive_s;
+      }
+    }
+    // Depth-first so the indentation reads as a tree (creation order can
+    // interleave siblings of different subtrees).
+    std::vector<std::vector<std::size_t>> children(snapshot.nodes.size());
+    std::vector<std::size_t> stack;
+    for (std::size_t i = snapshot.nodes.size(); i-- > 0;) {
+      const std::int32_t parent = snapshot.nodes[i].parent;
+      if (parent < 0) {
+        stack.push_back(i);
+      } else {
+        children[static_cast<std::size_t>(parent)].push_back(i);
+      }
+    }
+    while (!stack.empty()) {
+      const std::size_t index = stack.back();
+      stack.pop_back();
+      const prof::ProfileNode& node = snapshot.nodes[index];
+      table.AddRow(
+          {std::string(static_cast<std::size_t>(node.depth) * 2, ' ') +
+               node.name,
+           std::to_string(node.calls), std::to_string(node.units),
+           Fmt(node.inclusive_s * 1e3, 3), Fmt(node.exclusive_s * 1e3, 3),
+           total > 0.0 ? Fmt(100.0 * node.exclusive_s / total, 1) : "-"});
+      for (const std::size_t child : children[index]) {
+        stack.push_back(child);
+      }
+    }
+    AddMeta("prof.frames", profiler->frames());
+    AddMeta("prof.drops", profiler->drops());
+  }
+  AddProfile(recorder.Snapshot());
+}
+
+void WriteProfileOutput(const ReportOptions& options,
+                        const telemetry::Recorder& recorder) {
+  if (options.profile_path.empty() || recorder.profiler() == nullptr) {
+    return;
+  }
+  const prof::ProfileSnapshot snapshot =
+      recorder.profiler()->Snapshot(options.profile_scrub);
+  const std::string& path = options.profile_path;
+  constexpr std::string_view kOverlay = ".trace.json";
+  if (path.size() >= kOverlay.size() &&
+      path.compare(path.size() - kOverlay.size(), kOverlay.size(),
+                   kOverlay) == 0) {
+    std::ofstream os(path);
+    if (!os) {
+      throw ConfigError("WriteProfileOutput: cannot open " + path);
+    }
+    telemetry::WriteProfileChromeTrace(os, snapshot);
+    return;
+  }
+  prof::WriteProfileFile(path, snapshot);
 }
 
 void Report::PrintText(std::ostream& os) const {

@@ -24,7 +24,16 @@
 ///                       or JSONL when the path ends in ".jsonl") — binaries
 ///                       that support it enable tracing when the flag is set
 ///   --profile           enable the phase self-profiler and append its
-///                       wall-time attribution table (AddProfile)
+///                       wall-time attribution tables (AddProfile): the
+///                       hierarchical tree (docs/PROFILING.md) plus the
+///                       legacy time.phase.* timer table
+///   --profile-out <path>  also write the attribution tree to a file
+///                       (implies --profile): ".json" = vrl.profile.v1,
+///                       ".collapsed"/".folded" = flamegraph stacks,
+///                       ".trace.json" = Chrome-trace overlay, else text
+///   --profile-scrub     zero wall times in --profile-out so the file is
+///                       byte-identical across runs and VRL_THREADS
+///                       (counts stay exact — the CI determinism gate)
 ///   --serve [port]      start the embedded monitor server
 ///                       (docs/OBSERVABILITY.md); port defaults to 0
 ///                       (ephemeral, announced on stdout)
@@ -71,6 +80,10 @@ struct ReportOptions {
   std::string csv_path;    ///< Empty = no CSV; "-" = stdout.
   std::string trace_path;  ///< Empty = no trace export (docs/TRACING.md).
   bool profile = false;    ///< Phase self-profiler requested.
+  /// Attribution-tree output file (--profile-out); empty = none.
+  std::string profile_path;
+  /// Zero wall times in the --profile-out file (--profile-scrub).
+  bool profile_scrub = false;
   bool serve = false;      ///< Start the monitor server (--serve).
   int serve_port = 0;      ///< --serve's port; 0 = ephemeral.
   std::string watchdog_path;  ///< SLO rules file (--watchdog); empty = none.
@@ -92,6 +105,16 @@ struct ReportOptions {
 /// consumed as the port, anything else leaves the ephemeral default.
 /// \throws vrl::ConfigError when a flag is missing its path argument.
 ReportOptions ParseReportArgs(int argc, char** argv);
+
+/// Writes the recorder's attribution tree to `options.profile_path`
+/// (--profile-out), dispatching on the extension: ".trace.json" renders
+/// the Chrome-trace overlay, ".json" the vrl.profile.v1 document,
+/// ".collapsed"/".folded" flamegraph stacks, anything else the text tree.
+/// --profile-scrub zeroes wall times first.  No-op when the path is empty
+/// or the recorder has no profiler.
+/// \throws vrl::ConfigError when the file cannot be opened.
+void WriteProfileOutput(const ReportOptions& options,
+                        const telemetry::Recorder& recorder);
 
 /// Builds the observability plane the parsed flags ask for, or null when
 /// neither --serve nor --watchdog was given.  When the server starts, its
@@ -156,6 +179,13 @@ class Report {
   /// phase total, followed by the remaining `time.*` timers as unshared
   /// context rows.  Wall clock — not part of the determinism contract.
   void AddProfile(const telemetry::MetricsSnapshot& snapshot);
+
+  /// The upgraded `--profile` report: renders the recorder's hierarchical
+  /// attribution tree (docs/PROFILING.md) as a "profile_tree" table —
+  /// indented phases, calls, units, inclusive/exclusive ms, exclusive
+  /// share — then falls through to the timer table above for the legacy
+  /// breakdown.  With no profiler attached only the timer table appears.
+  void AddProfile(const telemetry::Recorder& recorder);
 
   // -- Rendering -------------------------------------------------------------
   void PrintText(std::ostream& os) const;  ///< meta lines + aligned tables

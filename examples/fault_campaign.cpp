@@ -325,7 +325,8 @@ int main(int argc, char** argv) {
     }
     report.AddTelemetry(adaptive_metrics);
     if (report_options.profile) {
-      report.AddProfile(recorder.Snapshot());
+      report.AddProfile(recorder);
+      bench::WriteProfileOutput(report_options, recorder);
     }
     if (!report_options.trace_path.empty()) {
       telemetry::WriteTraceFile(report_options.trace_path,

@@ -100,7 +100,8 @@ int main(int argc, char** argv) {
   }
   report.AddTelemetry(system.telemetry()->Snapshot());
   if (report_options.profile) {
-    report.AddProfile(system.telemetry()->Snapshot());
+    report.AddProfile(*system.telemetry());
+    bench::WriteProfileOutput(report_options, *system.telemetry());
   }
   if (!report_options.trace_path.empty()) {
     telemetry::WriteTraceFile(report_options.trace_path,

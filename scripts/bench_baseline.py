@@ -97,6 +97,21 @@ RATIO_KEYS = [
         "BM_ProposingPolicyGrant/2",
         "BM_VrlPolicyCollectDue",
     ),
+    # Attribution profiler (PR 10): the cost of profile_phases on an
+    # already-instrumented window, against the same telemetry-only arm —
+    # the "<= 2% of a loaded window" budget in docs/PROFILING.md.  The
+    # profiler samples 1-in-64 phase timings, so this ratio should sit
+    # well under the budget line.
+    (
+        "profiler_overhead_loaded",
+        "BM_SimulateWindow/4/1",
+        "BM_SimulateWindow/1/1",
+    ),
+    (
+        "profiler_overhead_idle",
+        "BM_SimulateWindow/4/0",
+        "BM_SimulateWindow/1/0",
+    ),
     # Fleet federation (PR 9): one worker 'S'-frame publish and one
     # driver-side decode+absorb against a loaded instrumented window — the
     # "<1% of a loaded window" budget in docs/OBSERVABILITY.md.  A worker

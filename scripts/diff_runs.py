@@ -67,8 +67,10 @@ def extract_report(doc, path):
                 if number is not None:
                     metrics[f"telemetry.{row['name']}.{row['field']}"] = number
             continue
-        if table_name == "profile":
-            continue  # wall-time phase table (--profile): machine-dependent
+        if table_name in ("profile", "profile_tree"):
+            continue  # wall-time phase tables (--profile): machine-dependent
+            # (attribution counts are gated by scripts/diff_profile.py on
+            # the scrubbed --profile-out export instead)
         key_column = headers[0]
         for index, row in enumerate(table.get("rows", [])):
             row_key = row.get(key_column, str(index))

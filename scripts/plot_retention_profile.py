@@ -3,7 +3,7 @@
 
 Usage:
     ./build/examples/retention_profiler            # writes /tmp/vrl_profile.csv
-    python3 scripts/plot_profile.py /tmp/vrl_profile.csv [out.png]
+    python3 scripts/plot_retention_profile.py /tmp/vrl_profile.csv [out.png]
 
 Left panel: the row-retention histogram over the paper's Fig. 3a window.
 Right panel: MPRSF histogram (the table VRL-DRAM programs per row).

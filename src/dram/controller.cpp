@@ -196,13 +196,15 @@ SimulationStats MemoryController::RunFlat(const std::vector<Request>& requests,
     // Interned once: the per-tick burst spans skip the label lookup.
     burst_label = tracer->Intern("refresh_burst");
   }
-  // Phase profiling (--profile, docs/TRACING.md): wall clock per phase,
-  // accumulated in locals and folded into time.phase.* timers once.  The
-  // two clock reads per tick are why this is opt-in.
+  // Phase profiling (--profile, docs/PROFILING.md): per-tick phases are
+  // timed on a 1-in-N sample (exact call counts, scaled time estimate —
+  // prof::PhaseAccumulator) and folded once into the time.phase.* timers
+  // and the attribution profiler via FoldPhaseProfile.
   const bool profile =
       telemetry_ != nullptr && telemetry_->options().profile_phases;
-  double scheduler_s = 0.0;
-  double collect_s = 0.0;
+  prof::Profiler* profiler = profile ? telemetry_->profiler() : nullptr;
+  const prof::ScopedPhase run_phase(profiler, "controller.run");
+  PhaseProfile phases;
   const auto phase_clock = [] { return std::chrono::steady_clock::now(); };
   const auto seconds_since =
       [](std::chrono::steady_clock::time_point from) {
@@ -271,15 +273,16 @@ SimulationStats MemoryController::RunFlat(const std::vector<Request>& requests,
       }
     };
 
-    // Profiled wrappers; the non-profiling path calls straight through.
+    // Profiled wrappers; the non-profiling path calls straight through,
+    // and the profiling path only reads the clock on sampled calls.
     const auto run_service_until = [&](Cycles limit) {
-      if (!profile) {
+      if (profile && phases.scheduler.Sample()) {
+        const auto t0 = phase_clock();
         service_until(limit);
+        phases.scheduler.Add(seconds_since(t0));
         return;
       }
-      const auto t0 = phase_clock();
       service_until(limit);
-      scheduler_s += seconds_since(t0);
     };
     // Propose/grant per refresh tick.  service_until drains `pending`
     // completely before returning, so the queue cursor *is* the demand
@@ -294,13 +297,13 @@ SimulationStats MemoryController::RunFlat(const std::vector<Request>& requests,
         ctx.demand.next_row = queue[qi].row;
       }
       ctx.bank = &bank;
-      if (!profile) {
-        return GrantRefreshes(policy, ctx, &grant_stats);
+      if (profile && phases.collect.Sample()) {
+        const auto t0 = phase_clock();
+        auto ops = GrantRefreshes(policy, ctx, &grant_stats);
+        phases.collect.Add(seconds_since(t0));
+        return ops;
       }
-      const auto t0 = phase_clock();
-      auto ops = GrantRefreshes(policy, ctx, &grant_stats);
-      collect_s += seconds_since(t0);
-      return ops;
+      return GrantRefreshes(policy, ctx, &grant_stats);
     };
 
     const telemetry::SpanId bank_span =
@@ -358,13 +361,11 @@ SimulationStats MemoryController::RunFlat(const std::vector<Request>& requests,
   ExportGrantTelemetry(grant_stats);
   if (profile) {
     // The flush phase covers the policy folds plus the delta export above.
-    telemetry_->metrics()
-        .GetTimer("time.phase.telemetry_flush")
-        .Record(seconds_since(flush_t0));
-    telemetry_->metrics().GetTimer("time.phase.scheduler").Record(scheduler_s);
-    telemetry_->metrics()
-        .GetTimer("time.phase.policy_collect_due")
-        .Record(collect_s);
+    phases.flush_s = seconds_since(flush_t0);
+    FoldPhaseProfile(phases,
+                     stats.TotalReads() + stats.TotalWrites() -
+                         before.TotalReads() - before.TotalWrites(),
+                     grant_stats.granted);
   }
   return stats;
 }
@@ -394,8 +395,9 @@ SimulationStats MemoryController::RunHierarchical(
   }
   const bool profile =
       telemetry_ != nullptr && telemetry_->options().profile_phases;
-  double scheduler_s = 0.0;
-  double collect_s = 0.0;
+  prof::Profiler* profiler = profile ? telemetry_->profiler() : nullptr;
+  const prof::ScopedPhase run_phase(profiler, "controller.run");
+  PhaseProfile phases;
   const auto phase_clock = [] { return std::chrono::steady_clock::now(); };
   const auto seconds_since =
       [](std::chrono::steady_clock::time_point from) {
@@ -486,13 +488,13 @@ SimulationStats MemoryController::RunHierarchical(
     }
   };
   const auto run_service_until = [&](Cycles limit) {
-    if (!profile) {
+    if (profile && phases.scheduler.Sample()) {
+      const auto t0 = phase_clock();
       service_until(limit);
+      phases.scheduler.Add(seconds_since(t0));
       return;
     }
-    const auto t0 = phase_clock();
     service_until(limit);
-    scheduler_s += seconds_since(t0);
   };
   // Propose/grant per (bank, tick).  service_until drains every bank's
   // `pending` before returning, so each bank's queue cursor is its demand
@@ -512,13 +514,13 @@ SimulationStats MemoryController::RunHierarchical(
     ctx.bank = &banks_[b];
     ctx.engine = engine_.get();
     ctx.addr = DecomposeBank(table_.topology, b);
-    if (!profile) {
-      return GrantRefreshes(*policies_[b], ctx, &grant_stats);
+    if (profile && phases.collect.Sample()) {
+      const auto t0 = phase_clock();
+      auto ops = GrantRefreshes(*policies_[b], ctx, &grant_stats);
+      phases.collect.Add(seconds_since(t0));
+      return ops;
     }
-    const auto t0 = phase_clock();
-    auto ops = GrantRefreshes(*policies_[b], ctx, &grant_stats);
-    collect_s += seconds_since(t0);
-    return ops;
+    return GrantRefreshes(*policies_[b], ctx, &grant_stats);
   };
 
   Cycles end = horizon;
@@ -610,15 +612,40 @@ SimulationStats MemoryController::RunHierarchical(
     }
   }
   if (profile) {
-    telemetry_->metrics()
-        .GetTimer("time.phase.telemetry_flush")
-        .Record(seconds_since(flush_t0));
-    telemetry_->metrics().GetTimer("time.phase.scheduler").Record(scheduler_s);
-    telemetry_->metrics()
-        .GetTimer("time.phase.policy_collect_due")
-        .Record(collect_s);
+    phases.flush_s = seconds_since(flush_t0);
+    FoldPhaseProfile(phases,
+                     stats.TotalReads() + stats.TotalWrites() -
+                         before.TotalReads() - before.TotalWrites(),
+                     grant_stats.granted);
   }
   return stats;
+}
+
+void MemoryController::FoldPhaseProfile(const PhaseProfile& phases,
+                                        std::uint64_t serviced,
+                                        std::uint64_t granted) {
+  // Both run loops fold through here, so the flat and hierarchical phase
+  // breakdowns — legacy time.phase.* timers and attribution tree alike —
+  // cannot drift apart.
+  const double scheduler_s = phases.scheduler.EstimatedSeconds();
+  const double collect_s = phases.collect.EstimatedSeconds();
+  telemetry_->metrics()
+      .GetTimer("time.phase.telemetry_flush")
+      .Record(phases.flush_s);
+  telemetry_->metrics().GetTimer("time.phase.scheduler").Record(scheduler_s);
+  telemetry_->metrics()
+      .GetTimer("time.phase.policy_collect_due")
+      .Record(collect_s);
+  prof::Profiler* profiler = telemetry_->profiler();
+  if (profiler != nullptr) {
+    // Children of the run loop's open "controller.run" frame.  Units:
+    // requests serviced by the scheduler, refresh ops granted.
+    profiler->CompletePhase("scheduler", scheduler_s,
+                            phases.scheduler.calls(), serviced);
+    profiler->CompletePhase("policy.propose_grant", collect_s,
+                            phases.collect.calls(), granted);
+    profiler->CompletePhase("telemetry_flush", phases.flush_s, 1, 0);
+  }
 }
 
 void MemoryController::ExportGrantTelemetry(const RefreshGrantStats& grants) {

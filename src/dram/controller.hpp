@@ -14,6 +14,7 @@
 #include "dram/timing.hpp"
 #include "dram/timing_table.hpp"
 #include "dram/topology.hpp"
+#include "prof/profiler.hpp"
 
 /// \file controller.hpp
 /// The memory controller: per-bank request streams interleaved with tREFI
@@ -121,6 +122,19 @@ class MemoryController {
                           Cycles horizon);
   SimulationStats RunHierarchical(const std::vector<Request>& requests,
                                   Cycles horizon);
+  /// Per-run phase costs under --profile: sampled 1-in-N wall clock with
+  /// exact call counts (prof::PhaseAccumulator), plus the unsampled
+  /// telemetry-flush time.
+  struct PhaseProfile {
+    prof::PhaseAccumulator scheduler;
+    prof::PhaseAccumulator collect;
+    double flush_s = 0.0;
+  };
+  /// Folds one run's phase costs into the `time.phase.*` timers and the
+  /// attribution profiler.  Shared by both run loops so the flat and
+  /// hierarchical phase breakdowns cannot drift.  Requires telemetry.
+  void FoldPhaseProfile(const PhaseProfile& phases, std::uint64_t serviced,
+                        std::uint64_t granted);
   /// The per-run telemetry delta export shared by both loops.
   void ExportRunTelemetry(const SimulationStats& before,
                           const SimulationStats& stats,

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "prof/profiler.hpp"
 #include "telemetry/recorder.hpp"
 
 namespace vrl::fault {
@@ -229,6 +230,11 @@ void AdaptiveVrlPolicy::OnRowAccess(std::size_t row) {
 FailureResponse AdaptiveVrlPolicy::OnSensingFailure(std::size_t row,
                                                     Cycles now) {
   CheckRow(row);
+  // Demotions recompute the row's MPRSF/period setting; failures are rare
+  // enough that a real RAII frame (two clock reads) is affordable here.
+  const prof::ScopedPhase recompute_phase(
+      telemetry() == nullptr ? nullptr : telemetry()->profiler(),
+      "policy.mprsf_recompute");
   RollWindows(now);
   ++stats_.failures_signalled;
   ++failures_this_window_;
@@ -300,6 +306,10 @@ void AdaptiveVrlPolicy::OnCleanFullRefresh(std::size_t row, Cycles now) {
       demoted.last_event_window + params_.promote_after_clean_windows) {
     return;
   }
+  // Past the early-outs: this promotion commits, recomputing the setting.
+  const prof::ScopedPhase recompute_phase(
+      telemetry() == nullptr ? nullptr : telemetry()->profiler(),
+      "policy.mprsf_recompute");
   ++stats_.promotions;
   const std::size_t new_level = demoted.level - 1;
   if (telemetry() != nullptr) {

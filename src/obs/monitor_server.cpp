@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "prof/report.hpp"
 #include "telemetry/export.hpp"
 
 namespace vrl::obs {
@@ -138,6 +139,12 @@ void MonitorServer::Publish(const telemetry::Recorder& recorder) {
   std::uint64_t spans_dropped = 0;
   std::uint64_t lineage_recorded = 0;
   std::uint64_t lineage_dropped = 0;
+  prof::ProfileSnapshot profile;
+  bool has_profile = false;
+  if (const prof::Profiler* profiler = recorder.profiler()) {
+    profile = profiler->Snapshot();
+    has_profile = true;
+  }
   if (const telemetry::Tracer* tracer = recorder.tracer()) {
     spans_recorded = tracer->recorded_spans();
     spans_dropped = tracer->dropped_spans();
@@ -161,6 +168,10 @@ void MonitorServer::Publish(const telemetry::Recorder& recorder) {
   lineage_recorded_ = lineage_recorded;
   lineage_dropped_ = lineage_dropped;
   lineage_tail_ = std::move(tail);
+  if (has_profile) {
+    profile_ = std::move(profile);
+    profile_published_ = true;
+  }
   ready_ = true;
   ++publishes_;
   last_publish_s_ = now_s;
@@ -260,6 +271,23 @@ std::string MonitorServer::RenderMetrics() {
   if (progress_ != nullptr) {
     counter("monitor_fanouts_total", progress_->fanouts_begun());
     counter("monitor_fanouts_finished_total", progress_->fanouts_finished());
+  }
+  if (profile_published_) {
+    gauge("prof_frames", static_cast<double>(profile_.frames));
+    gauge("prof_drops", static_cast<double>(profile_.drops));
+  }
+  // Self-observability: requests served per endpoint plus the wall time
+  // spent building responses (HandleGet counts the request before
+  // dispatch, so even the very first /metrics scrape shows itself).
+  if (!endpoint_hits_.empty()) {
+    os << "# TYPE " << p << "obs_scrape_requests_total counter\n";
+    for (const auto& [endpoint, hits] : endpoint_hits_) {
+      os << p << "obs_scrape_requests_total{endpoint=\"" << endpoint
+         << "\"} " << hits << '\n';
+    }
+    os << "# TYPE " << p << "obs_scrape_seconds_total counter\n"
+       << p << "obs_scrape_seconds_total " << PrometheusDouble(scrape_seconds_)
+       << '\n';
   }
 
   // Fleet federation: every worker's series with {worker,leg} labels plus
@@ -394,32 +422,79 @@ std::string MonitorServer::HandleGet(std::string_view target) {
     path = target.substr(0, question);
     query = target.substr(question + 1);
   }
-  if (path == "/metrics") {
-    return BuildResponse(200, "text/plain; version=0.0.4; charset=utf-8",
-                         RenderMetrics());
+  // Self-observability: count the request up front (so a /metrics scrape
+  // sees itself) and time the whole dispatch below.
+  const std::string_view endpoint =
+      path.size() > 1 && (path == "/metrics" || path == "/healthz" ||
+                          path == "/readyz" || path == "/fleet" ||
+                          path == "/runs" || path == "/trace" ||
+                          path == "/profile")
+          ? path.substr(1)
+          : std::string_view("other");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++endpoint_hits_[std::string(endpoint)];
   }
-  if (path == "/healthz") {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string response;
+  if (path == "/metrics") {
+    response = BuildResponse(200, "text/plain; version=0.0.4; charset=utf-8",
+                             RenderMetrics());
+  } else if (path == "/healthz") {
     int status = 200;
     const std::string body = RenderHealth(&status);
-    return BuildResponse(status, "text/plain; charset=utf-8", body);
-  }
-  if (path == "/readyz") {
+    response = BuildResponse(status, "text/plain; charset=utf-8", body);
+  } else if (path == "/readyz") {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return ready_ ? BuildResponse(200, "text/plain; charset=utf-8", "ready\n")
-                  : BuildResponse(503, "text/plain; charset=utf-8",
-                                  "not ready\n");
+    response = ready_
+                   ? BuildResponse(200, "text/plain; charset=utf-8",
+                                   "ready\n")
+                   : BuildResponse(503, "text/plain; charset=utf-8",
+                                   "not ready\n");
+  } else if (path == "/fleet") {
+    response = BuildResponse(200, "application/json", RenderFleet());
+  } else if (path == "/runs") {
+    response = BuildResponse(200, "application/json", RenderRuns());
+  } else if (path == "/trace") {
+    response = BuildResponse(200, "application/x-ndjson",
+                             RenderTraceTail(query));
+  } else if (path == "/profile") {
+    const bool collapsed =
+        query.find("format=collapsed") != std::string_view::npos;
+    int status = 200;
+    const std::string body = RenderProfile(collapsed, &status);
+    response = BuildResponse(
+        status,
+        collapsed || status != 200 ? "text/plain; charset=utf-8"
+                                   : "application/json",
+        body);
+  } else {
+    response =
+        BuildResponse(404, "text/plain; charset=utf-8", "not found\n");
   }
-  if (path == "/fleet") {
-    return BuildResponse(200, "application/json", RenderFleet());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    scrape_seconds_ += elapsed;
   }
-  if (path == "/runs") {
-    return BuildResponse(200, "application/json", RenderRuns());
+  return response;
+}
+
+std::string MonitorServer::RenderProfile(bool collapsed, int* status) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!profile_published_) {
+    *status = 404;
+    return "no profiler attached\n";
   }
-  if (path == "/trace") {
-    return BuildResponse(200, "application/x-ndjson",
-                         RenderTraceTail(query));
+  std::ostringstream os;
+  if (collapsed) {
+    prof::WriteCollapsedStacks(os, profile_);
+  } else {
+    prof::WriteProfileJson(os, profile_);
   }
-  return BuildResponse(404, "text/plain; charset=utf-8", "not found\n");
+  return os.str();
 }
 
 void MonitorServer::ServeLoop() {

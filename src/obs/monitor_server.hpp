@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -12,6 +13,7 @@
 #include "obs/progress.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/watchdog.hpp"
+#include "prof/profiler.hpp"
 #include "telemetry/recorder.hpp"
 
 /// \file monitor_server.hpp
@@ -33,6 +35,15 @@
 ///                      journaled-leg committed/running/pending breakdown
 ///                      when a supervised or resumed campaign publishes it.
 ///   GET /trace?last=N  JSONL tail of the refresh-lineage ring.
+///   GET /profile       attribution tree (docs/PROFILING.md) of the last
+///                      published recorder with a profiler attached, as
+///                      vrl.profile.v1 JSON; ?format=collapsed renders
+///                      collapsed flamegraph stacks instead.  404 until a
+///                      profiling recorder publishes.
+///
+/// The server also observes itself: per-endpoint request counters and the
+/// accumulated scrape duration render in /metrics as the `obs_scrape_*`
+/// family.
 ///
 /// Thread safety follows a publish/scrape split: the *driver* thread owns
 /// the Recorder (which stays single-threaded per docs/TELEMETRY.md) and
@@ -129,6 +140,7 @@ class MonitorServer {
  private:
   void ServeLoop();
   std::string RenderMetrics();
+  std::string RenderProfile(bool collapsed, int* status) const;
   std::string RenderHealth(int* status) const;
   std::string RenderFleet() const;
   std::string RenderRuns() const;
@@ -161,6 +173,15 @@ class MonitorServer {
   double last_publish_s_ = 0.0;
   std::uint64_t scrapes_metrics_ = 0;
   std::uint64_t scrapes_other_ = 0;
+  /// Self-observability (obs_scrape_*): requests served per endpoint and
+  /// the total wall time spent building responses.
+  std::map<std::string, std::uint64_t> endpoint_hits_;
+  double scrape_seconds_ = 0.0;
+
+  // Last published attribution tree (set iff the publishing recorder had
+  // a profiler) — the /profile feed.
+  prof::ProfileSnapshot profile_;
+  bool profile_published_ = false;
 
   // Fleet federation state (all copies, published from the driver thread).
   telemetry::FleetStatus fleet_;

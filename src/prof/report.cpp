@@ -1,0 +1,196 @@
+#include "prof/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace vrl::prof {
+namespace {
+
+// Local copies of the telemetry exporter formatting (export.hpp):
+// vrl_prof sits below vrl_telemetry in the dependency order, so it
+// carries its own, byte-for-byte-compatible implementations.
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) {
+    return "null";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "1e9999" : "-1e9999";
+  }
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
+  return buf;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double TotalRootInclusive(const ProfileSnapshot& snapshot) {
+  double total = 0.0;
+  for (const ProfileNode& node : snapshot.nodes) {
+    if (node.parent < 0) {
+      total += node.inclusive_s;
+    }
+  }
+  return total;
+}
+
+bool TimesScrubbed(const ProfileSnapshot& snapshot) {
+  for (const ProfileNode& node : snapshot.nodes) {
+    if (node.inclusive_s != 0.0 || node.exclusive_s != 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+void WriteProfileText(std::ostream& os, const ProfileSnapshot& snapshot) {
+  const double total = TotalRootInclusive(snapshot);
+  os << "phase profile (" << snapshot.frames << " frames, "
+     << snapshot.drops << " dropped)\n";
+  char row[160];
+  std::snprintf(row, sizeof row, "  %-44s %12s %12s %12s %12s %7s\n",
+                "phase", "calls", "units", "incl_ms", "excl_ms", "excl%");
+  os << row;
+  // Creation order already places parents before children, but siblings
+  // from different subtrees can interleave; emit depth-first so the
+  // indentation reads as a tree.
+  std::vector<std::vector<std::uint32_t>> children(snapshot.nodes.size());
+  std::vector<std::uint32_t> roots;
+  for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const std::int32_t parent = snapshot.nodes[i].parent;
+    if (parent < 0) {
+      roots.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      children[static_cast<std::size_t>(parent)].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+  // Explicit stack (reverse-pushed so siblings emit in creation order).
+  std::vector<std::uint32_t> stack(roots.rbegin(), roots.rend());
+  while (!stack.empty()) {
+    const std::uint32_t index = stack.back();
+    stack.pop_back();
+    const ProfileNode& node = snapshot.nodes[index];
+    const std::string label =
+        std::string(static_cast<std::size_t>(node.depth) * 2, ' ') +
+        node.name;
+    const double share =
+        total > 0.0 ? 100.0 * node.exclusive_s / total : 0.0;
+    std::snprintf(row, sizeof row,
+                  "  %-44s %12llu %12llu %12.3f %12.3f %6.1f%%\n",
+                  label.c_str(),
+                  static_cast<unsigned long long>(node.calls),
+                  static_cast<unsigned long long>(node.units),
+                  node.inclusive_s * 1e3, node.exclusive_s * 1e3, share);
+    os << row;
+    const auto& kids = children[index];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+}
+
+void WriteProfileJson(std::ostream& os, const ProfileSnapshot& snapshot) {
+  os << "{\"schema\":\"vrl.profile.v1\",\"frames\":" << snapshot.frames
+     << ",\"drops\":" << snapshot.drops << ",\"nodes\":[";
+  for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const ProfileNode& node = snapshot.nodes[i];
+    if (i != 0) {
+      os << ',';
+    }
+    os << "{\"id\":" << i << ",\"parent\":" << node.parent << ",\"name\":\""
+       << JsonEscape(node.name) << "\",\"path\":\""
+       << JsonEscape(snapshot.PathOf(i)) << "\",\"depth\":" << node.depth
+       << ",\"calls\":" << node.calls << ",\"units\":" << node.units
+       << ",\"inclusive_s\":" << FormatDouble(node.inclusive_s)
+       << ",\"exclusive_s\":" << FormatDouble(node.exclusive_s) << '}';
+  }
+  os << "]}\n";
+}
+
+void WriteCollapsedStacks(std::ostream& os,
+                          const ProfileSnapshot& snapshot) {
+  const bool scrubbed = TimesScrubbed(snapshot);
+  for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const ProfileNode& node = snapshot.nodes[i];
+    const long long weight =
+        scrubbed ? static_cast<long long>(node.calls)
+                 : std::llround(node.exclusive_s * 1e6);
+    if (weight <= 0) {
+      continue;
+    }
+    os << snapshot.PathOf(i) << ' ' << weight << '\n';
+  }
+}
+
+void WriteProfileFile(const std::string& path,
+                      const ProfileSnapshot& snapshot) {
+  std::ofstream os(path);
+  if (!os) {
+    throw ConfigError("cannot open profile output file: " + path);
+  }
+  if (EndsWith(path, ".json")) {
+    WriteProfileJson(os, snapshot);
+  } else if (EndsWith(path, ".collapsed") || EndsWith(path, ".folded")) {
+    WriteCollapsedStacks(os, snapshot);
+  } else {
+    WriteProfileText(os, snapshot);
+  }
+}
+
+}  // namespace vrl::prof

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "prof/profiler.hpp"
+
+/// \file report.hpp
+/// Exporters for attribution-tree snapshots (docs/PROFILING.md).
+///
+/// All three formats are byte-deterministic for a given snapshot: nodes
+/// emit in creation order and doubles print through the same
+/// shortest-round-trip format the telemetry exporters use.  A scrubbed
+/// snapshot (`Snapshot(/*scrub_times=*/true)`) therefore produces
+/// byte-identical files across runs and thread counts.
+
+namespace vrl::prof {
+
+/// Indented tree: calls, units, inclusive/exclusive ms, and each node's
+/// exclusive share of total root-inclusive time.
+void WriteProfileText(std::ostream& os, const ProfileSnapshot& snapshot);
+
+/// Schema "vrl.profile.v1": {"schema":...,"frames":N,"drops":D,
+/// "nodes":[{"id","parent","name","path","depth","calls","units",
+/// "inclusive_s","exclusive_s"}]}.  `parent` is -1 for roots; `path` is
+/// the ";"-joined root-to-node name chain.
+void WriteProfileJson(std::ostream& os, const ProfileSnapshot& snapshot);
+
+/// Collapsed-stack (flamegraph.pl / speedscope) lines: "a;b;c N" where
+/// N is the node's exclusive time in integer microseconds — or its call
+/// count when the snapshot is time-scrubbed, so scrubbed profiles still
+/// render a (count-weighted) flamegraph.
+void WriteCollapsedStacks(std::ostream& os, const ProfileSnapshot& snapshot);
+
+/// Dispatch used by `--profile-out <file>`: ".json" writes the v1 JSON,
+/// ".collapsed"/".folded" the collapsed-stack format, anything else the
+/// text tree.  (bench/reporting routes ".trace.json" to the Chrome
+/// overlay before calling this.)
+void WriteProfileFile(const std::string& path,
+                      const ProfileSnapshot& snapshot);
+
+}  // namespace vrl::prof

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/parallel.hpp"
+#include "prof/profiler.hpp"
 #include "runtime/journal.hpp"
 
 namespace vrl::runtime {
@@ -60,6 +61,13 @@ std::vector<std::string> RunJournaledLegs(
     }
   };
   count("runtime.legs", legs);
+  // Attribution frames live on the runtime recorder and only on this
+  // thread: leg bodies run on pool threads or worker processes, but every
+  // commit lands here, in increasing leg order (docs/RESILIENCE.md).
+  prof::Profiler* profiler = rec == nullptr ? nullptr : rec->profiler();
+  const prof::ScopedPhase legs_phase(profiler, "runtime.legs");
+  const prof::PhaseId commit_id =
+      profiler == nullptr ? 0 : profiler->Intern("runtime.commit");
 
   std::unique_ptr<LegJournal> journal;
   std::vector<std::string> payloads;
@@ -86,6 +94,7 @@ std::vector<std::string> RunJournaledLegs(
 
   const std::size_t begin = payloads.size();
   const auto commit = [&](std::size_t index, const std::string& payload) {
+    const prof::ScopedPhase commit_phase(profiler, commit_id);
     if (journal != nullptr) {
       journal->Append(index, payload);
       ++st.journal_commits;

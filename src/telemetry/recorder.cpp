@@ -7,6 +7,9 @@ Recorder::Recorder(RecorderOptions options)
   if (options_.enable_tracing) {
     tracer_ = std::make_unique<Tracer>(options_.tracing);
   }
+  if (options_.profile_phases) {
+    profiler_ = std::make_unique<prof::Profiler>(options_.profiling);
+  }
 }
 
 void Recorder::Absorb(const Recorder& other) {
@@ -14,6 +17,9 @@ void Recorder::Absorb(const Recorder& other) {
   events_.Append(other.events_);
   if (tracer_ != nullptr && other.tracer_ != nullptr) {
     tracer_->Absorb(*other.tracer_);
+  }
+  if (profiler_ != nullptr && other.profiler_ != nullptr) {
+    profiler_->Absorb(*other.profiler_);
   }
 }
 

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "prof/profiler.hpp"
 #include "telemetry/events.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/tracing.hpp"
@@ -42,11 +43,13 @@ struct RecorderOptions {
   bool enable_tracing = false;
   /// Caps for the owned tracer (ignored unless enable_tracing).
   TracerOptions tracing;
-  /// Accumulate wall-clock phase timers (`time.phase.*`) attributing a
-  /// run's time to policy CollectDue / scheduler / telemetry flush /
-  /// circuit solve — the `--profile` report.  Off by default: the phase
-  /// clock reads cost far more than one pointer compare (docs/TRACING.md).
+  /// Accumulate wall-clock phase timers (`time.phase.*`) and own a
+  /// hierarchical prof::Profiler (docs/PROFILING.md) attributing a run's
+  /// time to its phases — the `--profile` report.  When off, `profiler()`
+  /// is null and every profiling site costs one pointer compare.
   bool profile_phases = false;
+  /// Caps for the owned profiler (ignored unless profile_phases).
+  prof::ProfilerOptions profiling;
 };
 
 /// One telemetry session: a metrics registry plus an event trace.
@@ -66,6 +69,12 @@ class Recorder {
   /// off — instrumentation gates on this pointer.
   Tracer* tracer() { return tracer_.get(); }
   const Tracer* tracer() const { return tracer_.get(); }
+
+  /// The owned attribution profiler, or null when
+  /// `RecorderOptions::profile_phases` is off — profiling sites gate on
+  /// this pointer, same as tracer().
+  prof::Profiler* profiler() { return profiler_.get(); }
+  const prof::Profiler* profiler() const { return profiler_.get(); }
 
   // -- Convenience pass-throughs ---------------------------------------------
   Counter& counter(std::string_view name) {
@@ -88,6 +97,7 @@ class Recorder {
   MetricsRegistry metrics_;
   EventTrace events_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<prof::Profiler> profiler_;
 };
 
 /// RAII wall-clock region: records elapsed seconds into the kTimer metric

@@ -140,4 +140,39 @@ void WriteTraceFile(const std::string& path, const Tracer& tracer) {
   }
 }
 
+void WriteProfileChromeTrace(std::ostream& os,
+                             const prof::ProfileSnapshot& snapshot) {
+  // Children pack left to right from their parent's start; each node's
+  // start is its parent's start plus the inclusive time of earlier
+  // siblings, which keeps every child inside its parent's extent
+  // whenever the tree's times are self-consistent.
+  std::vector<double> starts(snapshot.nodes.size(), 0.0);
+  std::vector<double> cursor(snapshot.nodes.size(), 0.0);
+  double root_cursor = 0.0;
+  os << "{\"traceEvents\":[\n";
+  os << R"({"name":"process_name","ph":"M","pid":0,"tid":0,)"
+     << R"("args":{"name":"profile"}})";
+  for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const prof::ProfileNode& node = snapshot.nodes[i];
+    double start = 0.0;
+    if (node.parent < 0) {
+      start = root_cursor;
+      root_cursor += node.inclusive_s;
+    } else {
+      const auto parent = static_cast<std::size_t>(node.parent);
+      start = starts[parent] + cursor[parent];
+      cursor[parent] += node.inclusive_s;
+    }
+    starts[i] = start;
+    os << ",\n{\"name\":\"" << JsonEscape(node.name)
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << node.depth
+       << ",\"ts\":" << FormatDouble(start * 1e6)
+       << ",\"dur\":" << FormatDouble(node.inclusive_s * 1e6)
+       << ",\"args\":{\"calls\":" << node.calls
+       << ",\"units\":" << node.units << ",\"exclusive_s\":"
+       << FormatDouble(node.exclusive_s) << "}}";
+  }
+  os << "\n]}\n";
+}
+
 }  // namespace vrl::telemetry

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <string_view>
 
+#include "prof/profiler.hpp"
 #include "telemetry/tracing.hpp"
 
 /// \file trace_export.hpp
@@ -45,5 +46,14 @@ void WriteTraceJsonl(std::ostream& os, const Tracer& tracer);
 /// Convenience used by the `--trace-out <file>` flags: writes JSONL when
 /// `path` ends in ".jsonl", Chrome trace JSON otherwise.
 void WriteTraceFile(const std::string& path, const Tracer& tracer);
+
+/// Chrome-trace overlay for an attribution tree (docs/PROFILING.md): a
+/// synthetic timeline on one "profile" process where each node is an `X`
+/// event of `dur` = inclusive microseconds, children packed left to
+/// right from their parent's start.  The layout is aggregate (not a real
+/// timeline) but drops onto Perfetto beside a span trace so phase cost
+/// and causal spans can be read together.
+void WriteProfileChromeTrace(std::ostream& os,
+                             const prof::ProfileSnapshot& snapshot);
 
 }  // namespace vrl::telemetry
